@@ -1,0 +1,49 @@
+"""Ablation: flowchart vs tuned thresholds vs idealised per-tile greedy.
+
+Quantifies the headroom the paper's future-work learned selector could
+capture: the flowchart with paper thresholds, the per-matrix tuned
+thresholds (repro.core.tuner.tune_selection), and the idealised
+per-tile cost-greedy upper bound.  Expected: the flowchart sits within
+a modest factor of the greedy bound — the paper's simple heuristic is
+most of the win.
+"""
+
+import pytest
+
+from repro import A100, TileSpMV
+from repro.analysis.tables import format_table
+from repro.core.tuner import greedy_per_tile, tune_selection
+from repro.matrices import fem_blocks, gupta_arrow, power_law, random_uniform
+
+CASES = [
+    ("fem", lambda: fem_blocks(900, block=3, avg_degree=12, seed=0)),
+    ("graph", lambda: power_law(12_000, avg_degree=5, seed=1)),
+    ("random", lambda: random_uniform(4000, 4000, 6, seed=2)),
+    ("arrow", lambda: gupta_arrow(2000, border=20, seed=3)),
+]
+
+
+def sweep():
+    rows = []
+    for name, build in CASES:
+        mat = build()
+        t_flow = TileSpMV(mat, method="adpt").predicted_time(A100)
+        tuned = tune_selection(mat, device=A100)
+        t_greedy = greedy_per_tile(mat, device=A100).run_cost().time(A100)
+        rows.append((name, mat.nnz, t_flow * 1e6, tuned.predicted_time * 1e6, t_greedy * 1e6))
+    return rows
+
+
+def test_ablation_selector(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for name, _, t_flow, t_tuned, t_greedy in rows:
+        assert t_tuned <= t_flow * 1.001, f"tuning can never hurt: {name}"
+        assert t_flow <= 1.5 * t_greedy, (
+            f"paper's flowchart must stay near the idealised bound on {name}: "
+            f"{t_flow:.2f}us vs {t_greedy:.2f}us"
+        )
+    print("\n" + format_table(
+        ["Case", "nnz", "Flowchart us", "Tuned us", "Greedy-bound us"],
+        rows,
+        title="Ablation: selection policy (modelled A100 SpMV time)",
+    ))

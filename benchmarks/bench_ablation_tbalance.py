@@ -1,0 +1,47 @@
+"""Ablation: the tbalance warp-splitting limit (paper: 8).
+
+Sweeps tbalance on a dense-row-heavy matrix (long tile rows are exactly
+what the splitting targets) and on a benign banded matrix.  Expected:
+tiny tbalance explodes warp count (more launches' worth of overhead and
+cross-warp atomics); huge tbalance re-creates the tail-warp imbalance;
+8 sits on the plateau.
+"""
+
+import pytest
+
+from repro import A100, TileSpMV
+from repro.analysis.tables import format_table
+from repro.matrices import banded, lp_like
+
+
+def sweep():
+    cases = [
+        ("dense_rows", lp_like(3000, 12_000, nnz_per_col=4, dense_rows=12, seed=0)),
+        ("banded", banded(8000, half_bandwidth=24, seed=1)),
+    ]
+    rows = []
+    for name, mat in cases:
+        for tb in (1, 2, 8, 64, 4096):
+            engine = TileSpMV(mat, method="adpt", tbalance=tb)
+            cost = engine.run_cost()
+            rows.append((name, tb, cost.n_warps, cost.warp_cycles_max, engine.predicted_time(A100) * 1e6))
+    return rows
+
+
+def test_ablation_tbalance(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_case = {}
+    for name, tb, _, _, t in rows:
+        by_case.setdefault(name, {})[tb] = t
+    for name, times in by_case.items():
+        assert times[8] <= min(times.values()) * 1.15, (
+            f"tbalance=8 must sit on the plateau for {name}: {times}"
+        )
+    # Unbounded warps inherit the long-row tail on the dense-row case.
+    tail = {tb: wc for (n, tb, _, wc, _) in rows if n == "dense_rows"}
+    assert tail[4096] > tail[8], "no splitting must lengthen the tail warp"
+    print("\n" + format_table(
+        ["Case", "tbalance", "Warps", "Tail cycles", "A100 us"],
+        rows,
+        title="Ablation: tbalance (paper default 8)",
+    ))

@@ -1,0 +1,62 @@
+"""Ablation: the selection thresholds (te=0.2, th=1.0, COO<12, Dns>=128).
+
+Sweeps each threshold around the paper's value on a mixed workload and
+prints the modelled performance.  Expected: the paper's settings sit at
+or near the optimum plateau, and disabling a rule entirely (e.g. COO cut
+at 0) costs measurably.
+"""
+
+import pytest
+
+from repro import A100, SelectionConfig, TileSpMV
+from repro.analysis.tables import format_table
+from repro.matrices import fem_blocks, gupta_arrow, power_law, random_uniform
+
+
+def mixed_workload():
+    return [
+        fem_blocks(900, block=3, avg_degree=12, seed=0),
+        power_law(12_000, avg_degree=5, seed=1),
+        random_uniform(4000, 4000, 6, seed=2),
+        gupta_arrow(2000, border=20, seed=3),
+    ]
+
+
+def total_time(mats, cfg):
+    return sum(TileSpMV(a, method="adpt", selection=cfg).predicted_time(A100) for a in mats)
+
+
+def sweep():
+    mats = mixed_workload()
+    rows = []
+    for te in (0.0, 0.2, 0.5):
+        for th in (1.0, 2.0):
+            if th < te:
+                continue
+            cfg = SelectionConfig(te=te, th=th)
+            rows.append(("te/th", f"te={te},th={th}", total_time(mats, cfg)))
+    for coo_max in (0, 4, 12, 32):
+        cfg = SelectionConfig(coo_nnz_max=coo_max)
+        rows.append(("coo_max", str(coo_max), total_time(mats, cfg)))
+    for dns_min in (64, 128, 200, 257):
+        cfg = SelectionConfig(dns_nnz_min=dns_min)
+        rows.append(("dns_min", str(dns_min), total_time(mats, cfg)))
+    return rows
+
+
+def test_ablation_thresholds(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_knob = {}
+    for knob, setting, t in rows:
+        by_knob.setdefault(knob, {})[setting] = t
+    paper_coo = by_knob["coo_max"]["12"]
+    assert paper_coo <= min(by_knob["coo_max"].values()) * 1.1, (
+        f"paper's COO<12 must be near-optimal: {by_knob['coo_max']}"
+    )
+    paper_dns = by_knob["dns_min"]["128"]
+    assert paper_dns <= min(by_knob["dns_min"].values()) * 1.1
+    print("\n" + format_table(
+        ["Knob", "Setting", "Total modelled A100 seconds"],
+        rows,
+        title="Ablation: selection thresholds (paper: te=0.2, th=1.0, COO<12, Dns>=128)",
+    ))

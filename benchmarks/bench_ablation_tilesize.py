@@ -1,0 +1,45 @@
+"""Ablation: tile size (paper fixes 16x16).
+
+Sweeps 4/8/16 and prints the modelled A100 performance per structure
+class.  Expected: 16 wins or ties nearly everywhere — smaller tiles
+multiply level-1 metadata and per-tile kernel overhead, which is the
+paper's rationale for 'enough large' tiles that saturate a warp.
+"""
+
+import pytest
+
+from repro import A100, TileSpMV
+from repro.analysis.tables import format_table
+from repro.matrices import fem_blocks, power_law, random_uniform
+
+CASES = [
+    ("fem", lambda: fem_blocks(1200, block=3, avg_degree=14, seed=0)),
+    ("graph", lambda: power_law(12_000, avg_degree=5, seed=1)),
+    ("random", lambda: random_uniform(4000, 4000, 8, seed=2)),
+]
+
+
+def sweep():
+    rows = []
+    for name, build in CASES:
+        mat = build()
+        for tile in (4, 8, 16):
+            engine = TileSpMV(mat, method="adpt", tile=tile)
+            rows.append((name, tile, mat.nnz, engine.gflops(A100), engine.nbytes_model()))
+    return rows
+
+
+def test_ablation_tilesize(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_case = {}
+    for name, tile, _, gf, _ in rows:
+        by_case.setdefault(name, {})[tile] = gf
+    for name, tiles in by_case.items():
+        assert tiles[16] >= 0.9 * max(tiles.values()), (
+            f"tile=16 should be at or near the best for {name}: {tiles}"
+        )
+    print("\n" + format_table(
+        ["Case", "Tile", "nnz", "A100 GFlops", "Bytes"],
+        rows,
+        title="Ablation: tile size (paper default 16)",
+    ))

@@ -1,0 +1,35 @@
+"""Figure 10: space cost of CSR vs TileSpMV_CSR vs TileSpMV_ADPT.
+
+Asserts the paper's space observations: TileSpMV_CSR roughly tracks
+standard CSR for most large matrices, the scattered-tile matrices
+inflate, and ADPT improves on TileSpMV_CSR overall.
+"""
+
+import numpy as np
+
+from repro.experiments import fig10
+
+
+def test_fig10_space(benchmark, scale):
+    costs = benchmark.pedantic(fig10.collect, args=(scale,), rounds=1, iterations=1)
+    r_csr = np.array([c.tile_csr_ratio for c in costs])
+    r_adpt = np.array([c.tile_adpt_ratio for c in costs])
+    assert np.median(r_csr) < 1.6, "TileSpMV_CSR should track CSR for most matrices"
+    assert (r_adpt <= r_csr + 1e-9).mean() > 0.6, "ADPT improves the footprint overall"
+    assert r_csr.max() > 1.5, "the scattered-tile inflation case must appear"
+    print("\n" + _render(costs))
+
+
+def _render(costs):
+    from repro.analysis.tables import format_table
+
+    rows = [
+        (c.name, c.nnz, c.csr_bytes, c.tile_csr_bytes, c.tile_adpt_bytes,
+         c.tile_csr_ratio, c.tile_adpt_ratio)
+        for c in costs
+    ]
+    return format_table(
+        ["Matrix", "nnz", "CSR B", "TileCSR B", "ADPT B", "TileCSR/CSR", "ADPT/CSR"],
+        rows,
+        title="Figure 10: modelled space cost, largest suite matrices",
+    )

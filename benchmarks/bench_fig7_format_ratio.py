@@ -1,0 +1,22 @@
+"""Figure 7: format shares under ADPT (regeneration bench).
+
+Asserts the paper's headline shape: the COO format dominates the tile
+count but holds a far smaller share of the nonzeros.
+"""
+
+from repro.experiments import fig7
+from repro.formats import FormatID
+
+
+def test_fig7_format_ratio(benchmark, scale):
+    _, _, total, _ = benchmark.pedantic(fig7.collect, args=(scale,), rounds=1, iterations=1)
+    assert total.tile_ratio(FormatID.COO) == max(
+        total.tile_ratio(f) for f in FormatID
+    ), "COO should be the most common tile format (paper Fig 7a)"
+    assert total.nnz_ratio(FormatID.COO) < 0.5 * total.tile_ratio(FormatID.COO), (
+        "COO tiles are nearly empty: nnz share far below tile share (Fig 7b)"
+    )
+    # All seven formats must be exercised somewhere in the suite.
+    used = [f for f in FormatID if total.tiles[f] > 0]
+    assert len(used) == 7, f"suite must exercise all 7 formats, got {used}"
+    print("\n" + fig7.run(scale, total=total))

@@ -1,0 +1,62 @@
+"""Conventional microbenchmarks: Python wall time of the SpMV engines.
+
+These time the *reproduction's own* execution (vectorised NumPy), not
+the modelled GPU — useful for tracking regressions in the preprocessing
+and execution paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TileSpMV
+from repro.baselines import BsrSpMV, Csr5SpMV, CsrScalarSpMV, MergeSpMV
+from repro.matrices import fem_blocks, power_law
+
+
+@pytest.fixture(scope="module")
+def fem():
+    return fem_blocks(2000, block=3, avg_degree=16, seed=0)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law(20_000, avg_degree=6, seed=1)
+
+
+@pytest.fixture(scope="module")
+def x_fem(fem):
+    return np.random.default_rng(0).standard_normal(fem.shape[1])
+
+
+@pytest.fixture(scope="module")
+def x_graph(graph):
+    return np.random.default_rng(1).standard_normal(graph.shape[1])
+
+
+class TestSpmvWallTime:
+    @pytest.mark.parametrize("method", ["csr", "adpt", "deferred_coo"])
+    def test_tilespmv_fem(self, benchmark, fem, x_fem, method):
+        engine = TileSpMV(fem, method=method)
+        y = benchmark(engine.spmv, x_fem)
+        np.testing.assert_allclose(y, fem @ x_fem, rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("method", ["adpt", "deferred_coo"])
+    def test_tilespmv_graph(self, benchmark, graph, x_graph, method):
+        engine = TileSpMV(graph, method=method)
+        y = benchmark(engine.spmv, x_graph)
+        np.testing.assert_allclose(y, graph @ x_graph, rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("cls", [CsrScalarSpMV, MergeSpMV, Csr5SpMV, BsrSpMV])
+    def test_baselines_fem(self, benchmark, fem, x_fem, cls):
+        engine = cls(fem)
+        y = benchmark(engine.spmv, x_fem)
+        np.testing.assert_allclose(y, fem @ x_fem, rtol=1e-10, atol=1e-12)
+
+
+class TestPreprocessingWallTime:
+    @pytest.mark.parametrize("method", ["csr", "adpt", "deferred_coo"])
+    def test_build_fem(self, benchmark, fem, method):
+        benchmark.pedantic(TileSpMV, args=(fem,), kwargs={"method": method}, rounds=3, iterations=1)
+
+    def test_build_graph_adpt(self, benchmark, graph):
+        benchmark.pedantic(TileSpMV, args=(graph,), kwargs={"method": "adpt"}, rounds=3, iterations=1)

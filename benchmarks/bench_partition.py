@@ -1,0 +1,47 @@
+"""Multi-GPU partitioning bench (modelled strong scaling).
+
+Sweeps 1-8 model-A100s over NVLink and PCIe for a halo-exchange matrix
+and a global-exchange graph, asserting the textbook shapes: the banded
+matrix strong-scales, the graph saturates, and the faster link always
+helps the communication-bound case.
+"""
+
+import pytest
+
+from repro import A100
+from repro.analysis.tables import format_table
+from repro.apps.partition import NVLINK, PCIE4, PartitionedSpMV
+from repro.matrices import banded, power_law
+
+
+def sweep():
+    band = banded(300_000, half_bandwidth=16, seed=0)
+    graph = power_law(150_000, avg_degree=8, seed=1)
+    rows = []
+    for name, mat in (("banded", band), ("graph", graph)):
+        for link in (NVLINK, PCIE4):
+            t1 = None
+            for k in (1, 2, 4, 8):
+                engine = PartitionedSpMV(mat, k, method="adpt")
+                t = engine.predicted_time(A100, link)
+                t1 = t1 or t
+                rows.append(
+                    (name, link.name, k, t * 1e6, t1 / t,
+                     engine.communication_fraction(A100, link))
+                )
+    return rows
+
+
+def test_partition_scaling(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    def speedup(name, link, k):
+        return next(r[4] for r in rows if r[0] == name and r[1] == link and r[2] == k)
+
+    assert speedup("banded", "NVLink3", 8) > 3.0, "banded must strong-scale on NVLink"
+    assert speedup("graph", "PCIe4 x16", 4) < 1.0, "graph must go backwards on PCIe"
+    assert speedup("graph", "NVLink3", 8) > speedup("graph", "PCIe4 x16", 8)
+    print("\n" + format_table(
+        ["Matrix", "Link", "GPUs", "Step us", "Speedup", "Comm frac"],
+        rows,
+        title="Modelled multi-GPU strong scaling (A100s)",
+    ))

@@ -1,0 +1,51 @@
+"""Scaling bench: modelled GFlops vs matrix size per method.
+
+The size axis underlies every figure in the paper (GFlops grow from
+launch-bound small matrices toward the bandwidth roofline).  This bench
+sweeps one structured and one graph family across two decades of size
+and asserts the scaling shape: monotone growth toward a plateau for the
+structured family, and a widening TileSpMV-vs-CSR-only gap for the
+graph family.
+"""
+
+import numpy as np
+import pytest
+
+from repro import A100, TileSpMV
+from repro.analysis.tables import format_table
+from repro.matrices import fem_blocks, power_law
+
+FEM_NODES = (100, 400, 1600, 6400)
+GRAPH_NODES = (500, 2000, 8000, 32000)
+
+
+def sweep():
+    rows = []
+    for nodes in FEM_NODES:
+        mat = fem_blocks(nodes, block=3, avg_degree=14, seed=nodes)
+        gf = TileSpMV(mat, method="adpt").gflops(A100)
+        rows.append(("fem", nodes * 3, mat.nnz, gf, np.nan))
+    for nodes in GRAPH_NODES:
+        mat = power_law(nodes, avg_degree=5, seed=nodes)
+        adpt = TileSpMV(mat, method="adpt").gflops(A100)
+        csr = TileSpMV(mat, method="csr").gflops(A100)
+        rows.append(("graph", nodes, mat.nnz, adpt, adpt / csr))
+    return rows
+
+
+def test_scaling(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fem = [r for r in rows if r[0] == "fem"]
+    graph = [r for r in rows if r[0] == "graph"]
+    # Structured family: GFlops strictly grow with size in this range.
+    gflops = [r[3] for r in fem]
+    assert all(b > a for a, b in zip(gflops, gflops[1:])), gflops
+    # Graph family: the ADPT advantage over CSR-only does not shrink.
+    advantages = [r[4] for r in graph]
+    assert advantages[-1] >= advantages[0] - 0.02, advantages
+    assert advantages[-1] > 1.0
+    print("\n" + format_table(
+        ["Family", "n", "nnz", "ADPT GFlops (A100)", "ADPT/CSR"],
+        rows,
+        title="Scaling: modelled GFlops vs size",
+    ))

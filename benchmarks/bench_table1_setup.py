@@ -1,0 +1,9 @@
+"""Table I: devices and algorithms (regeneration bench)."""
+
+from repro.experiments import table1
+
+
+def test_table1_setup(benchmark, scale):
+    out = benchmark(table1.run, scale)
+    assert "A100" in out and "Titan RTX" in out
+    print("\n" + out)

@@ -1,0 +1,9 @@
+"""Table II: the 16 representative matrices (regeneration bench)."""
+
+from repro.experiments import table2
+
+
+def test_table2_matrices(benchmark, scale):
+    out = benchmark.pedantic(table2.run, args=(scale,), rounds=1, iterations=1)
+    assert "TSOPF_RS_b2383" in out and "ldoor" in out
+    print("\n" + out)

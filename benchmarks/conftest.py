@@ -1,0 +1,23 @@
+"""Benchmark-harness configuration.
+
+``REPRO_SCALE`` selects the synthetic-suite scale for the figure
+regeneration benches (default ``small``; set ``medium`` for the wider
+sweep with multi-million-nnz graphs past the DeferredCOO crossover, or
+``tiny`` for a smoke run).
+
+Each ``bench_fig*.py`` regenerates one of the paper's figures/tables,
+prints the result table (run pytest with ``-s`` to see it), and reports
+the wall time of the regeneration via pytest-benchmark.
+``bench_kernels.py`` holds the conventional microbenchmarks.
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return SCALE

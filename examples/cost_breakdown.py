@@ -1,0 +1,52 @@
+"""Where does the modelled time go? Roofline-term breakdown per method.
+
+For three structurally different matrices, prints each SpMV method's
+predicted time on the A100 decomposed into the cost model's terms
+(launch / DRAM / L2 / issue / tail / atomics) and names the binding
+resource — making visible *why* each method wins or loses on each
+structure (see docs/COSTMODEL.md for the derivation).
+
+Run:  python examples/cost_breakdown.py
+"""
+
+from repro import A100, CostModel, TileSpMV
+from repro.baselines import BsrSpMV, Csr5SpMV, MergeSpMV
+from repro.matrices import block_random, lp_like, power_law
+
+
+def show(name: str, matrix) -> None:
+    print(f"\n=== {name}: {matrix.shape[0]}x{matrix.shape[1]}, nnz={matrix.nnz} ===")
+    print(f"{'method':12s} {'total us':>9s} {'launch':>8s} {'dram':>8s} {'l2':>8s} "
+          f"{'issue':>8s} {'tail':>8s} {'bound':>7s}")
+    engines = [
+        ("TileSpMV", TileSpMV(matrix, method="auto").run_cost()),
+        ("Merge", MergeSpMV(matrix).run_cost()),
+        ("CSR5", Csr5SpMV(matrix).run_cost()),
+        ("BSR", BsrSpMV(matrix).run_cost()),
+    ]
+    cm = CostModel(A100)
+    for label, cost in engines:
+        bd = cm.breakdown(cost.stats(A100))
+        print(
+            f"{label:12s} {bd.total * 1e6:9.2f} {bd.t_launch * 1e6:8.2f} "
+            f"{bd.t_mem * 1e6:8.2f} {bd.t_l2 * 1e6:8.2f} {bd.t_issue * 1e6:8.2f} "
+            f"{bd.t_tail * 1e6:8.2f} {bd.bound:>7s}"
+        )
+
+
+def main() -> None:
+    show("dense 16x16 blocks (TSOPF-like)",
+         block_random(4000, block=16, n_blocks=2000, fill=1.0, seed=0))
+    show("power-law graph (webbase-like)",
+         power_law(40_000, avg_degree=5, seed=1))
+    show("LP constraints (lp_osa-like)",
+         lp_like(2000, 30_000, nnz_per_col=8, dense_rows=2, seed=2))
+    print(
+        "\nReading: TileSpMV's wins are DRAM-side (fewer payload bytes, windowed x);"
+        "\nBSR's LP collapse is pure padded-zero DRAM traffic plus a dense-row tail;"
+        "\ngraphs without deferral would be issue-bound on near-empty tiles."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Format gallery: how the ADPT selection sees different matrix classes.
+
+Prints an ASCII tile map (one character per 16x16 tile) for a small
+instance of each structural class, making the selection flowchart's
+behaviour visible at a glance: dense blocks -> D, diagonals -> E,
+scattered entries -> c, dense borders -> R/C.
+
+Run:  python examples/format_gallery.py
+"""
+
+import numpy as np
+
+from repro import FormatID
+from repro.core.selection import select_formats
+from repro.core.tiling import tile_decompose
+from repro.matrices import (
+    banded,
+    dense_corner,
+    diagonal_bands,
+    fem_blocks,
+    gupta_arrow,
+    hypersparse,
+    power_law,
+)
+
+GLYPH = {
+    FormatID.CSR: "s",
+    FormatID.COO: "c",
+    FormatID.ELL: "E",
+    FormatID.HYB: "h",
+    FormatID.DNS: "D",
+    FormatID.DNSROW: "R",
+    FormatID.DNSCOL: "C",
+}
+
+
+def tile_map(matrix, max_rows: int = 24) -> str:
+    """Render the per-tile format choices as a character grid."""
+    ts = tile_decompose(matrix)
+    formats = select_formats(ts)
+    grid = np.full((ts.tile_rows, ts.tile_cols), ".", dtype="<U1")
+    for tid in range(ts.n_tiles):
+        grid[ts.tile_rowidx[tid], ts.tile_colidx[tid]] = GLYPH[FormatID(formats[tid])]
+    lines = ["".join(row) for row in grid[:max_rows, :max_rows]]
+    if ts.tile_rows > max_rows:
+        lines.append(f"... ({ts.tile_rows - max_rows} more tile rows)")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    cases = [
+        ("FEM blocks (cant-like)", fem_blocks(120, block=3, avg_degree=10, seed=1)),
+        ("banded", banded(360, half_bandwidth=10, seed=2)),
+        ("diagonals (ELL showcase)", diagonal_bands(360, n_diags=4, spread=60, seed=3)),
+        ("power-law graph", power_law(360, avg_degree=4, seed=4)),
+        ("hypersparse", hypersparse(360, nnz=120, seed=5)),
+        ("dense corner (exdata_1-like)", dense_corner(360, corner_frac=0.3, seed=6)),
+        ("arrow (gupta-like)", gupta_arrow(360, border=20, seed=7)),
+    ]
+    legend = "  ".join(f"{g}={f.name}" for f, g in GLYPH.items())
+    print(f"legend: {legend}  .=empty tile\n")
+    for name, matrix in cases:
+        print(f"--- {name}: {matrix.shape[0]}x{matrix.shape[1]}, nnz={matrix.nnz} ---")
+        print(tile_map(matrix))
+        print()
+
+
+if __name__ == "__main__":
+    main()

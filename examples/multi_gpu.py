@@ -1,0 +1,48 @@
+"""Multi-GPU scaling demo (modelled): when does partitioned SpMV pay?
+
+Partitions two matrices — a banded FEM-style matrix (halo exchange
+only) and a power-law graph (exchanges nearly all of x) — across 1-8
+model-A100s over NVLink and PCIe, printing the predicted step times,
+speedups and communication share.
+
+Run:  python examples/multi_gpu.py
+"""
+
+import numpy as np
+
+from repro import A100
+from repro.apps.partition import NVLINK, PCIE4, PartitionedSpMV
+from repro.matrices import banded, power_law
+
+
+def sweep(name: str, matrix, link) -> None:
+    print(f"\n--- {name} ({matrix.nnz} nnz) over {link.name} ---")
+    t1 = None
+    print(f"{'GPUs':>5s} {'step us':>9s} {'speedup':>8s} {'comm %':>7s}")
+    for k in (1, 2, 4, 8):
+        engine = PartitionedSpMV(matrix, k, method="adpt")
+        t = engine.predicted_time(A100, link)
+        t1 = t1 or t
+        frac = engine.communication_fraction(A100, link)
+        print(f"{k:5d} {t * 1e6:9.2f} {t1 / t:8.2f} {100 * frac:6.1f}%")
+        # Exactness check at every k.
+        x = np.ones(matrix.shape[1])
+        assert np.allclose(engine.spmv(x), matrix @ x)
+
+
+def main() -> None:
+    band = banded(300_000, half_bandwidth=16, seed=0)
+    graph = power_law(150_000, avg_degree=8, seed=1)
+    sweep("banded (halo exchange)", band, NVLINK)
+    sweep("banded (halo exchange)", band, PCIE4)
+    sweep("power-law graph (global exchange)", graph, NVLINK)
+    sweep("power-law graph (global exchange)", graph, PCIE4)
+    print(
+        "\nReading: the banded matrix strong-scales (its exchange is a fixed"
+        "\nhalo); the graph saturates immediately — its x exchange grows with"
+        "\nthe partition count, the textbook distributed-SpMV wall."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Reordering demo: RCM restores the 2D locality TileSpMV feeds on.
+
+The paper's premise is that sparse matrices carry exploitable 2D
+structure.  This example destroys that structure with a random
+symmetric permutation, restores it with our reverse Cuthill-McKee, and
+shows the effect on tile density, the format mix, and the modelled
+SpMV time.
+
+Run:  python examples/reordering.py
+"""
+
+import numpy as np
+
+from repro import A100, TileSpMV
+from repro.matrices import (
+    apply_symmetric_permutation,
+    bandwidth,
+    extract_features,
+    reverse_cuthill_mckee,
+    stencil_2d,
+)
+
+
+def profile(label: str, matrix) -> None:
+    f = extract_features(matrix)
+    engine = TileSpMV(matrix, method="adpt")
+    print(
+        f"{label:12s} bandwidth={bandwidth(matrix):6d}  tiles={f.tiles:6d}  "
+        f"nnz/tile={f.tile_nnz_mean:5.1f}  dense-tile share={f.dense_tile_share:5.1%}  "
+        f"modelled A100 {engine.predicted_time(A100) * 1e6:7.2f} us"
+    )
+
+
+def main() -> None:
+    natural = stencil_2d(64, points=9, seed=0)
+    rng = np.random.default_rng(1)
+    scramble = rng.permutation(natural.shape[0])
+    scrambled = apply_symmetric_permutation(natural, scramble)
+    perm = reverse_cuthill_mckee(scrambled)
+    restored = apply_symmetric_permutation(scrambled, perm)
+
+    print(f"9-point stencil, n={natural.shape[0]}, nnz={natural.nnz}\n")
+    profile("natural", natural)
+    profile("scrambled", scrambled)
+    profile("RCM", restored)
+
+    # The three orderings compute the same operator up to permutation.
+    x = rng.standard_normal(natural.shape[0])
+    y_scr = TileSpMV(scrambled).spmv(x)
+    y_res = TileSpMV(restored).spmv(x[perm])
+    assert np.allclose(y_res, y_scr[perm])
+    print("\npermutation identity (P A P^T)(P x) = P (A x) verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Tile-level SpGEMM demo: squaring matrices through 16x16 tile pairing.
+
+Shows the extension of the paper's tiling idea to C = A * B (the
+TileSpGEMM direction): the symbolic phase runs on the tile grid — three
+orders of magnitude smaller than the matrix — and the numeric phase is
+a batch of dense 16x16 products.  Compares structure statistics across
+matrix classes and verifies exactness against scipy.
+
+Run:  python examples/spgemm_demo.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.spgemm import tile_spgemm
+from repro.matrices import banded, fem_blocks, power_law, random_uniform
+
+
+def main() -> None:
+    cases = [
+        ("banded", banded(2000, half_bandwidth=8, seed=0)),
+        ("fem", fem_blocks(500, block=3, avg_degree=8, seed=1)),
+        ("graph", power_law(2000, avg_degree=3, seed=2)),
+        ("random", random_uniform(2000, 2000, 3, seed=3)),
+    ]
+    print(f"{'matrix':8s} {'nnz(A)':>8s} {'nnz(C)':>9s} {'A tiles':>8s} "
+          f"{'C tiles':>8s} {'pairs':>8s} {'pairs/Ctile':>11s} {'exact':>6s}")
+    for name, a in cases:
+        t0 = time.perf_counter()
+        c, stats = tile_spgemm(a, a, return_stats=True)
+        dt = time.perf_counter() - t0
+        ref = (a @ a).tocsr()
+        exact = (abs(c - ref) > 1e-10).nnz == 0
+        print(
+            f"{name:8s} {a.nnz:8d} {c.nnz:9d} {stats.a_tiles:8d} "
+            f"{stats.c_tiles:8d} {stats.tile_pairs:8d} {stats.pairs_per_c_tile:11.2f} "
+            f"{str(exact):>6s}   ({dt * 1e3:.0f} ms)"
+        )
+    print(
+        "\nReading: structured matrices keep the pairing sparse (few dense\n"
+        "products per C tile); scattered matrices inflate it — the same\n"
+        "structure-dependence the SpMV selection exploits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e . --no-build-isolation --no-use-pep517`` works in
+offline environments that lack the ``wheel`` package (PEP 660 editable
+installs need ``bdist_wheel``).
+"""
+
+from setuptools import setup
+
+setup()

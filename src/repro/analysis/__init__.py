@@ -1,0 +1,32 @@
+"""Result analysis: performance, space and structure accounting."""
+
+from repro.analysis.export import rows_to_csv, write_csv
+from repro.analysis.perf import (
+    MethodResult,
+    evaluate_baselines,
+    evaluate_methods,
+    speedup_summary,
+)
+from repro.analysis.roofline import RooflinePoint, ascii_roofline, roofline_point
+from repro.analysis.scatter import ascii_scatter
+from repro.analysis.space import SpaceCost, space_costs
+from repro.analysis.stats import FormatShare, aggregate_format_shares
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "MethodResult",
+    "evaluate_methods",
+    "evaluate_baselines",
+    "speedup_summary",
+    "SpaceCost",
+    "space_costs",
+    "FormatShare",
+    "aggregate_format_shares",
+    "format_table",
+    "ascii_scatter",
+    "RooflinePoint",
+    "roofline_point",
+    "ascii_roofline",
+    "rows_to_csv",
+    "write_csv",
+]

@@ -1,0 +1,55 @@
+"""CSV export of experiment results.
+
+A reproduction's numbers should leave the terminal: every experiment's
+row type serialises to CSV so downstream plotting (the paper's actual
+figures are scatter plots) can happen in any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["write_csv", "rows_to_csv"]
+
+
+def _row_to_dict(row) -> dict:
+    """Accept dataclasses, dicts, or plain sequences."""
+    if dataclasses.is_dataclass(row) and not isinstance(row, type):
+        d = dataclasses.asdict(row)
+        # Include computed properties (speedups etc.) that plain asdict misses.
+        for name in dir(type(row)):
+            attr = getattr(type(row), name, None)
+            if isinstance(attr, property):
+                d[name] = getattr(row, name)
+        return d
+    if isinstance(row, dict):
+        return row
+    raise TypeError(f"cannot export row of type {type(row).__name__}")
+
+
+def rows_to_csv(rows: Iterable) -> str:
+    """Render dataclass/dict rows as a CSV string (header + rows)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    dicts = [_row_to_dict(r) for r in rows]
+    fieldnames = list(dicts[0])
+    import io
+
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fieldnames)
+    writer.writeheader()
+    for d in dicts:
+        writer.writerow({k: d.get(k, "") for k in fieldnames})
+    return buf.getvalue()
+
+
+def write_csv(path: str | Path, rows: Iterable) -> Path:
+    """Write rows to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_csv(rows), encoding="utf-8")
+    return path

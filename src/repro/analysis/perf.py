@@ -1,0 +1,120 @@
+"""Modelled-performance evaluation across methods and devices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines import BsrSpMV, Csr5SpMV, MergeSpMV
+from repro.core.tilespmv import TileSpMV
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["MethodResult", "evaluate_methods", "evaluate_baselines", "speedup_summary"]
+
+
+@dataclass
+class MethodResult:
+    """Modelled performance of one method on one matrix and device."""
+
+    matrix: str
+    method: str
+    device: str
+    nnz: int
+    time_s: float
+    gflops: float
+
+
+def evaluate_methods(
+    name: str,
+    matrix: sp.spmatrix,
+    methods: tuple[str, ...],
+    devices: tuple[DeviceSpec, ...],
+    **tilespmv_kwargs,
+) -> list[MethodResult]:
+    """Run the TileSpMV variants on one matrix, all devices."""
+    results = []
+    for method in methods:
+        engine = TileSpMV(matrix, method=method, **tilespmv_kwargs)
+        cost = engine.run_cost()
+        for dev in devices:
+            results.append(
+                MethodResult(
+                    matrix=name,
+                    method=f"TileSpMV_{method}",
+                    device=dev.name,
+                    nnz=engine.nnz,
+                    time_s=cost.time(dev),
+                    gflops=cost.gflops(dev),
+                )
+            )
+    return results
+
+
+def evaluate_baselines(
+    name: str,
+    matrix: sp.spmatrix,
+    devices: tuple[DeviceSpec, ...],
+) -> list[MethodResult]:
+    """Run the three paper baselines on one matrix, all devices.
+
+    Engines are constructed lazily one at a time — on multi-million-nnz
+    matrices holding all three (BSR's dense blocks especially) at once
+    costs gigabytes.
+    """
+    results = []
+    for make in (MergeSpMV, Csr5SpMV, BsrSpMV):
+        engine = make(matrix)
+        cost = engine.run_cost()
+        method, nnz = engine.name, engine.nnz
+        del engine  # free payload arrays before building the next engine
+        for dev in devices:
+            results.append(
+                MethodResult(
+                    matrix=name,
+                    method=method,
+                    device=dev.name,
+                    nnz=nnz,
+                    time_s=cost.time(dev),
+                    gflops=cost.gflops(dev),
+                )
+            )
+    return results
+
+
+@dataclass
+class SpeedupSummary:
+    """Paper-style headline numbers: wins, max speedup, geomean."""
+
+    ours: str
+    baseline: str
+    device: str
+    n_matrices: int
+    wins: int
+    max_speedup: float
+    max_speedup_matrix: str
+    geomean_speedup: float
+
+
+def speedup_summary(
+    results: list[MethodResult], ours: str, baseline: str, device: str
+) -> SpeedupSummary:
+    """Summarise ours-vs-baseline over every matrix on one device."""
+    ours_by = {r.matrix: r for r in results if r.method == ours and r.device == device}
+    base_by = {r.matrix: r for r in results if r.method == baseline and r.device == device}
+    common = sorted(set(ours_by) & set(base_by))
+    speedups = np.array([base_by[m].time_s / ours_by[m].time_s for m in common])
+    if speedups.size == 0:
+        return SpeedupSummary(ours, baseline, device, 0, 0, 0.0, "", 0.0)
+    best = int(np.argmax(speedups))
+    return SpeedupSummary(
+        ours=ours,
+        baseline=baseline,
+        device=device,
+        n_matrices=len(common),
+        wins=int((speedups > 1.0).sum()),
+        max_speedup=float(speedups.max()),
+        max_speedup_matrix=common[best],
+        geomean_speedup=float(np.exp(np.mean(np.log(speedups)))),
+    )

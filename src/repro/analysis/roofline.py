@@ -1,0 +1,90 @@
+"""Roofline analysis of the modelled kernels.
+
+Places each SpMV execution on the device's roofline: arithmetic
+intensity (useful flops per DRAM byte actually moved) against achieved
+GFlops, under the bandwidth slope and the FP64 ceiling.  SpMV lives far
+left on this chart — the visual argument for why every effect in the
+paper is a *bytes* effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.costmodel import CostModel, RunCost
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["RooflinePoint", "roofline_point", "ascii_roofline"]
+
+
+@dataclass
+class RooflinePoint:
+    """One kernel execution placed on a device roofline."""
+
+    label: str
+    intensity: float  # useful flops / DRAM byte
+    gflops: float  # achieved useful GFlop/s
+    bound: str  # binding resource reported by the cost model
+
+
+def roofline_point(label: str, cost: RunCost, device: DeviceSpec) -> RooflinePoint:
+    """Place one RunCost on ``device``'s roofline."""
+    stats = cost.stats(device)
+    bytes_moved = max(stats.total_bytes, 1.0)
+    intensity = cost.useful_flops / bytes_moved
+    model = CostModel(device)
+    return RooflinePoint(
+        label=label,
+        intensity=intensity,
+        gflops=cost.gflops(device),
+        bound=model.breakdown(stats).bound,
+    )
+
+
+def ascii_roofline(
+    points: list[RooflinePoint],
+    device: DeviceSpec,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render points under the device's bandwidth slope and FP64 ceiling."""
+    bw = device.mem_bandwidth_bytes / 1e9  # GB/s achievable
+    peak = device.peak_gflops_fp64
+    if not points:
+        return "(no points)"
+    xs = np.array([max(p.intensity, 1e-3) for p in points])
+    x_lo = min(xs.min() / 2, 0.01)
+    x_hi = max(xs.max() * 2, peak / bw * 2)
+    lx_lo, lx_hi = np.log10(x_lo), np.log10(x_hi)
+    y_hi = peak * 1.5
+    y_lo = min(p.gflops for p in points) / 4 or 0.1
+    ly_lo, ly_hi = np.log10(max(y_lo, 1e-2)), np.log10(y_hi)
+
+    def to_col(x):
+        return int(np.clip((np.log10(x) - lx_lo) / (lx_hi - lx_lo) * (width - 1), 0, width - 1))
+
+    def to_row(y):
+        return int(np.clip((np.log10(max(y, 1e-2)) - ly_lo) / (ly_hi - ly_lo) * (height - 1), 0, height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    # The roof: min(bw * intensity, peak) sampled per column.
+    for c in range(width):
+        x = 10 ** (lx_lo + (lx_hi - lx_lo) * c / (width - 1))
+        roof = min(bw * x, peak)
+        grid[height - 1 - to_row(roof)][c] = "-" if roof >= peak else "/"
+    glyphs = "*+ox#@"
+    legend = []
+    for p, g in zip(points, glyphs):
+        grid[height - 1 - to_row(p.gflops)][to_col(p.intensity)] = g
+        legend.append(f"{g}={p.label}({p.bound})")
+    lines = [
+        f"Roofline — {device.name}: BW {bw:.0f} GB/s, FP64 peak {peak:.0f} GFlops",
+        "  ".join(legend),
+    ]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_lo:.2g} .. {x_hi:.2g} flops/byte (log-log)")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Text scatter plots for the performance figures.
+
+The paper's Figures 6 and 8 are GFlops-vs-nnz scatter plots; this
+renders the same view in a terminal: log-x (nnz), linear-y (GFlops),
+one glyph per series, so `python -m repro fig6` shows the figure's
+actual shape rather than only a table.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ascii_scatter"]
+
+
+def ascii_scatter(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "nnz (log)",
+    ylabel: str = "GFlops",
+    logx: bool = True,
+) -> str:
+    """Render named (x, y) series as an ASCII scatter plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping of series name -> (x values, y values).  Each series
+        gets the next glyph from ``*+o.x#@``; collisions show the glyph
+        drawn last.
+    """
+    glyphs = "*+ox.#@"
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if xs_all.size == 0:
+        return "(no data)"
+    if logx:
+        xs_all = np.log10(np.maximum(xs_all, 1.0))
+    x_lo, x_hi = float(xs_all.min()), float(xs_all.max())
+    y_lo, y_hi = 0.0, float(ys_all.max()) * 1.05 or 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, (xv, yv)), glyph in zip(series.items(), glyphs):
+        xv = np.asarray(xv, dtype=float)
+        if logx:
+            xv = np.log10(np.maximum(xv, 1.0))
+        yv = np.asarray(yv, dtype=float)
+        cols = np.clip(((xv - x_lo) / (x_hi - x_lo) * (width - 1)).astype(int), 0, width - 1)
+        rows = np.clip(((yv - y_lo) / (y_hi - y_lo) * (height - 1)).astype(int), 0, height - 1)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), glyphs)
+    )
+    lines.append(legend)
+    y_top = f"{y_hi:8.1f} "
+    y_bot = f"{y_lo:8.1f} "
+    pad = " " * 9
+    for i, row in enumerate(grid):
+        prefix = y_top if i == 0 else (y_bot if i == height - 1 else pad)
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(pad + "+" + "-" * width)
+    if logx:
+        x_left = f"1e{x_lo:.1f}"
+        x_right = f"1e{x_hi:.1f}"
+    else:
+        x_left, x_right = f"{x_lo:g}", f"{x_hi:g}"
+    gap = max(1, width - len(x_left) - len(x_right))
+    lines.append(pad + " " + x_left + " " * gap + x_right + f"   [{xlabel} vs {ylabel}]")
+    return "\n".join(lines)

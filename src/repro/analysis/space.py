@@ -1,0 +1,50 @@
+"""Space-cost accounting (Fig 10).
+
+Compares the modelled device footprints of the standard CSR format,
+TileSpMV_CSR (every tile a CSR tile) and TileSpMV_ADPT, reproducing the
+paper's observation: tile-CSR roughly matches CSR except on matrices
+whose tiles are hypersparse (a full 16-entry row pointer per nearly
+empty tile), and ADPT repairs most of that overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import scipy.sparse as sp
+
+from repro.baselines.common import csr_payload_bytes
+from repro.core.tilespmv import TileSpMV
+
+__all__ = ["SpaceCost", "space_costs"]
+
+
+@dataclass
+class SpaceCost:
+    """Footprints (bytes) of the three representations of one matrix."""
+
+    name: str
+    nnz: int
+    csr_bytes: int
+    tile_csr_bytes: int
+    tile_adpt_bytes: int
+
+    @property
+    def tile_csr_ratio(self) -> float:
+        return self.tile_csr_bytes / self.csr_bytes
+
+    @property
+    def tile_adpt_ratio(self) -> float:
+        return self.tile_adpt_bytes / self.csr_bytes
+
+
+def space_costs(name: str, matrix: sp.spmatrix, tile: int = 16) -> SpaceCost:
+    """Compute all three footprints for one matrix."""
+    csr = matrix.tocsr()
+    return SpaceCost(
+        name=name,
+        nnz=csr.nnz,
+        csr_bytes=csr_payload_bytes(csr.shape[0], csr.nnz),
+        tile_csr_bytes=TileSpMV(csr, method="csr", tile=tile).nbytes_model(),
+        tile_adpt_bytes=TileSpMV(csr, method="adpt", tile=tile).nbytes_model(),
+    )

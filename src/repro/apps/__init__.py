@@ -1,0 +1,35 @@
+"""Application layer: iterative methods driven by TileSpMV.
+
+SpMV's role in sparse iterative solvers and graph analytics is the
+paper's opening motivation; this package provides the standard consumers
+so the library is usable end-to-end, each generic over any operator with
+an ``spmv`` method (a :class:`~repro.core.tilespmv.TileSpMV`, a baseline
+engine, or a raw scipy matrix via the adapter).
+"""
+
+from repro.apps.graph import connected_component_sizes, pagerank
+from repro.apps.partition import NVLINK, PCIE4, Interconnect, PartitionedSpMV, row_block_partition
+from repro.apps.solvers import (
+    ScipyOperator,
+    SolveResult,
+    bicgstab,
+    conjugate_gradient,
+    jacobi,
+    power_iteration,
+)
+
+__all__ = [
+    "ScipyOperator",
+    "SolveResult",
+    "conjugate_gradient",
+    "bicgstab",
+    "jacobi",
+    "power_iteration",
+    "pagerank",
+    "connected_component_sizes",
+    "Interconnect",
+    "NVLINK",
+    "PCIE4",
+    "PartitionedSpMV",
+    "row_block_partition",
+]

@@ -1,0 +1,170 @@
+"""Iterative solvers generic over any SpMV engine.
+
+Each solver only ever touches the operator through ``.spmv(x)``, so a
+tiled engine, any baseline, or (via :class:`ScipyOperator`) a plain
+scipy matrix can drive them interchangeably — which is also how the
+tests cross-check them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "ScipyOperator",
+    "SolveResult",
+    "conjugate_gradient",
+    "bicgstab",
+    "jacobi",
+    "power_iteration",
+]
+
+
+class ScipyOperator:
+    """Adapter giving a scipy sparse matrix the engine interface."""
+
+    def __init__(self, matrix: sp.spmatrix) -> None:
+        self._matrix = matrix.tocsr()
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._matrix.shape
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(self._matrix @ x)
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative solve."""
+
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+    spmv_calls: int
+
+
+def _bnorm(b: np.ndarray) -> float:
+    n = float(np.linalg.norm(b))
+    return n if n > 0 else 1.0
+
+
+def conjugate_gradient(
+    engine, b: np.ndarray, tol: float = 1e-10, max_iter: int = 1000, x0: np.ndarray | None = None
+) -> SolveResult:
+    """Unpreconditioned CG for symmetric positive-definite operators."""
+    x = np.zeros_like(b) if x0 is None else x0.astype(np.float64).copy()
+    r = b - engine.spmv(x)
+    p = r.copy()
+    rs = float(r @ r)
+    calls = 1
+    bn = _bnorm(b)
+    for it in range(1, max_iter + 1):
+        ap = engine.spmv(p)
+        calls += 1
+        denom = float(p @ ap)
+        if denom == 0.0:
+            return SolveResult(x, it, np.sqrt(rs), False, calls)
+        alpha = rs / denom
+        x = x + alpha * p
+        r = r - alpha * ap
+        rs_new = float(r @ r)
+        if np.sqrt(rs_new) <= tol * bn:
+            return SolveResult(x, it, np.sqrt(rs_new), True, calls)
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    return SolveResult(x, max_iter, np.sqrt(rs), False, calls)
+
+
+def bicgstab(
+    engine, b: np.ndarray, tol: float = 1e-10, max_iter: int = 1000, x0: np.ndarray | None = None
+) -> SolveResult:
+    """BiCGSTAB for general (nonsymmetric) operators."""
+    x = np.zeros_like(b) if x0 is None else x0.astype(np.float64).copy()
+    r = b - engine.spmv(x)
+    calls = 1
+    r_hat = r.copy()
+    rho = alpha = omega = 1.0
+    v = np.zeros_like(b)
+    p = np.zeros_like(b)
+    bn = _bnorm(b)
+    for it in range(1, max_iter + 1):
+        rho_new = float(r_hat @ r)
+        if rho_new == 0.0:
+            return SolveResult(x, it, float(np.linalg.norm(r)), False, calls)
+        beta = (rho_new / rho) * (alpha / omega) if it > 1 else 0.0
+        p = r + beta * (p - omega * v) if it > 1 else r.copy()
+        v = engine.spmv(p)
+        calls += 1
+        alpha = rho_new / float(r_hat @ v)
+        s = r - alpha * v
+        if np.linalg.norm(s) <= tol * bn:
+            x = x + alpha * p
+            return SolveResult(x, it, float(np.linalg.norm(s)), True, calls)
+        t = engine.spmv(s)
+        calls += 1
+        tt = float(t @ t)
+        omega = float(t @ s) / tt if tt > 0 else 0.0
+        x = x + alpha * p + omega * s
+        r = s - omega * t
+        if np.linalg.norm(r) <= tol * bn:
+            return SolveResult(x, it, float(np.linalg.norm(r)), True, calls)
+        rho = rho_new
+    return SolveResult(x, max_iter, float(np.linalg.norm(r)), False, calls)
+
+
+def jacobi(
+    engine,
+    b: np.ndarray,
+    diagonal: np.ndarray,
+    tol: float = 1e-10,
+    max_iter: int = 2000,
+    x0: np.ndarray | None = None,
+) -> SolveResult:
+    """Jacobi iteration; caller supplies the operator diagonal.
+
+    The engine interface exposes only matrix-vector products, so the
+    diagonal is an explicit argument (``matrix.diagonal()`` upstream).
+    """
+    if np.any(diagonal == 0):
+        raise ValueError("Jacobi requires a zero-free diagonal")
+    x = np.zeros_like(b) if x0 is None else x0.astype(np.float64).copy()
+    inv_d = 1.0 / diagonal
+    bn = _bnorm(b)
+    calls = 0
+    for it in range(1, max_iter + 1):
+        r = b - engine.spmv(x)
+        calls += 1
+        res = float(np.linalg.norm(r))
+        if res <= tol * bn:
+            return SolveResult(x, it, res, True, calls)
+        x = x + inv_d * r
+    return SolveResult(x, max_iter, res, False, calls)
+
+
+def power_iteration(
+    engine, n: int, tol: float = 1e-12, max_iter: int = 5000, seed: int = 0
+) -> tuple[float, np.ndarray, int]:
+    """Dominant eigenvalue/vector by power iteration.
+
+    Returns ``(eigenvalue, eigenvector, iterations)``.
+    """
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(n)
+    v /= np.linalg.norm(v)
+    lam = 0.0
+    for it in range(1, max_iter + 1):
+        w = engine.spmv(v)
+        norm = float(np.linalg.norm(w))
+        if norm == 0.0:
+            return 0.0, v, it
+        v_new = w / norm
+        lam_new = float(v_new @ engine.spmv(v_new))
+        if abs(lam_new - lam) <= tol * max(abs(lam_new), 1.0):
+            return lam_new, v_new, it
+        v, lam = v_new, lam_new
+    return lam, v, max_iter

@@ -1,0 +1,34 @@
+"""Baseline SpMV implementations the paper compares against.
+
+Built from scratch following the published algorithms:
+
+* :mod:`repro.baselines.csr_scalar` — textbook CSR with one thread per
+  row; also hosts the scipy ground-truth helper every test uses.
+* :mod:`repro.baselines.merge` — Merrill & Garland's merge-path SpMV
+  (SC'16): an equal-work 2D merge partition of (rows, nonzeros).
+* :mod:`repro.baselines.csr5` — Liu & Vinter's CSR5 (ICS'15): 32 x sigma
+  tiles stored transposed with bit-flag descriptors and a segmented-sum
+  kernel.
+* :mod:`repro.baselines.bsr` — cuSPARSE-style BSR with dense 4x4 blocks
+  (the paper's ``cusparse?bsrmv`` comparison point).
+
+Each exposes ``spmv(x)`` (exact numerics, verified against scipy) and
+``run_cost()`` (a :class:`repro.gpu.costmodel.RunCost` for the modelled
+GPU timing).
+"""
+
+from repro.baselines.bsr import BsrSpMV
+from repro.baselines.csr5 import Csr5SpMV
+from repro.baselines.csr_scalar import CsrScalarSpMV, reference_spmv
+from repro.baselines.hyb_global import EllGlobalSpMV, HybGlobalSpMV
+from repro.baselines.merge import MergeSpMV
+
+__all__ = [
+    "reference_spmv",
+    "CsrScalarSpMV",
+    "MergeSpMV",
+    "Csr5SpMV",
+    "BsrSpMV",
+    "EllGlobalSpMV",
+    "HybGlobalSpMV",
+]

@@ -1,0 +1,108 @@
+"""BSR SpMV: dense 4x4 blocks (cuSPARSE ``bsrmv`` style).
+
+Every occupied 4x4 region stores all 16 values densely; block column
+indices and a block-row pointer complete the format.  Excellent when the
+matrix really is built of small dense blocks (FEM), catastrophic when it
+is not: a block holding one nonzero still moves 128 bytes — the
+mechanism behind the paper's 426x worst case on *lp_osa_60*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.gpu.costmodel import RunCost
+from repro.gpu.warp import WARP_SIZE
+from repro.util.segments import lengths_to_offsets
+
+__all__ = ["BsrSpMV"]
+
+
+class BsrSpMV:
+    """Dense-block BSR format + SpMV with cost accounting."""
+
+    name = "BSR"
+
+    def __init__(self, matrix: sp.spmatrix, block: int = 4) -> None:
+        if block < 1:
+            raise ValueError("block size must be positive")
+        self.block = block
+        coo = matrix.tocsr().tocoo()
+        self.m, self.n = coo.shape
+        self._nnz = coo.nnz
+        b = block
+        self.mb = -(-self.m // b)
+        self.nb = -(-self.n // b)
+        brow = coo.row.astype(np.int64) // b
+        bcol = coo.col.astype(np.int64) // b
+        key = brow * self.nb + bcol
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        uniq, inverse_sorted = np.unique(key_sorted, return_inverse=True)
+        self.n_blocks = uniq.size
+        self.block_row = (uniq // self.nb).astype(np.int64)
+        self.block_col = (uniq % self.nb).astype(np.int64)
+        self.block_ptr = lengths_to_offsets(np.bincount(self.block_row, minlength=self.mb))
+        # Dense block payload, row-major within each block.
+        self.val = np.zeros(self.n_blocks * b * b)
+        lr = coo.row[order] % b
+        lc = coo.col[order] % b
+        dst = inverse_sorted * b * b + lr * b + lc
+        self.val[dst] = coo.data[order].astype(np.float64)
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def fill_ratio(self) -> float:
+        """Stored slots per actual nonzero — BSR's padding overhead."""
+        slots = self.n_blocks * self.block * self.block
+        return slots / max(self.nnz, 1)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """y = A @ x evaluated from the dense block payload."""
+        x = np.asarray(x, dtype=np.float64)
+        b = self.block
+        # Gather each block's x window (zero-pad the boundary).
+        x_pad = np.zeros(self.nb * b)
+        x_pad[: self.n] = x
+        xw = x_pad[(self.block_col[:, None] * b + np.arange(b)[None, :])]  # (nblocks, b)
+        blocks = self.val.reshape(self.n_blocks, b, b)
+        partial = np.einsum("kij,kj->ki", blocks, xw)  # (nblocks, b)
+        y_pad = np.zeros(self.mb * b)
+        rows = (self.block_row[:, None] * b + np.arange(b)[None, :]).ravel()
+        np.add.at(y_pad, rows, partial.ravel())
+        return y_pad[: self.m]
+
+    def nbytes_model(self) -> int:
+        """Device footprint: dense values + block colidx + block rowptr."""
+        return self.n_blocks * self.block * self.block * 8 + self.n_blocks * 4 + (self.mb + 1) * 4
+
+    def run_cost(self) -> RunCost:
+        """One warp per block row, as in ``bsrmv``.
+
+        A warp covers ``32 / b^2`` blocks per round, so its trip count is
+        proportional to its block-row length — BSR inherits row-skew
+        imbalance on unstructured matrices.
+        """
+        b2 = self.block * self.block
+        blocks_per_round = max(WARP_SIZE // b2, 1)
+        row_blocks = np.diff(self.block_ptr)
+        rounds = -(-row_blocks // blocks_per_round)
+        warp_cycles = 8.0 + 3.0 * rounds  # val load + x load + FMA per round
+        # One x sector per block (an aligned 4-wide double window).
+        x_sectors = self.n_blocks * max(1, (self.block * 8) // 32)
+        return RunCost(
+            payload_bytes=float(self.nbytes_model()),
+            x_gather_bytes=float(x_sectors * 32),
+            x_footprint_bytes=float(self.n * 8),
+            y_write_bytes=float(self.m * 8),
+            warp_instructions=float(warp_cycles.sum()),
+            warp_cycles_max=float(warp_cycles.max()) if warp_cycles.size else 0.0,
+            n_warps=int(self.mb),
+            useful_flops=2.0 * self.nnz,
+            executed_flops=2.0 * self.n_blocks * b2,
+            label=self.name,
+        )

@@ -1,0 +1,176 @@
+"""Global HYB and ELL SpMV (Bell & Garland, SC'09).
+
+The whole-matrix ancestors of TileSpMV's per-tile ELL/HYB formats,
+included as reference points: global ELL pads every row to the longest
+row (catastrophic under skew), and global HYB splits the matrix into an
+ELL part of width K plus a COO tail, with Bell & Garland's heuristic
+K = the largest width covered by at least a third of the rows.
+Comparing them against the per-tile variants shows what the tiling
+itself buys (the paper's motivation in §II.B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.common import row_gather_sectors
+from repro.gpu.costmodel import RunCost
+from repro.gpu.warp import WARP_SIZE
+from repro.util.segments import repeat_offsets, segment_local_index
+
+__all__ = ["EllGlobalSpMV", "HybGlobalSpMV", "bell_garland_k"]
+
+INDEX_BYTES = 4
+VALUE_BYTES = 8
+
+
+def bell_garland_k(row_lengths: np.ndarray, fraction: float = 1.0 / 3.0) -> int:
+    """Largest ELL width such that >= ``fraction`` of rows fill it."""
+    if row_lengths.size == 0:
+        return 0
+    widths = np.sort(row_lengths)[::-1]
+    # Index of the last row inside the covered fraction: k = widths[i]
+    # is then the largest width with >= fraction of rows at least that
+    # long.
+    idx = max(0, int(np.ceil(fraction * widths.size)) - 1)
+    return int(widths[idx])
+
+
+class _EllPart:
+    """Column-major m x K slab: values + 32-bit column indices."""
+
+    def __init__(self, csr: sp.csr_matrix, k: int) -> None:
+        self.m, self.n = csr.shape
+        self.k = k
+        lens = np.diff(csr.indptr)
+        take = np.minimum(lens, k)
+        rows = repeat_offsets(csr.indptr)
+        pos = segment_local_index(csr.indptr)
+        keep = pos < k
+        self.val = np.zeros(self.m * k)
+        self.colidx = np.zeros(self.m * k, dtype=np.int64)
+        dst = pos[keep] * self.m + rows[keep]  # column-major slots
+        self.val[dst] = csr.data[keep]
+        self.colidx[dst] = csr.indices[keep]
+        self.stored_rows = rows[keep]
+        self.overflow_mask = ~keep
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        if self.k == 0:
+            return np.zeros(self.m)
+        vals = self.val.reshape(self.k, self.m)
+        cols = self.colidx.reshape(self.k, self.m)
+        return (vals * x[cols]).sum(axis=0)
+
+    def nbytes_model(self) -> int:
+        return self.m * self.k * (VALUE_BYTES + INDEX_BYTES)
+
+
+class EllGlobalSpMV:
+    """Whole-matrix ELL: every row padded to the longest row."""
+
+    name = "ELL-global"
+
+    def __init__(self, matrix: sp.spmatrix) -> None:
+        csr = matrix.tocsr()
+        csr.sort_indices()
+        self.csr = csr
+        self.m, self.n = csr.shape
+        self.k = int(np.diff(csr.indptr).max(initial=0))
+        self.ell = _EllPart(csr, self.k)
+
+    @property
+    def nnz(self) -> int:
+        return self.csr.nnz
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        return self.ell.spmv(np.asarray(x, dtype=np.float64))
+
+    def nbytes_model(self) -> int:
+        return self.ell.nbytes_model() + INDEX_BYTES * self.m  # + per-row length
+
+    def run_cost(self) -> RunCost:
+        """One lane per row; K lockstep iterations regardless of row fill."""
+        n_warps = -(-self.m // WARP_SIZE)
+        cycles = 6.0 + 3.0 * self.k
+        return RunCost(
+            payload_bytes=float(self.nbytes_model()),
+            x_gather_bytes=float(row_gather_sectors(self.csr.indptr, self.csr.indices) * 32),
+            x_footprint_bytes=float(self.n * 8),
+            y_write_bytes=float(self.m * 8),
+            warp_instructions=float(cycles * n_warps),
+            warp_cycles_max=float(cycles),
+            n_warps=int(n_warps),
+            useful_flops=2.0 * self.nnz,
+            executed_flops=2.0 * self.m * self.k,
+            label=self.name,
+        )
+
+
+class HybGlobalSpMV:
+    """Whole-matrix HYB: ELL of width K + COO overflow (two kernels)."""
+
+    name = "HYB-global"
+
+    def __init__(self, matrix: sp.spmatrix, k: int | None = None) -> None:
+        csr = matrix.tocsr()
+        csr.sort_indices()
+        self.csr = csr
+        self.m, self.n = csr.shape
+        lens = np.diff(csr.indptr)
+        self.k = bell_garland_k(lens) if k is None else k
+        self.ell = _EllPart(csr, self.k)
+        rows = repeat_offsets(csr.indptr)
+        pos = segment_local_index(csr.indptr)
+        over = pos >= self.k
+        self.coo_row = rows[over]
+        self.coo_col = csr.indices[over]
+        self.coo_val = csr.data[over]
+
+    @property
+    def nnz(self) -> int:
+        return self.csr.nnz
+
+    @property
+    def coo_nnz(self) -> int:
+        return self.coo_val.size
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        y = self.ell.spmv(x)
+        if self.coo_nnz:
+            y = y + np.bincount(
+                self.coo_row, weights=self.coo_val * x[self.coo_col], minlength=self.m
+            )
+        return y
+
+    def nbytes_model(self) -> int:
+        coo = self.coo_nnz * (VALUE_BYTES + 2 * INDEX_BYTES)
+        return self.ell.nbytes_model() + coo
+
+    def run_cost(self) -> RunCost:
+        n_warps_ell = -(-self.m // WARP_SIZE)
+        ell_cycles = 6.0 + 3.0 * self.k
+        n_warps_coo = max(1, -(-self.coo_nnz // 256)) if self.coo_nnz else 0
+        coo_cycles = 8.0 + 5.0 * 8.0  # 256 entries / 32 lanes, atomics
+        # COO conflicts: entries of one row land in consecutive lanes.
+        rounds = float(self.coo_nnz)  # worst-case serial per segment bound
+        if self.coo_nnz:
+            _, counts = np.unique(self.coo_row, return_counts=True)
+            rounds = float(np.minimum(counts, WARP_SIZE).sum())
+        return RunCost(
+            payload_bytes=float(self.nbytes_model()),
+            x_gather_bytes=float(row_gather_sectors(self.csr.indptr, self.csr.indices) * 32),
+            x_footprint_bytes=float(self.n * 8),
+            y_write_bytes=float(self.m * 8 + self.coo_nnz * 8),
+            warp_instructions=float(ell_cycles * n_warps_ell + coo_cycles * n_warps_coo),
+            warp_cycles_max=float(max(ell_cycles, coo_cycles if self.coo_nnz else 0.0)),
+            n_warps=int(n_warps_ell + n_warps_coo),
+            atomic_ops=float(n_warps_coo * 8),
+            atomic_rounds=rounds if self.coo_nnz else 0.0,
+            useful_flops=2.0 * self.nnz,
+            executed_flops=2.0 * (self.m * self.k + self.coo_nnz),
+            kernel_launches=2 if self.coo_nnz else 1,
+            label=self.name,
+        )

@@ -1,0 +1,120 @@
+"""Lane-accurate executions of the baseline kernels.
+
+Mirrors :mod:`repro.core.kernels.lane_accurate` for the baselines: each
+published algorithm re-executed warp-by-warp on the interpreter,
+reading the *encoded* structures (CSR5's transposed payload and bit
+flags, the merge-path partition, BSR's dense blocks), so the baseline
+formats get the same instruction-level validation as the tile formats.
+
+These are slow Python paths used by the test suite; the vectorised
+``spmv`` methods on the engine classes remain the fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.bsr import BsrSpMV
+from repro.baselines.csr5 import OMEGA, Csr5SpMV
+from repro.baselines.merge import MergeSpMV
+from repro.gpu.warp import WARP_SIZE, Warp
+
+__all__ = ["csr5_lane_accurate_spmv", "merge_lane_accurate_spmv", "bsr_lane_accurate_spmv"]
+
+
+def csr5_lane_accurate_spmv(engine: Csr5SpMV, x: np.ndarray) -> np.ndarray:
+    """CSR5 SpMV from the stored tiles: per-lane segmented scan.
+
+    Lane ``w`` of tile ``t`` owns ``sigma`` consecutive original
+    nonzeros, stored transposed at positions ``s*omega + w``.  Each lane
+    accumulates its run, flushing a partial sum whenever the *next*
+    entry's bit flag marks a new row; flushed partials go to the row the
+    segment belongs to (the production kernel resolves rows through
+    y_offset/empty_offset descriptors — here resolved through the same
+    information, the flags plus the row pointer).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.zeros(engine.m)
+    if engine.nnz == 0:
+        return y
+    sigma, tn = engine.sigma, engine.tile_nnz
+    # Row of every original nonzero (the oracle the descriptors encode).
+    rows_of = np.searchsorted(engine.indptr, np.arange(engine.nnz), side="right") - 1
+    for t in range(engine.n_tiles):
+        warp = Warp()
+        base = t * tn
+        for w in range(OMEGA):
+            acc = 0.0
+            prev_row = -1
+            for s in range(sigma):
+                stored = base + s * OMEGA + w
+                if not engine.stored_valid[stored]:
+                    break
+                orig = base + w * sigma + s
+                row = int(rows_of[orig])
+                if row != prev_row and prev_row >= 0:
+                    y[prev_row] += acc  # segment flush (atomic on device)
+                    acc = 0.0
+                acc += engine.stored_val[stored] * x[engine.stored_col[stored]]
+                warp.op(acc, 1)
+                prev_row = row
+            if prev_row >= 0:
+                y[prev_row] += acc
+    return y
+
+
+def merge_lane_accurate_spmv(engine: MergeSpMV, x: np.ndarray) -> np.ndarray:
+    """Merge-path SpMV executed part by part.
+
+    Each warp walks its diagonal slice of the (row-ends, nonzeros)
+    merge: consuming a nonzero accumulates ``val * x[col]``; consuming a
+    row end flushes the running sum into ``y``.  Partial rows at part
+    boundaries flush atomically — summed here the same way.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.zeros(engine.m)
+    indptr = engine.indptr
+    for p in range(engine.n_warps):
+        warp = Warp()
+        i = int(engine.row_starts[p])
+        j = int(engine.nnz_starts[p])
+        i_end = int(engine.row_starts[p + 1])
+        j_end = int(engine.nnz_starts[p + 1])
+        acc = 0.0
+        while i < i_end or j < j_end:
+            consume_row = i < i_end and (j >= j_end or indptr[i + 1] <= j)
+            if consume_row:
+                y[i] += acc  # row complete (atomic only at boundaries)
+                acc = 0.0
+                i += 1
+            else:
+                acc += engine.data[j] * x[engine.indices[j]]
+                j += 1
+            warp.op(acc, 1)
+        if acc != 0.0 and i < engine.m:
+            y[i] += acc  # boundary partial -> atomic
+    return y
+
+
+def bsr_lane_accurate_spmv(engine: BsrSpMV, x: np.ndarray) -> np.ndarray:
+    """BSR SpMV: one warp per block row, lanes tiled over block entries."""
+    x = np.asarray(x, dtype=np.float64)
+    b = engine.block
+    b2 = b * b
+    x_pad = np.zeros(engine.nb * b)
+    x_pad[: engine.n] = x
+    y_pad = np.zeros(engine.mb * b)
+    blocks_per_round = max(WARP_SIZE // b2, 1)
+    for brow in range(engine.mb):
+        warp = Warp()
+        start, end = int(engine.block_ptr[brow]), int(engine.block_ptr[brow + 1])
+        acc = np.zeros(b)
+        for k0 in range(start, end, blocks_per_round):
+            for k in range(k0, min(k0 + blocks_per_round, end)):
+                bcol = int(engine.block_col[k])
+                block = engine.val[k * b2 : (k + 1) * b2].reshape(b, b)
+                xw = x_pad[bcol * b : (bcol + 1) * b]
+                acc += block @ xw
+            warp.op(acc, 3)
+        y_pad[brow * b : (brow + 1) * b] += acc
+    return y_pad[: engine.m]

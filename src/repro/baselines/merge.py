@@ -1,0 +1,114 @@
+"""Merge-path CSR SpMV (Merrill & Garland, SC'16).
+
+The merge-path view treats SpMV as merging two sorted lists — the row
+end-offsets and the natural numbers indexing the nonzeros — giving a
+path of length ``m + nnz`` that can be split into *exactly equal* pieces
+regardless of row structure.  Each warp gets one piece; rows that span a
+boundary are fixed up with an atomic add.  This is the algorithm behind
+``cusparseSpMV``'s CSR path that the paper benchmarks as Merge-SpMV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.common import csr_payload_bytes, row_gather_sectors
+from repro.gpu.costmodel import RunCost
+
+__all__ = ["MergeSpMV", "merge_path_partition"]
+
+DEFAULT_ITEMS_PER_WARP = 256
+
+
+def merge_path_partition(indptr: np.ndarray, n_parts: int) -> tuple[np.ndarray, np.ndarray]:
+    """Split the merge path into ``n_parts`` equal diagonals.
+
+    Returns ``(row_starts, nnz_starts)``, each of length ``n_parts + 1``:
+    part ``p`` owns rows ``row_starts[p]:row_starts[p+1]`` (the last one
+    possibly shared with its neighbours) and nonzeros
+    ``nnz_starts[p]:nnz_starts[p+1]``.
+
+    The split at diagonal ``d`` is the first row ``i`` with
+    ``indptr[i+1] + i >= d`` — the standard CUB ``MergePathSearch``
+    condition, monotone in ``i``, so a vectorised ``searchsorted`` over
+    all part boundaries finds every split at once.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    m = indptr.size - 1
+    nnz = int(indptr[-1])
+    path_len = m + nnz
+    diagonals = (np.arange(n_parts + 1, dtype=np.int64) * path_len) // n_parts
+    f = indptr[1:] + np.arange(m, dtype=np.int64)  # strictly increasing
+    row_starts = np.searchsorted(f, diagonals, side="left")
+    nnz_starts = diagonals - row_starts
+    return row_starts, nnz_starts
+
+
+class MergeSpMV:
+    """Equal-work merge-path SpMV with cost accounting."""
+
+    name = "Merge-SpMV"
+
+    def __init__(self, matrix: sp.spmatrix, items_per_warp: int = DEFAULT_ITEMS_PER_WARP) -> None:
+        csr = matrix.tocsr()
+        csr.sort_indices()
+        self.indptr = csr.indptr.astype(np.int64)
+        self.indices = csr.indices.astype(np.int64)
+        self.data = csr.data.astype(np.float64)
+        self.m, self.n = csr.shape
+        path_len = self.m + self.nnz
+        self.n_warps = max(1, -(-path_len // items_per_warp))
+        self.row_starts, self.nnz_starts = merge_path_partition(self.indptr, self.n_warps)
+
+    @property
+    def nnz(self) -> int:
+        return self.data.size
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Compute y through the partition, including boundary fix-ups.
+
+        Each part accumulates its nonzero range into row buckets; rows
+        split across parts receive contributions from several parts —
+        the atomic-add path on hardware, a second ``bincount`` pass here.
+        Numerically this is the same bucketed summation the GPU does.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        products = self.data * x[self.indices]
+        rows = np.searchsorted(self.indptr, np.arange(self.nnz), side="right") - 1
+        return np.bincount(rows, weights=products, minlength=self.m)
+
+    def nbytes_model(self) -> int:
+        return csr_payload_bytes(self.m, self.nnz)
+
+    def boundary_atomics(self) -> int:
+        """Warps whose path piece starts mid-row need one atomic fix-up."""
+        starts_mid_row = self.nnz_starts[1:-1] > self.indptr[self.row_starts[1:-1]]
+        return int(np.count_nonzero(starts_mid_row))
+
+    def run_cost(self) -> RunCost:
+        """Every warp consumes the same number of path items — the point.
+
+        Items are spread over the warp's 32 lanes, so the warp-wide trip
+        count is ``ceil(items / 32)`` merge steps (consistent with how
+        all other kernels charge lockstep SIMT work).
+        """
+        items = np.diff(self.nnz_starts) + np.diff(self.row_starts)
+        per_step = 5.0  # merge compare + (FMA path | row-flush path)
+        search_cost = 2.0 * np.log2(max(self.m, 2))  # per-warp path search
+        warp_cycles = 10.0 + search_cost + per_step * -(-items // 32)
+        atomics = float(self.boundary_atomics())
+        return RunCost(
+            payload_bytes=float(self.nbytes_model()),
+            x_gather_bytes=float(row_gather_sectors(self.indptr, self.indices) * 32),
+            x_footprint_bytes=float(self.n * 8),
+            y_write_bytes=float(self.m * 8 + atomics * 8),
+            warp_instructions=float(warp_cycles.sum()),
+            warp_cycles_max=float(warp_cycles.max()),
+            n_warps=self.n_warps,
+            atomic_ops=atomics,
+            atomic_rounds=atomics,
+            useful_flops=2.0 * self.nnz,
+            executed_flops=2.0 * self.nnz,
+            label=self.name,
+        )

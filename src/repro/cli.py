@@ -1,0 +1,176 @@
+"""Command-line interface.
+
+Experiment regeneration (the paper's tables and figures):
+
+    python -m repro table1|table2|fig6|...|fig11|all [--scale tiny|small|medium]
+
+Working with your own matrices (Matrix Market files):
+
+    python -m repro spmv matrix.mtx [--method auto] [--device a100]
+    python -m repro inspect matrix.mtx
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.experiments import EXPERIMENTS
+
+__all__ = ["main"]
+
+_DEVICES = {"a100": "A100", "titanrtx": "TITAN_RTX"}
+
+
+def _get_device(name: str):
+    from repro.gpu import device as dev_mod
+
+    return getattr(dev_mod, _DEVICES[name])
+
+
+_CSV_COLLECTORS = {
+    # experiment name -> callable(scale) returning dataclass rows
+    "fig6": lambda scale: __import__("repro.experiments.fig6", fromlist=["collect"]).collect(scale),
+    "fig8": lambda scale: __import__("repro.experiments.fig8", fromlist=["collect"]).collect(scale),
+    "fig9": lambda scale: __import__("repro.experiments.fig9", fromlist=["collect"]).collect(),
+    "fig10": lambda scale: __import__("repro.experiments.fig10", fromlist=["collect"]).collect(scale),
+}
+
+
+def _cmd_experiment(args) -> int:
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"\n===== {name} (scale={args.scale}) =====\n")
+        print(EXPERIMENTS[name](scale=args.scale))
+        if getattr(args, "csv", None) and name in _CSV_COLLECTORS:
+            from pathlib import Path
+
+            from repro.analysis.export import write_csv
+
+            rows = _CSV_COLLECTORS[name](args.scale)
+            path = write_csv(Path(args.csv) / f"{name}_{args.scale}.csv", rows)
+            print(f"\n[csv written to {path}]")
+    return 0
+
+
+def _cmd_spmv(args) -> int:
+    from repro.baselines import BsrSpMV, Csr5SpMV, MergeSpMV
+    from repro.core.tilespmv import TileSpMV
+    from repro.matrices.io import read_matrix_market
+
+    device = _get_device(args.device)
+    matrix = read_matrix_market(args.matrix)
+    x = np.ones(matrix.shape[1])
+    ref = matrix @ x
+    engine = TileSpMV(matrix, method=args.method, auto_device=device)
+    y = engine.spmv(x)
+    ok = np.allclose(y, ref, rtol=1e-10, atol=1e-12)
+    print(f"matrix {args.matrix}: {matrix.shape[0]}x{matrix.shape[1]}, nnz={matrix.nnz}")
+    print(f"TileSpMV method resolved: {engine.method}; result matches scipy: {ok}")
+    print(f"preprocessing: {engine.preprocessing_seconds * 1e3:.1f} ms")
+    rows = [("TileSpMV", engine.predicted_time(device), engine.gflops(device))]
+    for cls in (MergeSpMV, Csr5SpMV, BsrSpMV):
+        b = cls(matrix)
+        cost = b.run_cost()
+        rows.append((b.name, cost.time(device), cost.gflops(device)))
+    print(f"\nmodelled performance on {device.name}:")
+    for name, t, gf in rows:
+        print(f"  {name:10s} {t * 1e6:10.2f} us   {gf:8.2f} GFlops")
+    return 0 if ok else 1
+
+
+def _cmd_verify(args) -> int:
+    from repro.experiments.verify import run_verification
+    from repro.analysis.tables import format_table
+
+    rows, ok = run_verification()
+    print(format_table(["Matrix", "Check", "Result"], rows, title="Verification sweep"))
+    passed = sum(1 for r in rows if r[2] == "PASS")
+    print(f"\n{passed}/{len(rows)} checks passed — {'ALL GOOD' if ok else 'FAILURES PRESENT'}")
+    return 0 if ok else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    text = generate_report(scale=args.scale, output=args.output)
+    if args.output:
+        print(f"report written to {args.output} ({len(text.splitlines())} lines)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.core.tilespmv import TileSpMV
+    from repro.formats import FormatID
+    from repro.matrices.io import read_matrix_market
+
+    matrix = read_matrix_market(args.matrix)
+    engine = TileSpMV(matrix, method="adpt")
+    hist = engine.format_histogram()
+    total_tiles = sum(h["tiles"] for h in hist.values()) or 1
+    total_nnz = sum(h["nnz"] for h in hist.values()) or 1
+    print(f"matrix {args.matrix}: {matrix.shape[0]}x{matrix.shape[1]}, nnz={matrix.nnz}")
+    print(f"occupied 16x16 tiles: {total_tiles}")
+    print(f"modelled footprint: {engine.nbytes_model()} bytes\n")
+    attribution = engine.tiled.cost_attribution() if engine.tiled is not None else {}
+    print(f"{'format':8s} {'tiles':>8s} {'tile %':>7s} {'nnz':>10s} {'nnz %':>7s} {'cycle %':>8s}")
+    for fmt in FormatID:
+        h = hist[fmt]
+        if h["tiles"]:
+            cyc = 100 * attribution.get(fmt, {}).get("cycle_share", 0.0)
+            print(
+                f"{fmt.name:8s} {h['tiles']:8d} {100 * h['tiles'] / total_tiles:6.1f}% "
+                f"{h['nnz']:10d} {100 * h['nnz'] / total_nnz:6.1f}% {cyc:7.1f}%"
+            )
+    if args.features:
+        from repro.matrices.features import extract_features
+
+        print("\nstructural features:")
+        for key, value in extract_features(matrix).as_dict().items():
+            print(f"  {key:22s} {value}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="TileSpMV reproduction: regenerate paper experiments or run on your matrices.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in sorted(EXPERIMENTS) + ["all"]:
+        p = sub.add_parser(name, help=f"regenerate {name}" if name != "all" else "regenerate everything")
+        p.add_argument("--scale", default="small", choices=("tiny", "small", "medium"))
+        p.add_argument("--csv", default=None, metavar="DIR",
+                       help="also write the raw rows as CSV into DIR (fig6/8/9/10)")
+        p.set_defaults(func=_cmd_experiment, experiment=name)
+
+    p_spmv = sub.add_parser("spmv", help="run TileSpMV + baselines on a Matrix Market file")
+    p_spmv.add_argument("matrix", help="path to a .mtx file")
+    p_spmv.add_argument("--method", default="auto", choices=("csr", "adpt", "deferred_coo", "auto"))
+    p_spmv.add_argument("--device", default="a100", choices=sorted(_DEVICES))
+    p_spmv.set_defaults(func=_cmd_spmv)
+
+    p_verify = sub.add_parser("verify", help="run the end-to-end cross-validation sweep")
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_report = sub.add_parser("report", help="regenerate everything into one markdown report")
+    p_report.add_argument("--scale", default="small", choices=("tiny", "small", "medium"))
+    p_report.add_argument("-o", "--output", default=None, help="write the report to this file")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_inspect = sub.add_parser("inspect", help="show the per-tile format mix of a .mtx file")
+    p_inspect.add_argument("matrix", help="path to a .mtx file")
+    p_inspect.add_argument("--features", action="store_true", help="also print structural features")
+    p_inspect.set_defaults(func=_cmd_inspect)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""TileSpMV core — the paper's primary contribution.
+
+The pipeline mirrors the paper's §III:
+
+1. :mod:`repro.core.tiling` divides a CSR matrix into 16x16 sparse tiles
+   and builds the level-1 arrays (``tilePtr``, ``tileColIdx``,
+   ``tileNnz``).
+2. :mod:`repro.core.selection` runs the §III.D flowchart to pick one of
+   the seven formats per tile.
+3. :mod:`repro.core.storage` encodes every tile into its format payload
+   (level 2) and exposes the combined :class:`~repro.core.storage.TileMatrix`.
+4. :mod:`repro.core.kernels` are the seven warp-level SpMV algorithms in
+   both lane-accurate and vectorised forms.
+5. :mod:`repro.core.scheduler` assigns tiles to warps with the
+   ``tbalance`` splitting rule and accounts cross-warp atomics.
+6. :mod:`repro.core.tilespmv` is the public entry point
+   (:class:`~repro.core.tilespmv.TileSpMV`), including the
+   TileSpMV_DeferredCOO strategy from :mod:`repro.core.deferred`.
+"""
+
+from repro.core.selection import SelectionConfig, select_formats
+from repro.core.serialize import load_tile_matrix, save_tile_matrix
+from repro.core.spgemm import tile_spgemm
+from repro.core.storage import TileMatrix
+from repro.core.tilespmv import TileSpMV, tile_spmv
+from repro.core.tiling import TileSet, tile_decompose
+
+__all__ = [
+    "TileSet",
+    "tile_decompose",
+    "SelectionConfig",
+    "select_formats",
+    "TileMatrix",
+    "TileSpMV",
+    "tile_spmv",
+    "tile_spgemm",
+    "save_tile_matrix",
+    "load_tile_matrix",
+]

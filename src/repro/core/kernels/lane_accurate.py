@@ -1,0 +1,252 @@
+"""Lane-accurate warp kernels — the paper's Algorithms 2-4 and Fig. 4.
+
+Each function computes one tile's SpMV with a 32-lane
+:class:`~repro.gpu.warp.Warp`, reading the *encoded* payload arrays
+(packed nibbles, uint8 row pointers, column-major slots) exactly as the
+CUDA kernels would.  They are the correctness oracle for the vectorised
+path and double as executable documentation of the paper's kernels.
+
+All kernels return a dense ``y`` contribution of length ``tile`` for the
+tile's rows (zeros beyond ``eff_h``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.tile_bitmap import TileBitmapData
+from repro.formats.tile_coo import TileCOOData
+from repro.formats.tile_csr import TileCSRData
+from repro.formats.tile_dns import TileDnsData
+from repro.formats.tile_dnscol import TileDnsColData
+from repro.formats.tile_dnsrow import TileDnsRowData
+from repro.formats.tile_ell import TileELLData
+from repro.formats.tile_hyb import TileHYBData
+from repro.gpu.memory import SharedMemory
+from repro.gpu.warp import FULL_MASK, WARP_SIZE, Warp
+
+__all__ = [
+    "csr_tile_spmv",
+    "coo_tile_spmv",
+    "ell_tile_spmv",
+    "hyb_tile_spmv",
+    "dns_tile_spmv",
+    "dnsrow_tile_spmv",
+    "dnscol_tile_spmv",
+    "bitmap_tile_spmv",
+]
+
+
+def _tile_slice(offsets: np.ndarray, i: int) -> slice:
+    return slice(int(offsets[i]), int(offsets[i + 1]))
+
+
+def _unpack_at(packed: np.ndarray, rank: np.ndarray) -> np.ndarray:
+    """Read the 4-bit value at logical position ``rank`` of a packed array."""
+    byte = packed[rank // 2]
+    return np.where(rank % 2 == 0, byte >> 4, byte & 0x0F).astype(np.int64)
+
+
+def csr_tile_spmv(data: TileCSRData, i: int, x_slice: np.ndarray) -> np.ndarray:
+    """Paper Algorithm 2: warp-level CSR tile SpMV.
+
+    ``32/tile`` consecutive lanes share a row; partial sums combine with
+    ``__shfl_down_sync``.  ``x_slice`` is the tile's 16-entry window of
+    the input vector, staged into shared memory first.
+    """
+    t = data.tile
+    warp = Warp()
+    lanes_per_row = WARP_SIZE // t
+    sl = _tile_slice(data.offsets, i)
+    nnz = sl.stop - sl.start
+    rowptr = data.rowptr[i * t : (i + 1) * t].astype(np.int64)
+    rp_full = np.append(rowptr, nnz)
+    colidx = data.colidx[int(data.byte_offsets[i]) : int(data.byte_offsets[i + 1])]
+    val = data.val[sl]
+    s_x = SharedMemory(t)
+    s_x.store(np.arange(t), np.asarray(x_slice, dtype=np.float64))
+    ri = warp.lane_id // lanes_per_row
+    vi = warp.lane_id % lanes_per_row
+    j = rp_full[ri] + vi
+    end = rp_full[ri + 1]
+    acc = warp.zeros()
+    while True:
+        active = j < end
+        if not active.any():
+            break
+        jc = np.where(active, j, 0)
+        cols = _unpack_at(colidx, jc)
+        xv = s_x.load(cols)
+        contrib = np.where(active, val[jc] * xv, 0.0)
+        acc = warp.op(acc + contrib, 4)
+        j = j + lanes_per_row
+    # Pairwise reduction: stride lanes_per_row/2 down to 1.
+    stride = lanes_per_row // 2
+    while stride >= 1:
+        acc = acc + warp.shfl_down_sync(FULL_MASK, acc, stride)
+        stride //= 2
+    return acc[::lanes_per_row].copy()
+
+
+def coo_tile_spmv(data: TileCOOData, i: int, x_slice: np.ndarray, tile: int = 16) -> np.ndarray:
+    """Paper Algorithm 3: one entry per lane, atomicAdd into shared y."""
+    warp = Warp()
+    sl = _tile_slice(data.offsets, i)
+    rowcol = data.rowcol[sl]
+    val = data.val[sl]
+    nnz = val.size
+    y = SharedMemory(tile)
+    x = np.asarray(x_slice, dtype=np.float64)
+    for base in range(0, max(nnz, 1), WARP_SIZE):
+        idx = base + warp.lane_id
+        active = idx < nnz
+        if not active.any():
+            break
+        idxc = np.where(active, idx, 0)
+        r = (rowcol[idxc] >> 4).astype(np.int64)
+        c = (rowcol[idxc] & 0x0F).astype(np.int64)
+        warp.op(r, 2)  # unpack
+        y.atomic_add(r, val[idxc] * x[c], active)
+        warp.instructions += 2  # load + mul; atomic counted by SharedMemory
+    return y.data.copy()
+
+
+def ell_tile_spmv(data: TileELLData, i: int, x_slice: np.ndarray) -> np.ndarray:
+    """Paper Algorithm 4: column-major slots, x held in lane registers."""
+    t = data.tile
+    warp = Warp()
+    width = int(data.width[i])
+    elllen = width * t
+    base_slot = int(data.slot_offsets[i])
+    base_byte = int(data.byte_offsets[i])
+    val = data.val[base_slot : base_slot + elllen]
+    colbytes = data.colidx[base_byte : base_byte + (elllen + 1) // 2]
+    # Lanes 0..t-1 hold x in registers (paper: "loaded into registers").
+    x_reg = np.zeros(WARP_SIZE)
+    x_reg[:t] = np.asarray(x_slice, dtype=np.float64)[:t]
+    half_mask = (1 << t) - 1
+    acc = warp.zeros()
+    j = warp.lane_id.copy()
+    while True:
+        active = j < elllen
+        if not active.any():
+            break
+        jc = np.where(active, j, 0)
+        ellcol = _unpack_at(colbytes, jc)
+        x_gathered = warp.shfl_sync(FULL_MASK, x_reg, np.where(active, ellcol, 0))
+        acc = warp.op(acc + np.where(active, val[jc] * x_gathered, 0.0), 3)
+        j = j + WARP_SIZE
+    # Lane L accumulated rows L % t (32 is a multiple of t): fold the
+    # upper lane groups down until only lanes 0..t-1 hold sums.
+    stride = WARP_SIZE // 2
+    while stride >= t:
+        acc = acc + warp.shfl_down_sync(FULL_MASK, acc, stride)
+        stride //= 2
+    return acc[:t].copy()
+
+
+def hyb_tile_spmv(data: TileHYBData, i: int, x_slice: np.ndarray) -> np.ndarray:
+    """HYB tile: ELL phase then COO phase (paper Fig. 4, purple tile)."""
+    y = ell_tile_spmv(data.ell, i, x_slice)
+    y = y + coo_tile_spmv(data.coo, i, x_slice, tile=data.ell.tile)
+    return y
+
+
+def dns_tile_spmv(data: TileDnsData, i: int, x_slice: np.ndarray) -> np.ndarray:
+    """Dense tile kernel: 32 lanes sweep the column-major rectangle."""
+    warp = Warp()
+    h = int(data.eff_h[i])
+    w = int(data.eff_w[i])
+    base = int(data.slot_offsets[i])
+    val = data.val[base : base + h * w]
+    x = np.asarray(x_slice, dtype=np.float64)
+    acc = warp.zeros()
+    rows = warp.zeros(np.int64)
+    j = warp.lane_id.copy()
+    y = np.zeros(data.tile)
+    while True:
+        active = j < h * w
+        if not active.any():
+            break
+        jc = np.where(active, j, 0)
+        r = jc % h
+        c = jc // h
+        contrib = np.where(active, val[jc] * x[c], 0.0)
+        # h need not divide 32, so a lane's row can change between
+        # rounds; flush straight to y (register-file y in hardware when
+        # h | 32, a local accumulation otherwise).
+        np.add.at(y, r[active], contrib[active])
+        warp.op(contrib, 3)
+        j = j + WARP_SIZE
+    return y
+
+
+def dnsrow_tile_spmv(data: TileDnsRowData, i: int, x_slice: np.ndarray, tile: int = 16) -> np.ndarray:
+    """Dense-row kernel: per-row dot product + shuffle reduction."""
+    warp = Warp()
+    w = int(data.eff_w[i])
+    rows = data.rowidx[int(data.row_offsets[i]) : int(data.row_offsets[i + 1])]
+    vbase = int(data.val_offsets[i])
+    x = np.asarray(x_slice, dtype=np.float64)
+    y = np.zeros(tile)
+    for k, r in enumerate(rows):
+        val = data.val[vbase + k * w : vbase + (k + 1) * w]
+        acc = warp.zeros()
+        active = warp.lane_id < w
+        acc[active] = val[warp.lane_id[active]] * x[warp.lane_id[active]]
+        warp.op(acc, 2)
+        stride = 16
+        while stride >= 1:
+            acc = acc + warp.shfl_down_sync(FULL_MASK, acc, stride)
+            stride //= 2
+        y[int(r)] = acc[0]
+    return y
+
+
+def dnscol_tile_spmv(data: TileDnsColData, i: int, x_slice: np.ndarray, tile: int = 16) -> np.ndarray:
+    """Dense-column kernel: lanes own rows; one x entry reused per column."""
+    warp = Warp()
+    h = int(data.eff_h[i])
+    cols = data.colidx[int(data.col_offsets[i]) : int(data.col_offsets[i + 1])]
+    vbase = int(data.val_offsets[i])
+    x = np.asarray(x_slice, dtype=np.float64)
+    y_reg = warp.zeros()
+    for k, c in enumerate(cols):
+        val = data.val[vbase + k * h : vbase + (k + 1) * h]
+        active = warp.lane_id < h
+        contrib = np.zeros(WARP_SIZE)
+        contrib[active] = val[warp.lane_id[active]] * x[int(c)]
+        y_reg = warp.op(y_reg + contrib, 2)
+    return y_reg[:tile].copy()
+
+
+def bitmap_tile_spmv(data: TileBitmapData, i: int, x_slice: np.ndarray) -> np.ndarray:
+    """Bitmap-extension kernel: lanes claim set bits by popcount prefix.
+
+    Every round, the 32 lanes take the next 32 set bits of the tile's
+    256-bit occupancy map (lane k's bit is found by a popcount prefix
+    scan on hardware); the bit index encodes (row, col) directly.
+    """
+    t = data.tile
+    warp = Warp()
+    bitmap = data.bitmap[i * 32 : (i + 1) * 32]
+    bits = np.unpackbits(bitmap, bitorder="little")
+    positions = np.flatnonzero(bits)  # sorted set-bit indices
+    sl = _tile_slice(data.offsets, i)
+    val = data.val[sl]
+    x = np.asarray(x_slice, dtype=np.float64)
+    y = np.zeros(t)
+    nnz = val.size
+    for base in range(0, nnz, WARP_SIZE):
+        idx = base + warp.lane_id
+        active = idx < nnz
+        if not active.any():
+            break
+        idxc = np.where(active, idx, 0)
+        pos = positions[idxc]
+        r = pos // t
+        c = pos % t
+        contrib = np.where(active, val[idxc] * x[c], 0.0)
+        np.add.at(y, r[active], contrib[active])
+        warp.op(contrib, 5)  # bit claim + popcount + load + gather + FMA
+    return y

@@ -1,0 +1,59 @@
+"""Instruction-cost parameters of the warp-level kernels.
+
+One dataclass holds every per-format constant the vectorised cost
+functions use, derived by counting the operations in the paper's
+pseudocode (loads, nibble unpacks, shuffles, FMAs, loop bookkeeping).
+Keeping them in one place makes the cost model auditable and lets the
+ablation benches perturb them to show the experiment shapes are not an
+artifact of any single constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelCostParams"]
+
+
+@dataclass(frozen=True)
+class KernelCostParams:
+    """Warp-instruction counts per kernel phase.
+
+    ``*_overhead`` are per-tile setup costs (pointer loads, staging the
+    ``x`` window, final result stores); ``*_per_iter`` are the inner-loop
+    bodies.  Units are warp instructions, charged one cycle each by the
+    cost model.
+    """
+
+    # CSR (Alg. 2): 2 lanes/row; body = idx load + unpack + smem x load +
+    # FMA + loop bookkeeping.
+    csr_overhead: float = 10.0
+    csr_per_iter: float = 5.0
+    # COO (Alg. 3): batch of 32 entries; body = packed idx load + unpack +
+    # val load + x gather + mul + shared atomic.
+    coo_overhead: float = 4.0
+    coo_per_batch: float = 6.0
+    # ELL (Alg. 4): body = idx load + unpack + register shuffle + FMA.
+    ell_overhead: float = 6.0
+    ell_per_iter: float = 4.0
+    # HYB: one kernel running the ELL phase then the COO phase.
+    hyb_extra_overhead: float = 2.0
+    # Dns: body = val load + FMA; half-warp reduction at the end.
+    dns_overhead: float = 8.0
+    dns_per_round: float = 2.0
+    # DnsRow: per round = val load + FMA + shuffle-reduction share.
+    dnsrow_overhead: float = 4.0
+    dnsrow_per_round: float = 7.0
+    # DnsCol: per round = val load + FMA + x broadcast.
+    dnscol_overhead: float = 8.0
+    dnscol_per_round: float = 3.0
+    # Bitmap (extension): body = bit scan + popcount prefix + val load +
+    # x gather + FMA; overhead includes the 32-byte bitmap load.
+    bitmap_overhead: float = 8.0
+    bitmap_per_round: float = 5.0
+    # Scheduler: per-warp fixed cost (warp id math, level-1 loads, final y
+    # store or atomic).
+    warp_overhead: float = 20.0
+
+
+DEFAULT_PARAMS = KernelCostParams()

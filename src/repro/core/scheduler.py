@@ -1,0 +1,86 @@
+"""Warp scheduling with the paper's ``tbalance`` load-balancing rule.
+
+A warp processes the tiles of one tile row — but no more than
+``tbalance`` (8) of them.  Tile rows holding more tiles are split across
+several warps whose partial ``y`` vectors combine by atomic addition
+(§III.D, load balancing paragraph).  The schedule is computed once per
+matrix and reused by every SpMV and cost query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.segments import lengths_to_offsets, segment_local_index
+
+__all__ = ["WarpSchedule", "build_schedule"]
+
+DEFAULT_TBALANCE = 8
+
+
+@dataclass
+class WarpSchedule:
+    """Tile-to-warp assignment.
+
+    ``warp_tile_start[w]:warp_tile_start[w] + warp_tile_count[w]`` is the
+    contiguous range of (row-major-ordered) tiles warp ``w`` owns; all of
+    a warp's tiles share the tile row ``warp_row[w]``.
+    """
+
+    warp_tile_start: np.ndarray
+    warp_tile_count: np.ndarray
+    warp_row: np.ndarray
+    warps_per_row: np.ndarray
+    tbalance: int
+
+    @property
+    def n_warps(self) -> int:
+        return self.warp_row.size
+
+    def warp_cycle_totals(self, per_tile_cycles: np.ndarray, warp_overhead: float) -> np.ndarray:
+        """Per-warp cycle totals from per-tile cycles.
+
+        ``np.add.reduceat`` over the warp start offsets sums each warp's
+        contiguous tile range in one pass.
+        """
+        if self.n_warps == 0:
+            return np.zeros(0)
+        sums = np.add.reduceat(per_tile_cycles.astype(np.float64), self.warp_tile_start)
+        # reduceat wraps on a trailing empty segment; warps always own at
+        # least one tile so starts are strictly increasing — safe.
+        return sums + warp_overhead
+
+    def cross_warp_atomics(self, eff_rows: int = 16) -> tuple[float, float]:
+        """(ops, rounds) of y-combining atomics from split tile rows.
+
+        Every warp beyond the first in a tile row merges its ``eff_rows``
+        partials atomically.  The adds from different warps to one
+        address arrive spread over the kernel, so rounds == ops (no
+        modelled excess serialisation).
+        """
+        extra = np.maximum(self.warps_per_row - 1, 0).sum()
+        ops = float(extra * eff_rows)
+        return ops, ops
+
+
+def build_schedule(tile_ptr: np.ndarray, tbalance: int = DEFAULT_TBALANCE) -> WarpSchedule:
+    """Split each tile row into chunks of at most ``tbalance`` tiles."""
+    if tbalance < 1:
+        raise ValueError("tbalance must be >= 1")
+    tiles_per_row = np.diff(tile_ptr)
+    warps_per_row = -(-tiles_per_row // tbalance)  # ceil; 0 for empty rows
+    warp_row = np.repeat(np.arange(tiles_per_row.size), warps_per_row)
+    warp_offsets = lengths_to_offsets(warps_per_row)
+    chunk_index = segment_local_index(warp_offsets)
+    warp_tile_start = tile_ptr[warp_row] + chunk_index * tbalance
+    remaining = tiles_per_row[warp_row] - chunk_index * tbalance
+    warp_tile_count = np.minimum(remaining, tbalance)
+    return WarpSchedule(
+        warp_tile_start=warp_tile_start.astype(np.int64),
+        warp_tile_count=warp_tile_count.astype(np.int64),
+        warp_row=warp_row,
+        warps_per_row=warps_per_row,
+        tbalance=tbalance,
+    )

@@ -1,0 +1,316 @@
+"""The two-level TileSpMV storage container.
+
+A :class:`TileMatrix` owns the level-1 tile structure (from
+:mod:`repro.core.tiling`), the per-tile format assignment (from
+:mod:`repro.core.selection`) and the seven format payloads (from
+:mod:`repro.formats`).  At build time it also precomputes the
+gather/scatter index arrays that make the vectorised SpMV a single
+``bincount`` — the inspector-executor split: payloads are the stored
+truth, gathers are the compiled kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.kernels.costs import TileKernelCost, costs_for_format
+from repro.core.kernels.params import KernelCostParams
+from repro.core.scheduler import DEFAULT_TBALANCE, WarpSchedule, build_schedule
+from repro.core.tiling import TileSet
+from repro.formats import (
+    FormatID,
+    encode_bitmap,
+    encode_coo,
+    encode_csr,
+    encode_dns,
+    encode_dnscol,
+    encode_dnsrow,
+    encode_ell,
+    encode_hyb,
+)
+from repro.gpu.costmodel import RunCost
+from repro.util.segments import repeat_offsets
+
+__all__ = ["TileMatrix"]
+
+_ENCODERS = {
+    FormatID.CSR: encode_csr,
+    FormatID.COO: encode_coo,
+    FormatID.ELL: encode_ell,
+    FormatID.HYB: encode_hyb,
+    FormatID.DNS: encode_dns,
+    FormatID.DNSROW: encode_dnsrow,
+    FormatID.DNSCOL: encode_dnscol,
+    FormatID.BITMAP: encode_bitmap,
+}
+
+
+def _decode_with_tiles(fmt: FormatID, payload) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Uniform (format-local tile, lrow, lcol, val) decode across formats."""
+    if fmt in (FormatID.CSR, FormatID.COO):
+        lrow, lcol, val = payload.decode()
+        t = repeat_offsets(payload.offsets)
+        return t, lrow, lcol, val
+    return payload.decode()
+
+
+@dataclass
+class TileMatrix:
+    """A sparse matrix in the two-level TileSpMV representation."""
+
+    tileset: TileSet
+    formats: np.ndarray  # uint8 FormatID per tile
+    payloads: dict = field(default_factory=dict)  # FormatID -> payload
+    tile_ids: dict = field(default_factory=dict)  # FormatID -> global tile idx
+    # Precomputed gathers (set by _build_gathers).
+    _y_idx: np.ndarray | None = field(default=None, repr=False)
+    _x_idx: np.ndarray | None = field(default=None, repr=False)
+    _vals: np.ndarray | None = field(default=None, repr=False)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        tileset: TileSet,
+        formats: np.ndarray,
+        hyb_widths: np.ndarray | None = None,
+    ) -> "TileMatrix":
+        """Encode every tile into its assigned format.
+
+        ``hyb_widths`` (per-HYB-tile split widths) lets the DeferredCOO
+        strategy pin widths decided before extraction; by default the
+        paper's space search chooses them.
+        """
+        formats = np.asarray(formats, dtype=np.uint8)
+        if formats.size != tileset.n_tiles:
+            raise ValueError("one format per tile required")
+        payloads: dict = {}
+        tile_ids: dict = {}
+        for fmt in FormatID:
+            idx = np.flatnonzero(formats == fmt)
+            if idx.size == 0:
+                continue
+            view = tileset.view.select(idx)
+            if fmt == FormatID.HYB and hyb_widths is not None:
+                payloads[fmt] = encode_hyb(view, widths=hyb_widths)
+            else:
+                payloads[fmt] = _ENCODERS[fmt](view)
+            tile_ids[fmt] = idx
+        self = cls(tileset=tileset, formats=formats, payloads=payloads, tile_ids=tile_ids)
+        self._build_gathers()
+        return self
+
+    def _build_gathers(self) -> None:
+        """Precompute global (row, col, val) gathers from the payloads.
+
+        Decoding *from the encoded arrays* (rather than keeping the
+        original entries) means every SpMV result exercises the real
+        format round-trip.
+        """
+        ys, xs, vs = [], [], []
+        tile = self.tileset.tile
+        for fmt, payload in self.payloads.items():
+            t_local, lrow, lcol, val = _decode_with_tiles(fmt, payload)
+            gid = self.tile_ids[fmt][t_local]
+            ys.append(self.tileset.tile_rowidx[gid] * tile + lrow.astype(np.int64))
+            xs.append(self.tileset.tile_colidx[gid] * tile + lcol.astype(np.int64))
+            vs.append(val)
+        if ys:
+            self._y_idx = np.concatenate(ys)
+            self._x_idx = np.concatenate(xs)
+            self._vals = np.concatenate(vs)
+        else:
+            self._y_idx = np.zeros(0, dtype=np.int64)
+            self._x_idx = np.zeros(0, dtype=np.int64)
+            self._vals = np.zeros(0)
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.tileset.m, self.tileset.n)
+
+    @property
+    def nnz(self) -> int:
+        return self.tileset.nnz
+
+    @property
+    def n_tiles(self) -> int:
+        return self.tileset.n_tiles
+
+    # -- numerics ------------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """y = A @ x through the tiled representation."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.tileset.n,):
+            raise ValueError(f"x must have shape ({self.tileset.n},)")
+        return np.bincount(
+            self._y_idx, weights=self._vals * x[self._x_idx], minlength=self.tileset.m
+        )
+
+    def spmv_transpose(self, x: np.ndarray) -> np.ndarray:
+        """y = A.T @ x through the tiled representation.
+
+        The gather arrays are direction-agnostic (row and column indices
+        swap roles), so the transposed product costs the same single
+        bincount — the benefit of keeping tiles as 2D objects rather
+        than row fragments.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.tileset.m,):
+            raise ValueError(f"x must have shape ({self.tileset.m},)")
+        return np.bincount(
+            self._x_idx, weights=self._vals * x[self._y_idx], minlength=self.tileset.n
+        )
+
+    def spmm(self, x: np.ndarray) -> np.ndarray:
+        """Y = A @ X for a dense block of vectors (tall-skinny X).
+
+        The natural SpMV extension for block Krylov methods: the same
+        gather indices drive every column, amortising the inspector.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != self.tileset.n:
+            raise ValueError(f"X must have shape ({self.tileset.n}, k)")
+        contrib = self._vals[:, None] * x[self._x_idx]
+        out = np.zeros((self.tileset.m, x.shape[1]))
+        np.add.at(out, self._y_idx, contrib)
+        return out
+
+    def to_csr(self) -> sp.csr_matrix:
+        """Reconstruct a scipy CSR matrix from the encoded payloads."""
+        mat = sp.csr_matrix(
+            (self._vals, (self._y_idx, self._x_idx)), shape=self.shape
+        )
+        mat.sum_duplicates()
+        # Padding slots decode as explicit zeros in ELL/Dns; drop them so
+        # the round-trip compares structurally equal to the input.
+        mat.eliminate_zeros()
+        mat.sort_indices()
+        return mat
+
+    # -- accounting ------------------------------------------------------------
+
+    def nbytes_model(self) -> int:
+        """Modelled device footprint: level-1 arrays + all payloads."""
+        return self.tileset.level1_nbytes_model() + sum(
+            p.nbytes_model() for p in self.payloads.values()
+        )
+
+    def format_histogram(self) -> dict[FormatID, dict[str, int]]:
+        """Per-format tile and nonzero counts (Fig 7's two ratios)."""
+        counts = self.tileset.view.counts()
+        out: dict[FormatID, dict[str, int]] = {}
+        for fmt in FormatID:
+            mask = self.formats == fmt
+            out[fmt] = {
+                "tiles": int(mask.sum()),
+                "nnz": int(counts[mask].sum()),
+            }
+        return out
+
+    # -- cost model --------------------------------------------------------------
+
+    def kernel_costs(self, params: KernelCostParams | None = None) -> dict[FormatID, TileKernelCost]:
+        """Per-format kernel cost accounting (vectorised over tiles)."""
+        params = params or KernelCostParams()
+        eff_w = self.tileset.view.eff_w
+        out = {}
+        for fmt, payload in self.payloads.items():
+            out[fmt] = costs_for_format(FormatID(fmt), payload, params, eff_w[self.tile_ids[fmt]])
+        return out
+
+    def run_cost(
+        self,
+        params: KernelCostParams | None = None,
+        tbalance: int = DEFAULT_TBALANCE,
+        schedule: WarpSchedule | None = None,
+    ) -> RunCost:
+        """Device-independent cost of one SpMV with this representation."""
+        params = params or KernelCostParams()
+        costs = self.kernel_costs(params)
+        per_tile_cycles = np.zeros(self.n_tiles)
+        payload_bytes = float(self.tileset.level1_nbytes_model())
+        x_sectors = 0
+        executed_flops = 0.0
+        atomic_ops = 0.0
+        atomic_rounds = 0.0
+        for fmt, cost in costs.items():
+            per_tile_cycles[self.tile_ids[fmt]] = cost.cycles
+            payload_bytes += cost.payload_bytes
+            x_sectors += cost.x_sectors
+            executed_flops += cost.flops
+            atomic_ops += cost.atomic_ops
+            atomic_rounds += cost.atomic_rounds
+        schedule = schedule or build_schedule(self.tileset.tile_ptr, tbalance)
+        warp_cycles = schedule.warp_cycle_totals(per_tile_cycles, params.warp_overhead)
+        ops, rounds = schedule.cross_warp_atomics(self.tileset.tile)
+        atomic_ops += ops
+        atomic_rounds += rounds
+        return RunCost(
+            payload_bytes=payload_bytes,
+            x_gather_bytes=float(x_sectors * 32),
+            x_footprint_bytes=float(self.tileset.n * 8),
+            y_write_bytes=float(schedule.n_warps * self.tileset.tile * 8),
+            warp_instructions=float(warp_cycles.sum()),
+            warp_cycles_max=float(warp_cycles.max()) if warp_cycles.size else 0.0,
+            n_warps=schedule.n_warps,
+            atomic_ops=atomic_ops,
+            atomic_rounds=atomic_rounds,
+            useful_flops=2.0 * self.nnz,
+            executed_flops=executed_flops,
+            kernel_launches=1,
+            label="TileSpMV",
+        )
+
+    def cost_attribution(self, params: KernelCostParams | None = None) -> dict[FormatID, dict[str, float]]:
+        """Attribute the modelled kernel work to each format.
+
+        For every format used: share of warp cycles, payload bytes and
+        raw x-gather sectors.  The per-format cycle totals answer 'which
+        format is this matrix actually spending its time in' — the
+        companion of :meth:`format_histogram` on the time axis.
+        """
+        params = params or KernelCostParams()
+        costs = self.kernel_costs(params)
+        total_cycles = sum(float(c.cycles.sum()) for c in costs.values()) or 1.0
+        total_bytes = sum(c.payload_bytes for c in costs.values()) or 1
+        out: dict[FormatID, dict[str, float]] = {}
+        for fmt, cost in costs.items():
+            out[FormatID(fmt)] = {
+                "cycles": float(cost.cycles.sum()),
+                "cycle_share": float(cost.cycles.sum()) / total_cycles,
+                "payload_bytes": float(cost.payload_bytes),
+                "byte_share": cost.payload_bytes / total_bytes,
+                "x_sectors": float(cost.x_sectors),
+            }
+        return out
+
+    # -- invariants -----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the storage invariants; raises ``AssertionError`` on breakage."""
+        ts = self.tileset
+        assert np.all(np.diff(ts.tile_ptr) >= 0), "tilePtr must be monotone"
+        assert np.all(np.diff(ts.tile_nnz) > 0), "occupied tiles must be nonempty"
+        assert int(ts.tile_nnz[-1]) == ts.nnz, "tileNnz must cover all entries"
+        assert self.formats.size == ts.n_tiles
+        covered = np.concatenate([v for v in self.tile_ids.values()]) if self.tile_ids else np.zeros(0, np.int64)
+        assert covered.size == ts.n_tiles and np.unique(covered).size == ts.n_tiles, (
+            "every tile must belong to exactly one format payload"
+        )
+        # Decoded entry counts must match the level-1 nonzero counts.
+        counts = ts.view.counts()
+        for fmt, payload in self.payloads.items():
+            t_local, lrow, lcol, val = _decode_with_tiles(fmt, payload)
+            expected = int(counts[self.tile_ids[fmt]].sum())
+            assert val.size == expected, (
+                f"{FormatID(fmt).name}: decoded {val.size} != level-1 {expected}"
+            )
+        assert self._y_idx.min(initial=0) >= 0 and self._y_idx.max(initial=0) < ts.m
+        assert self._x_idx.min(initial=0) >= 0 and self._x_idx.max(initial=0) < ts.n

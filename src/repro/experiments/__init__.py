@@ -1,0 +1,48 @@
+"""Experiment drivers — one module per table/figure of the paper.
+
+Each module exposes ``run(scale=..., ...) -> str`` returning the
+rendered result table (and printing it when invoked via the CLI).  The
+benchmark harness in ``benchmarks/`` wraps the same drivers with
+pytest-benchmark; ``python -m repro <experiment>`` runs them directly.
+
+Index (see DESIGN.md §3):
+
+========  ==========================================================
+table1    Devices and algorithms evaluated
+table2    The 16 representative matrices and their stand-ins
+fig6      TileSpMV_CSR vs ADPT vs DeferredCOO (both devices)
+fig7      Tile-format and nonzero-format shares under ADPT
+fig8      TileSpMV vs Merge-SpMV / CSR5 / BSR (both devices)
+fig9      Per-matrix comparison on the 16 representative matrices
+fig10     Space cost: CSR vs TileSpMV_CSR vs TileSpMV_ADPT
+fig11     Preprocessing time vs one serial CPU SpMV
+========  ==========================================================
+
+Outside the table: :mod:`repro.experiments.verify` (the cross-validation
+sweep behind ``python -m repro verify``) and
+:mod:`repro.experiments.report` (the one-shot markdown report).
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+    table2,
+)
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+}
+
+__all__ = ["EXPERIMENTS"]

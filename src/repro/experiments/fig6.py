@@ -1,0 +1,135 @@
+"""Figure 6: effectiveness of the adaptive format selection.
+
+For every suite matrix and both devices, modelled GFlops of
+TileSpMV_CSR, TileSpMV_ADPT and TileSpMV_DeferredCOO, plus the two
+speedup series the paper plots: ADPT/CSR and DeferredCOO/ADPT.
+
+Paper shapes to reproduce: ADPT >= CSR nearly everywhere (up to 6.75x,
+growing with matrix size); DeferredCOO overtakes ADPT on large
+graph-like matrices (up to 7.02x, crossover around 1.8M nnz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.tilespmv import TileSpMV
+from repro.gpu.device import A100, TITAN_RTX, DeviceSpec
+from repro.matrices.collection import suite
+
+__all__ = ["run", "collect", "Fig6Row"]
+
+DEVICES = (TITAN_RTX, A100)
+
+
+@dataclass
+class Fig6Row:
+    matrix: str
+    group: str
+    device: str
+    nnz: int
+    gflops_csr: float
+    gflops_adpt: float
+    gflops_deferred: float
+
+    @property
+    def speedup_adpt_over_csr(self) -> float:
+        return self.gflops_adpt / self.gflops_csr if self.gflops_csr else 0.0
+
+    @property
+    def speedup_deferred_over_adpt(self) -> float:
+        return self.gflops_deferred / self.gflops_adpt if self.gflops_adpt else 0.0
+
+
+def collect(scale: str = "small", devices: tuple[DeviceSpec, ...] = DEVICES) -> list[Fig6Row]:
+    """Evaluate the three strategies over the suite."""
+    import gc
+
+    rows = []
+    for rec in suite(scale):
+        mat = rec.matrix()
+        costs = {
+            m: TileSpMV(mat, method=m).run_cost()
+            for m in ("csr", "adpt", "deferred_coo")
+        }
+        gc.collect()  # reclaim GB-scale transients at medium scale
+        for dev in devices:
+            rows.append(
+                Fig6Row(
+                    matrix=rec.name,
+                    group=rec.group,
+                    device=dev.name,
+                    nnz=mat.nnz,
+                    gflops_csr=costs["csr"].gflops(dev),
+                    gflops_adpt=costs["adpt"].gflops(dev),
+                    gflops_deferred=costs["deferred_coo"].gflops(dev),
+                )
+            )
+        rec.drop_cache()
+    return rows
+
+
+def run(scale: str = "small", rows: list[Fig6Row] | None = None) -> str:
+    rows = rows if rows is not None else collect(scale)
+    table = format_table(
+        ["Matrix", "Device", "nnz", "CSR", "ADPT", "DefCOO", "ADPT/CSR", "Def/ADPT"],
+        [
+            (
+                r.matrix,
+                r.device,
+                r.nnz,
+                r.gflops_csr,
+                r.gflops_adpt,
+                r.gflops_deferred,
+                r.speedup_adpt_over_csr,
+                r.speedup_deferred_over_adpt,
+            )
+            for r in rows
+        ],
+        title="Figure 6: GFlops of TileSpMV_CSR / ADPT / DeferredCOO",
+    )
+    lines = [table, ""]
+    from repro.analysis.scatter import ascii_scatter
+
+    for dev in DEVICES:
+        sub = [r for r in rows if r.device == dev.name]
+        lines.append(
+            ascii_scatter(
+                {
+                    "CSR": ([r.nnz for r in sub], [r.gflops_csr for r in sub]),
+                    "ADPT": ([r.nnz for r in sub], [r.gflops_adpt for r in sub]),
+                    "DefCOO": ([r.nnz for r in sub], [r.gflops_deferred for r in sub]),
+                },
+                title=f"Figure 6 scatter — {dev.name}",
+            )
+        )
+        lines.append("")
+    coo_groups = ("graph", "hypersparse", "random", "lp")
+    for dev in DEVICES:
+        sub = [r for r in rows if r.device == dev.name]
+        s1 = np.array([r.speedup_adpt_over_csr for r in sub])
+        s2 = np.array([r.speedup_deferred_over_adpt for r in sub])
+        coo_big = np.array(
+            [r.group in coo_groups and r.nnz >= 50_000 for r in sub]
+        )
+        lines.append(
+            f"[{dev.name}] ADPT vs CSR: max {s1.max():.2f}x, wins {(s1 > 1.0).sum()}/{s1.size}"
+            f" | DeferredCOO vs ADPT: max {s2.max():.2f}x, wins {(s2 > 1.0).sum()}/{s2.size}"
+            + (
+                f" (large COO-dominated matrices: {(s2[coo_big] > 1.0).sum()}/{coo_big.sum()})"
+                if coo_big.any()
+                else ""
+            )
+        )
+    lines.append(
+        "Paper: ADPT up to 6.75x over CSR; DeferredCOO up to 7.02x over ADPT, "
+        "advantage emerging above ~1.8M nnz."
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,83 @@
+"""Figure 7: format shares under ADPT selection, whole collection.
+
+Panel (a): fraction of *tiles* per format.  Panel (b): fraction of
+*nonzeros* per format.  Paper shape: COO dominates the tile count but
+holds a much smaller nonzero share (COO tiles are nearly empty).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import aggregate_format_shares, matrix_format_counts
+from repro.analysis.tables import format_table
+from repro.formats import FormatID
+from repro.matrices.collection import suite
+
+__all__ = ["run", "collect"]
+
+
+def collect(scale: str = "small"):
+    """Per-matrix and pooled format shares over the suite."""
+    shares = []
+    names = []
+    groups = []
+    for rec in suite(scale):
+        shares.append(matrix_format_counts(rec.matrix()))
+        names.append(rec.name)
+        groups.append(rec.group)
+        rec.drop_cache()
+    return names, shares, aggregate_format_shares(shares), groups
+
+
+def run(scale: str = "small", total=None) -> str:
+    groups_table = ""
+    if total is None:
+        _, shares, total, groups = collect(scale)
+        # Per-structure-group breakdown: which classes feed each format.
+        by_group: dict[str, list] = {}
+        for share, group in zip(shares, groups):
+            by_group.setdefault(group, []).append(share)
+        group_rows = []
+        for group in sorted(by_group):
+            pooled = aggregate_format_shares(by_group[group])
+            dominant = max(FormatID, key=pooled.tile_ratio)
+            group_rows.append(
+                (
+                    group,
+                    pooled.total_tiles,
+                    dominant.name,
+                    f"{100 * pooled.tile_ratio(dominant):.0f}%",
+                    f"{100 * pooled.nnz_ratio(FormatID.DNS):.0f}%",
+                )
+            )
+        groups_table = "\n\n" + format_table(
+            ["Group", "Tiles", "Dominant format", "Its tile share", "Dns nnz share"],
+            group_rows,
+            title="Per-structure-group breakdown",
+        )
+    rows = [
+        (
+            fmt.name,
+            total.tiles[fmt],
+            f"{100 * total.tile_ratio(fmt):.1f}%",
+            total.nnz[fmt],
+            f"{100 * total.nnz_ratio(fmt):.1f}%",
+        )
+        for fmt in FormatID
+    ]
+    table = format_table(
+        ["Format", "Tiles", "Tile share (a)", "Nonzeros", "Nnz share (b)"],
+        rows,
+        title="Figure 7: format shares under ADPT selection (pooled over the suite)",
+    )
+    coo_tiles = total.tile_ratio(FormatID.COO)
+    coo_nnz = total.nnz_ratio(FormatID.COO)
+    note = (
+        f"\nCOO: {100 * coo_tiles:.1f}% of tiles but {100 * coo_nnz:.1f}% of nonzeros "
+        "— the paper's observation that COO dominates tiles, not nonzeros, "
+        f"{'HOLDS' if coo_tiles > coo_nnz else 'does NOT hold'} here."
+    )
+    return table + note + groups_table
+
+
+if __name__ == "__main__":
+    print(run())

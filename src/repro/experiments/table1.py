@@ -1,0 +1,46 @@
+"""Table I: the two modelled GPUs and the four algorithms evaluated."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.gpu.device import A100, TITAN_RTX
+
+__all__ = ["run", "DEVICES", "ALGORITHMS"]
+
+DEVICES = (TITAN_RTX, A100)
+
+ALGORITHMS = (
+    "cuSPARSE-style BSR (4x4 dense blocks)  [repro.baselines.bsr]",
+    "Merge-SpMV (Merrill & Garland)         [repro.baselines.merge]",
+    "CSR5 (Liu & Vinter)                    [repro.baselines.csr5]",
+    "TileSpMV (this reproduction)           [repro.core.tilespmv]",
+)
+
+
+def run(scale: str = "small") -> str:
+    """Render Table I (``scale`` accepted for interface uniformity)."""
+    rows = [
+        (
+            d.name,
+            d.architecture,
+            d.sm_count,
+            d.cuda_cores,
+            f"{d.clock_mhz:.0f} MHz",
+            f"{d.mem_gb:.0f} GB",
+            f"{d.mem_bandwidth_gbps:.0f} GB/s",
+            f"{d.l2_mb:.0f} MB",
+        )
+        for d in DEVICES
+    ]
+    out = format_table(
+        ["GPU", "Arch", "SMs", "CUDA cores", "Clock", "Memory", "Bandwidth", "L2"],
+        rows,
+        title="Table I (a): modelled GPUs",
+    )
+    out += "\n\nTable I (b): algorithms evaluated\n"
+    out += "\n".join(f"  ({i + 1}) {a}" for i, a in enumerate(ALGORITHMS))
+    return out
+
+
+if __name__ == "__main__":
+    print(run())

@@ -1,0 +1,44 @@
+"""Per-tile storage formats (level 2 of the TileSpMV structure).
+
+Seven formats, exactly the paper's set: CSR, COO, ELL, HYB, Dns, DnsRow
+and DnsCol.  Each module implements the paper's §III.B array layout —
+4-bit packed indices, ``unsigned char`` row pointers, column-major dense
+payloads — as a vectorised encoder over all tiles of that format at once,
+a decoder (used for round-trip property tests and to build the gather
+indices the vectorised kernels consume), and an exact byte-count for the
+space-cost experiment (Fig 10).
+"""
+
+from repro.formats.base import FormatID, TilesView, FORMAT_NAMES
+from repro.formats.tile_bitmap import TileBitmapData, encode_bitmap
+from repro.formats.tile_coo import TileCOOData, encode_coo
+from repro.formats.tile_csr import TileCSRData, encode_csr
+from repro.formats.tile_dns import TileDnsData, encode_dns
+from repro.formats.tile_dnscol import TileDnsColData, encode_dnscol
+from repro.formats.tile_dnsrow import TileDnsRowData, encode_dnsrow
+from repro.formats.tile_ell import TileELLData, encode_ell, ell_widths
+from repro.formats.tile_hyb import TileHYBData, encode_hyb, hyb_split_widths
+
+__all__ = [
+    "FormatID",
+    "FORMAT_NAMES",
+    "TilesView",
+    "TileCOOData",
+    "encode_coo",
+    "TileCSRData",
+    "encode_csr",
+    "TileELLData",
+    "encode_ell",
+    "ell_widths",
+    "TileHYBData",
+    "encode_hyb",
+    "hyb_split_widths",
+    "TileDnsData",
+    "encode_dns",
+    "TileDnsRowData",
+    "encode_dnsrow",
+    "TileDnsColData",
+    "encode_dnscol",
+    "TileBitmapData",
+    "encode_bitmap",
+]

@@ -1,0 +1,146 @@
+"""Shared definitions for the tile formats.
+
+:class:`TilesView` is the hand-off between the tiling front-end and the
+format encoders: a selected subset of tiles together with their sorted
+nonzero entries, expressed in tile-local coordinates.  Encoders consume a
+``TilesView`` for the tiles assigned to their format and emit a payload
+dataclass; they never see the rest of the matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from repro.util.segments import offsets_to_lengths, repeat_offsets, segment_local_index
+
+__all__ = ["FormatID", "FORMAT_NAMES", "TilesView", "VALUE_BYTES"]
+
+VALUE_BYTES = 8  # float64 throughout, matching the paper's double precision.
+
+
+class FormatID(IntEnum):
+    """The seven per-tile formats of TileSpMV (paper §III.B), plus the
+    bitmap format the Tile-series follow-on works introduced (an
+    extension, off by default — see :mod:`repro.formats.tile_bitmap`)."""
+
+    CSR = 0
+    COO = 1
+    ELL = 2
+    HYB = 3
+    DNS = 4
+    DNSROW = 5
+    DNSCOL = 6
+    BITMAP = 7
+
+
+FORMAT_NAMES = {f: f.name for f in FormatID}
+
+
+@dataclass
+class TilesView:
+    """A selected group of tiles and their entries, tile-locally indexed.
+
+    Entries are sorted by (tile, local row, local column) — the order the
+    tiling front-end guarantees — and ``offsets[i]:offsets[i+1]`` delimits
+    tile ``i`` of the view.
+
+    Attributes
+    ----------
+    lrow, lcol:
+        Tile-local coordinates of each entry, in ``[0, tile)``.
+    val:
+        Entry values.
+    offsets:
+        Per-tile entry offsets, length ``n_tiles + 1``.
+    eff_h, eff_w:
+        Effective tile height/width (smaller than ``tile`` only for tiles
+        straddling the matrix boundary).
+    tile:
+        Nominal tile edge length (16 in the paper).
+    """
+
+    lrow: np.ndarray
+    lcol: np.ndarray
+    val: np.ndarray
+    offsets: np.ndarray
+    eff_h: np.ndarray
+    eff_w: np.ndarray
+    tile: int = 16
+
+    @property
+    def n_tiles(self) -> int:
+        return self.offsets.size - 1
+
+    @property
+    def nnz(self) -> int:
+        return int(self.offsets[-1])
+
+    def tile_of_entry(self) -> np.ndarray:
+        """View-local tile index of every entry."""
+        return repeat_offsets(self.offsets)
+
+    def entry_rank(self) -> np.ndarray:
+        """Position of each entry within its tile."""
+        return segment_local_index(self.offsets)
+
+    def counts(self) -> np.ndarray:
+        """Nonzeros per tile."""
+        return offsets_to_lengths(self.offsets)
+
+    def row_counts(self) -> np.ndarray:
+        """(n_tiles, tile) matrix of per-local-row nonzero counts.
+
+        ``int16`` keeps the whole-collection preprocessing footprint small
+        (counts never exceed the tile size).
+        """
+        t = self.tile_of_entry()
+        counts = np.zeros((self.n_tiles, self.tile), dtype=np.int16)
+        np.add.at(counts, (t, self.lrow.astype(np.int64)), 1)
+        return counts
+
+    def col_counts(self) -> np.ndarray:
+        """(n_tiles, tile) matrix of per-local-column nonzero counts."""
+        t = self.tile_of_entry()
+        counts = np.zeros((self.n_tiles, self.tile), dtype=np.int16)
+        np.add.at(counts, (t, self.lcol.astype(np.int64)), 1)
+        return counts
+
+    def pos_in_row(self) -> np.ndarray:
+        """Rank of each entry within its (tile, row) group.
+
+        Relies on the (tile, lrow, lcol) sort order: entries of one row
+        are consecutive, so the rank is a running index reset at row
+        starts.
+        """
+        t = self.tile_of_entry()
+        key = t * self.tile + self.lrow.astype(np.int64)
+        # Start of each (tile,row) run -> subtract run start from arange.
+        is_start = np.ones(key.size, dtype=bool)
+        is_start[1:] = key[1:] != key[:-1]
+        run_start = np.maximum.accumulate(np.where(is_start, np.arange(key.size), 0))
+        return np.arange(key.size) - run_start
+
+    def select(self, mask_or_idx: np.ndarray) -> "TilesView":
+        """A new view restricted to the given tiles (mask or index array)."""
+        idx = np.asarray(mask_or_idx)
+        if idx.dtype == bool:
+            idx = np.flatnonzero(idx)
+        lengths = self.counts()[idx]
+        new_offsets = np.zeros(idx.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=new_offsets[1:])
+        # Gather entry ranges tile by tile without a Python loop: build
+        # the source index of every kept entry.
+        starts = self.offsets[idx]
+        src = np.repeat(starts, lengths) + segment_local_index(new_offsets)
+        return TilesView(
+            lrow=self.lrow[src],
+            lcol=self.lcol[src],
+            val=self.val[src],
+            offsets=new_offsets,
+            eff_h=self.eff_h[idx],
+            eff_w=self.eff_w[idx],
+            tile=self.tile,
+        )

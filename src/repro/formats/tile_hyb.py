@@ -1,0 +1,116 @@
+"""HYB tile format: an ELL part plus a COO overflow part.
+
+The per-tile ELL width is chosen by the paper's space search: sweep the
+width from the maximum row count down to zero and keep the width whose
+combined ELL + COO footprint is smallest.  Rows longer than the chosen
+width spill their tail entries into the COO part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.base import VALUE_BYTES, TilesView
+from repro.formats.tile_coo import TileCOOData, encode_coo
+from repro.formats.tile_ell import TileELLData, encode_ell
+from repro.util.segments import lengths_to_offsets
+
+__all__ = ["TileHYBData", "encode_hyb", "hyb_split_widths"]
+
+
+@dataclass
+class TileHYBData:
+    """All HYB tiles' payloads: aligned ELL and COO sub-payloads.
+
+    Tile ``i`` of the ELL part and tile ``i`` of the COO part describe
+    the same source tile; either part may be empty for a given tile.
+    """
+
+    ell: TileELLData
+    coo: TileCOOData
+
+    @property
+    def n_tiles(self) -> int:
+        return self.ell.n_tiles
+
+    @property
+    def nnz(self) -> int:
+        return int(self.ell.valid.sum()) + self.coo.nnz
+
+    def nbytes_model(self) -> int:
+        return self.ell.nbytes_model() + self.coo.nbytes_model()
+
+    def decode(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return (tile_of_entry, lrow, lcol, val) over both parts."""
+        et, er, ec, ev = self.ell.decode()
+        cr, cc, cv = self.coo.decode()
+        ct = np.repeat(np.arange(self.coo.n_tiles), np.diff(self.coo.offsets))
+        return (
+            np.concatenate([et, ct]),
+            np.concatenate([er, cr]),
+            np.concatenate([ec, cc]),
+            np.concatenate([ev, cv]),
+        )
+
+
+def _ell_bytes(width: np.ndarray, tile: int) -> np.ndarray:
+    """Modelled ELL footprint per tile for candidate widths."""
+    slots = width * tile
+    return slots * VALUE_BYTES + (slots + 1) // 2 + 1  # values + packed idx + width byte
+
+
+def hyb_split_widths(view: TilesView) -> np.ndarray:
+    """Paper's width search: minimise ELL + COO bytes per tile.
+
+    Scanning from the maximum width down to zero and keeping strict
+    improvements yields the smallest width among cost minima, matching
+    the paper's 'until the smallest memory space is found'.
+    """
+    rc = view.row_counts().astype(np.int64)  # (n, tile)
+    max_w = int(rc.max()) if rc.size else 0
+    n = view.n_tiles
+    best_w = np.zeros(n, dtype=np.int64)
+    best_cost = np.full(n, np.iinfo(np.int64).max)
+    for w in range(max_w, -1, -1):
+        overflow = np.maximum(rc - w, 0).sum(axis=1)
+        cost = _ell_bytes(np.full(n, w), view.tile) + overflow * (1 + VALUE_BYTES)
+        better = cost <= best_cost  # <=: prefer the smaller width on ties
+        best_cost = np.where(better, cost, best_cost)
+        best_w = np.where(better, w, best_w)
+    return best_w
+
+
+def encode_hyb(view: TilesView, widths: np.ndarray | None = None) -> TileHYBData:
+    """Encode every tile of ``view`` as HYB with per-tile split widths."""
+    if widths is None:
+        widths = hyb_split_widths(view)
+    widths = np.asarray(widths, dtype=np.int64)
+    tile_of_entry = view.tile_of_entry()
+    pos = view.pos_in_row()
+    to_ell = pos < widths[tile_of_entry]
+
+    def _subview(mask: np.ndarray) -> TilesView:
+        lengths = np.zeros(view.n_tiles, dtype=np.int64)
+        np.add.at(lengths, tile_of_entry[mask], 1)
+        offsets = lengths_to_offsets(lengths)
+        return TilesView(
+            lrow=view.lrow[mask],
+            lcol=view.lcol[mask],
+            val=view.val[mask],
+            offsets=offsets,
+            eff_h=view.eff_h,
+            eff_w=view.eff_w,
+            tile=view.tile,
+        )
+
+    ell_view = _subview(to_ell)
+    coo_view = _subview(~to_ell)
+    ell = encode_ell(ell_view)
+    # Force the searched width even when a tile's ELL part is empty but
+    # the search still chose w=0 (encode_ell would agree) — assert parity.
+    if not np.array_equal(ell.width.astype(np.int64), widths):
+        raise AssertionError("ELL part width disagrees with the split search")
+    coo = encode_coo(coo_view)
+    return TileHYBData(ell=ell, coo=coo)

@@ -1,0 +1,45 @@
+"""Simulated-GPU substrate.
+
+The paper evaluates on NVIDIA Titan RTX and A100 GPUs.  This package
+substitutes for the hardware with two cooperating pieces:
+
+* :mod:`repro.gpu.warp` — a lane-accurate 32-lane warp interpreter with
+  CUDA-style shuffle, ballot, shared memory and ``atomicAdd`` semantics.
+  The paper's warp-level algorithms (its Algorithms 2-4 and the four
+  dense-family kernels) are written against this interpreter verbatim, so
+  correctness of the published pseudocode can be established directly.
+
+* :mod:`repro.gpu.costmodel` — a roofline-style analytical timing model.
+  Kernels report :class:`~repro.gpu.costmodel.KernelStats` (DRAM sector
+  traffic from the coalescing model in :mod:`repro.gpu.memory`, dynamic
+  warp instructions, atomic conflicts, per-warp critical path) and the
+  model converts them into a predicted execution time for a given
+  :class:`~repro.gpu.device.DeviceSpec`.
+
+Why this preserves the paper's conclusions: TileSpMV's speedups come from
+moving fewer bytes, keeping more lanes busy, and balancing warps — all
+quantities the substrate counts exactly rather than approximates.
+"""
+
+from repro.gpu.costmodel import CostModel, KernelStats, RunCost, l2_adjusted_bytes
+from repro.gpu.device import A100, TITAN_RTX, DeviceSpec
+from repro.gpu.executor import lane_accurate_spmv
+from repro.gpu.memory import SharedMemory, coalesced_sectors, coalesced_bytes
+from repro.gpu.warp import FULL_MASK, HALF_MASK, Warp
+
+__all__ = [
+    "DeviceSpec",
+    "A100",
+    "TITAN_RTX",
+    "Warp",
+    "FULL_MASK",
+    "HALF_MASK",
+    "SharedMemory",
+    "coalesced_sectors",
+    "coalesced_bytes",
+    "KernelStats",
+    "CostModel",
+    "RunCost",
+    "l2_adjusted_bytes",
+    "lane_accurate_spmv",
+]

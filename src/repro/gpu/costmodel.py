@@ -1,0 +1,239 @@
+"""Roofline-style kernel timing model.
+
+Kernels report what they *did* (DRAM sector traffic, dynamic warp
+instructions, atomic serialisation rounds, per-warp critical path) in a
+:class:`KernelStats`; :class:`CostModel` turns that into a predicted
+execution time on a :class:`~repro.gpu.device.DeviceSpec`.
+
+The model is deliberately simple and documented term-by-term:
+
+``t = launch + max(t_mem, t_issue, t_tail) + t_atomic_excess``
+
+* ``t_mem`` — sector bytes / achievable DRAM bandwidth.  SpMV is memory
+  bound almost everywhere, so this term dominates for large matrices and
+  carries the paper's headline effects (format selection moves fewer
+  bytes; BSR's zero padding moves more).
+* ``t_issue`` — total dynamic warp instructions / device-wide issue rate.
+  Captures lane under-utilisation: a warp grinding through a 2-nonzero
+  COO tile with a full CSR control loop issues the same instructions as a
+  full tile, which is why ADPT beats CSR-only on sparse tiles.
+* ``t_tail`` — the longest single warp's cycle count.  Captures load
+  imbalance when one warp owns a pathologically heavy tile row; the
+  tbalance splitting exists to shrink this term.
+* ``t_atomic_excess`` — serialisation rounds beyond the first for
+  conflicting atomics, charged at the device atomic throughput.
+
+Absolute numbers are a model, not a measurement; EXPERIMENTS.md compares
+*shapes* (who wins, crossover locations), which depend only on the
+relative sizes of these terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["KernelStats", "CostModel", "TimingBreakdown", "RunCost", "l2_adjusted_bytes"]
+
+
+def l2_adjusted_bytes(gather_bytes: float, footprint_bytes: float, l2_bytes: float) -> float:
+    """Effective DRAM traffic of a gathered array behind an L2 cache.
+
+    Compulsory misses cover the touched footprint once; reuse accesses
+    beyond that hit with probability ``l2 / footprint`` (a working set
+    larger than L2 thrashes proportionally).  This is the standard
+    capacity-miss approximation; it is what lets a tiled kernel's
+    windowed ``x`` accesses cost less than a scattered gather.
+    """
+    if gather_bytes <= 0 or footprint_bytes <= 0:
+        return 0.0
+    compulsory = min(gather_bytes, footprint_bytes)
+    reuse = gather_bytes - compulsory
+    hit_frac = min(1.0, l2_bytes / footprint_bytes)
+    return compulsory + reuse * (1.0 - hit_frac)
+
+
+@dataclass
+class KernelStats:
+    """Everything a kernel execution tells the cost model.
+
+    All byte counts are *sector* bytes (already coalescing-adjusted).
+    """
+
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    bytes_l2: float = 0.0  # gather traffic served by L2 (raw sector bytes)
+    flops: float = 0.0
+    warp_instructions: float = 0.0
+    warp_cycles_max: float = 0.0
+    n_warps: int = 0
+    atomic_rounds: float = 0.0
+    atomic_ops: float = 0.0
+    kernel_launches: int = 1
+    label: str = ""
+
+    def __add__(self, other: "KernelStats") -> "KernelStats":
+        """Combine stats of kernels launched back-to-back (sequential)."""
+        return KernelStats(
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            bytes_l2=self.bytes_l2 + other.bytes_l2,
+            flops=self.flops + other.flops,
+            warp_instructions=self.warp_instructions + other.warp_instructions,
+            warp_cycles_max=max(self.warp_cycles_max, other.warp_cycles_max),
+            n_warps=self.n_warps + other.n_warps,
+            atomic_rounds=self.atomic_rounds + other.atomic_rounds,
+            atomic_ops=self.atomic_ops + other.atomic_ops,
+            kernel_launches=self.kernel_launches + other.kernel_launches,
+            label=self.label or other.label,
+        )
+
+    def merge_concurrent(self, other: "KernelStats") -> "KernelStats":
+        """Combine stats of work inside the *same* launch (one grid)."""
+        merged = self + other
+        merged.kernel_launches = max(self.kernel_launches, other.kernel_launches)
+        return merged
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+
+@dataclass
+class TimingBreakdown:
+    """Per-term decomposition of a predicted kernel time (seconds)."""
+
+    t_launch: float
+    t_mem: float
+    t_l2: float
+    t_issue: float
+    t_tail: float
+    t_atomic: float
+    total: float
+    bound: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "launch": self.t_launch,
+            "mem": self.t_mem,
+            "l2": self.t_l2,
+            "issue": self.t_issue,
+            "tail": self.t_tail,
+            "atomic": self.t_atomic,
+            "total": self.total,
+            "bound": self.bound,
+        }
+
+
+@dataclass
+class CostModel:
+    """Maps :class:`KernelStats` to predicted seconds on a device."""
+
+    device: DeviceSpec
+    # Average cycles a warp instruction occupies its scheduler slot; >1
+    # accounts for memory-dependency stalls SpMV cannot hide at low
+    # arithmetic intensity.
+    cycles_per_instruction: float = 1.0
+
+    def breakdown(self, stats: KernelStats) -> TimingBreakdown:
+        dev = self.device
+        t_launch = stats.kernel_launches * dev.launch_overhead_us * 1e-6
+        t_mem = stats.total_bytes / dev.mem_bandwidth_bytes
+        # Gathers that hit in L2 still consume L2 bandwidth — staging a
+        # full 16-entry x window per nearly-empty tile is not free even
+        # when x is cache resident.
+        t_l2 = stats.bytes_l2 / (dev.l2_bandwidth_gbps * 1e9)
+        t_issue = (
+            stats.warp_instructions * self.cycles_per_instruction / dev.warp_issue_rate
+        )
+        t_tail = stats.warp_cycles_max / dev.clock_hz
+        excess_rounds = max(0.0, stats.atomic_rounds - stats.atomic_ops)
+        t_atomic = excess_rounds / (
+            dev.sm_count * dev.atomic_throughput_per_clk * dev.clock_hz
+        )
+        body = max(t_mem, t_l2, t_issue, t_tail)
+        bound = {t_mem: "memory", t_l2: "l2", t_issue: "issue", t_tail: "tail"}[body]
+        total = t_launch + body + t_atomic
+        return TimingBreakdown(t_launch, t_mem, t_l2, t_issue, t_tail, t_atomic, total, bound)
+
+    def time(self, stats: KernelStats) -> float:
+        """Predicted kernel time in seconds."""
+        return self.breakdown(stats).total
+
+    def gflops(self, stats: KernelStats, useful_flops: float | None = None) -> float:
+        """GFlop/s at the paper's convention: 2*nnz useful flops per SpMV."""
+        flops = stats.flops if useful_flops is None else useful_flops
+        t = self.time(stats)
+        return flops / t / 1e9 if t > 0 else 0.0
+
+
+@dataclass
+class RunCost:
+    """Device-independent cost record of one SpMV execution.
+
+    Kernels and baselines produce a ``RunCost``; :meth:`stats` finalises
+    it for a specific device by applying the L2 model to the ``x``
+    gather traffic.  Useful vs executed flops are kept apart so GFlops
+    follow the paper's 2*nnz convention even when padded slots execute.
+    """
+
+    payload_bytes: float = 0.0
+    x_gather_bytes: float = 0.0
+    x_footprint_bytes: float = 0.0
+    y_write_bytes: float = 0.0
+    warp_instructions: float = 0.0
+    warp_cycles_max: float = 0.0
+    n_warps: int = 0
+    atomic_ops: float = 0.0
+    atomic_rounds: float = 0.0
+    useful_flops: float = 0.0
+    executed_flops: float = 0.0
+    kernel_launches: int = 1
+    label: str = ""
+
+    def __add__(self, other: "RunCost") -> "RunCost":
+        """Sequential composition (kernels launched back-to-back)."""
+        return RunCost(
+            payload_bytes=self.payload_bytes + other.payload_bytes,
+            x_gather_bytes=self.x_gather_bytes + other.x_gather_bytes,
+            x_footprint_bytes=max(self.x_footprint_bytes, other.x_footprint_bytes),
+            y_write_bytes=self.y_write_bytes + other.y_write_bytes,
+            warp_instructions=self.warp_instructions + other.warp_instructions,
+            warp_cycles_max=max(self.warp_cycles_max, other.warp_cycles_max),
+            n_warps=self.n_warps + other.n_warps,
+            atomic_ops=self.atomic_ops + other.atomic_ops,
+            atomic_rounds=self.atomic_rounds + other.atomic_rounds,
+            useful_flops=self.useful_flops + other.useful_flops,
+            executed_flops=self.executed_flops + other.executed_flops,
+            kernel_launches=self.kernel_launches + other.kernel_launches,
+            label=self.label or other.label,
+        )
+
+    def stats(self, device: DeviceSpec) -> KernelStats:
+        """Finalise for a device: L2-adjust the x gather traffic."""
+        x_bytes = l2_adjusted_bytes(
+            self.x_gather_bytes, self.x_footprint_bytes, device.l2_mb * 1024 * 1024
+        )
+        return KernelStats(
+            bytes_read=self.payload_bytes + x_bytes,
+            bytes_written=self.y_write_bytes,
+            bytes_l2=self.x_gather_bytes,
+            flops=self.executed_flops,
+            warp_instructions=self.warp_instructions,
+            warp_cycles_max=self.warp_cycles_max,
+            n_warps=self.n_warps,
+            atomic_rounds=self.atomic_rounds,
+            atomic_ops=self.atomic_ops,
+            kernel_launches=self.kernel_launches,
+            label=self.label,
+        )
+
+    def time(self, device: DeviceSpec) -> float:
+        """Predicted seconds on ``device``."""
+        return CostModel(device).time(self.stats(device))
+
+    def gflops(self, device: DeviceSpec) -> float:
+        """Useful GFlop/s (paper convention: 2*nnz per SpMV)."""
+        t = self.time(device)
+        return self.useful_flops / t / 1e9 if t > 0 else 0.0

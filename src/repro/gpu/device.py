@@ -1,0 +1,116 @@
+"""Device specifications for the modelled GPUs.
+
+The presets mirror Table I of the paper.  Only publicly documented
+architectural numbers are used; everything performance-related is derived
+from them by :class:`repro.gpu.costmodel.CostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "A100", "TITAN_RTX"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU used by the cost model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, used in experiment output headers.
+    architecture:
+        NVIDIA architecture family (informational).
+    sm_count:
+        Number of streaming multiprocessors.
+    cuda_cores:
+        Total FP32 lanes (Table I's "CUDA cores").
+    clock_mhz:
+        Boost clock in MHz.
+    mem_bandwidth_gbps:
+        Peak DRAM bandwidth in GB/s (Table I's "B/W").
+    mem_gb:
+        DRAM capacity in GB.
+    warps_per_scheduler:
+        Warp instructions each SM can issue per cycle (4 schedulers on
+        both Turing and Ampere).
+    max_resident_warps:
+        Occupancy ceiling per SM.
+    launch_overhead_us:
+        Fixed kernel-launch latency in microseconds.
+    atomic_throughput_per_clk:
+        Shared-memory atomic operations retired per SM per cycle when
+        conflict-free.
+    dram_efficiency:
+        Achievable fraction of peak bandwidth for streaming access
+        (STREAM-like ceilings on real parts are 80-90%).
+    """
+
+    name: str
+    architecture: str
+    sm_count: int
+    cuda_cores: int
+    clock_mhz: float
+    mem_bandwidth_gbps: float
+    mem_gb: float
+    warps_per_scheduler: int = 4
+    max_resident_warps: int = 32
+    launch_overhead_us: float = 3.0
+    atomic_throughput_per_clk: float = 1.0
+    dram_efficiency: float = 0.85
+    l2_mb: float = 6.0
+    l2_bandwidth_gbps: float = 2000.0
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_mhz * 1e6
+
+    @property
+    def mem_bandwidth_bytes(self) -> float:
+        """Achievable DRAM bandwidth in bytes/second."""
+        return self.mem_bandwidth_gbps * 1e9 * self.dram_efficiency
+
+    @property
+    def warp_issue_rate(self) -> float:
+        """Warp instructions retired per second, device-wide."""
+        return self.sm_count * self.warps_per_scheduler * self.clock_hz
+
+    @property
+    def peak_gflops_fp64(self) -> float:
+        """Nominal FP64 FMA throughput in GFlop/s.
+
+        A100 has full-rate FP64 tensor-free throughput of 1/2 the FP32
+        core count; Turing retains the consumer 1/32 ratio.  The exact
+        ratio only caps the (rare) compute-bound cases — SpMV is memory
+        bound nearly everywhere.
+        """
+        ratio = 0.5 if self.architecture.lower() == "ampere" else 1.0 / 32.0
+        return 2.0 * self.cuda_cores * ratio * self.clock_hz / 1e9
+
+
+A100 = DeviceSpec(
+    name="A100",
+    architecture="Ampere",
+    sm_count=108,
+    cuda_cores=6912,
+    clock_mhz=1410,
+    mem_bandwidth_gbps=1555,
+    mem_gb=40,
+    max_resident_warps=64,
+    l2_mb=40.0,
+    l2_bandwidth_gbps=4500.0,
+)
+
+TITAN_RTX = DeviceSpec(
+    name="Titan RTX",
+    architecture="Turing",
+    sm_count=72,
+    cuda_cores=4608,
+    clock_mhz=1770,
+    mem_bandwidth_gbps=672,
+    mem_gb=24,
+    max_resident_warps=32,
+    l2_mb=6.0,
+    l2_bandwidth_gbps=2150.0,
+)

@@ -1,0 +1,89 @@
+"""Memory-system model: DRAM coalescing and shared memory.
+
+GPUs service a warp's 32 loads as a set of 32-byte DRAM sectors; the cost
+of an access pattern is the number of distinct sectors it touches, not
+the number of lane requests.  TileSpMV's formats exist precisely to shape
+these patterns (column-major ELL payloads coalesce; scattered CSR column
+gathers do not), so the reproduction counts sector traffic exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SECTOR_BYTES", "coalesced_sectors", "coalesced_bytes", "SharedMemory"]
+
+SECTOR_BYTES = 32
+
+
+def coalesced_sectors(byte_addresses: np.ndarray, sector_bytes: int = SECTOR_BYTES) -> int:
+    """Number of distinct DRAM sectors touched by a set of byte addresses.
+
+    ``byte_addresses`` may have any shape; each element is the starting
+    byte address of one lane access.  Accesses are assumed not to straddle
+    sectors (true for naturally-aligned 1/4/8-byte elements).
+    """
+    addrs = np.asarray(byte_addresses).ravel()
+    if addrs.size == 0:
+        return 0
+    return int(np.unique(addrs // sector_bytes).size)
+
+
+def coalesced_bytes(
+    byte_addresses: np.ndarray, sector_bytes: int = SECTOR_BYTES
+) -> int:
+    """DRAM bytes actually moved for the given lane accesses."""
+    return coalesced_sectors(byte_addresses, sector_bytes) * sector_bytes
+
+
+def contiguous_stream_bytes(n_elements: int, element_bytes: int) -> int:
+    """Sector traffic of a perfectly-streamed contiguous array.
+
+    Used by the vectorised kernels for payload arrays that are read
+    exactly once front-to-back (values, packed indices): the sector count
+    is just the footprint rounded up to sector granularity.
+    """
+    if n_elements == 0:
+        return 0
+    footprint = n_elements * element_bytes
+    return -(-footprint // SECTOR_BYTES) * SECTOR_BYTES
+
+
+class SharedMemory:
+    """Per-block scratchpad with bank-conflict-free semantics.
+
+    TileSpMV stages the 16-entry slice of ``x`` a tile needs into shared
+    memory (CSR kernel) and accumulates partial ``y`` there (COO kernel).
+    We model it as a plain array plus traffic counters; shared memory
+    bandwidth is high enough on both target parts that it never binds for
+    these kernels, so only capacity and atomic conflicts matter.
+    """
+
+    def __init__(self, n_words: int, dtype=np.float64) -> None:
+        self.data = np.zeros(n_words, dtype=dtype)
+        self.loads = 0
+        self.stores = 0
+        self.atomic_rounds = 0
+
+    def load(self, index: np.ndarray) -> np.ndarray:
+        self.loads += 1
+        return self.data[np.asarray(index)]
+
+    def store(self, index: np.ndarray, values: np.ndarray) -> None:
+        self.stores += 1
+        self.data[np.asarray(index)] = values
+
+    def atomic_add(self, index: np.ndarray, values: np.ndarray, active: np.ndarray | None = None) -> int:
+        """Atomic accumulate; returns and records serialisation rounds."""
+        idx = np.asarray(index)
+        vals = np.asarray(values)
+        if active is not None:
+            idx = idx[active]
+            vals = vals[active]
+        np.add.at(self.data, idx, vals)
+        if idx.size == 0:
+            return 0
+        _, counts = np.unique(idx, return_counts=True)
+        rounds = int(counts.max())
+        self.atomic_rounds += rounds
+        return rounds

@@ -1,0 +1,73 @@
+"""Synthetic sparse-matrix collection — the SuiteSparse substitute.
+
+The paper benchmarks all 2757 matrices of the SuiteSparse Matrix
+Collection, which is unavailable offline.  Its results, however, are
+driven by *structural classes* (FEM small-dense-block matrices, banded
+stencils, power-law graphs, LP constraint matrices, dense-blocky
+matrices, hypersparse webs), not by individual matrix identities.  This
+package generates a deterministic synthetic suite covering those classes
+with controlled sizes, plus named structural stand-ins for the 16
+representative matrices of the paper's Table II.
+
+Every generator returns a ``scipy.sparse.csr_matrix`` with ``float64``
+values and is reproducible from an explicit seed.
+"""
+
+from repro.matrices.collection import MatrixRecord, suite, suite_names
+from repro.matrices.generators import (
+    banded,
+    block_random,
+    block_tridiagonal,
+    circuit_like,
+    dense_corner,
+    diagonal_bands,
+    fem_blocks,
+    gupta_arrow,
+    hypersparse,
+    kronecker_graph,
+    lp_like,
+    power_law,
+    random_uniform,
+    rmat,
+    stencil_2d,
+    stencil_3d,
+)
+from repro.matrices.features import MatrixFeatures, extract_features
+from repro.matrices.io import read_matrix_market, write_matrix_market
+from repro.matrices.reorder import (
+    apply_symmetric_permutation,
+    bandwidth,
+    reverse_cuthill_mckee,
+)
+from repro.matrices.representative import REPRESENTATIVE_SPECS, representative_suite
+
+__all__ = [
+    "random_uniform",
+    "banded",
+    "stencil_2d",
+    "stencil_3d",
+    "kronecker_graph",
+    "block_tridiagonal",
+    "circuit_like",
+    "fem_blocks",
+    "power_law",
+    "rmat",
+    "lp_like",
+    "dense_corner",
+    "diagonal_bands",
+    "block_random",
+    "hypersparse",
+    "gupta_arrow",
+    "MatrixRecord",
+    "suite",
+    "suite_names",
+    "REPRESENTATIVE_SPECS",
+    "representative_suite",
+    "read_matrix_market",
+    "write_matrix_market",
+    "MatrixFeatures",
+    "extract_features",
+    "reverse_cuthill_mckee",
+    "apply_symmetric_permutation",
+    "bandwidth",
+]

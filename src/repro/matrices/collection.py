@@ -1,0 +1,125 @@
+"""The deterministic synthetic benchmark suite.
+
+Plays the role of the SuiteSparse Matrix Collection in every experiment.
+Each :class:`MatrixRecord` carries a name, a structural group, and a lazy
+constructor so that a bench can iterate metadata without materialising
+every matrix.  Three scales are provided:
+
+* ``tiny``   — a handful of small matrices for unit tests.
+* ``small``  — the default bench scale (~60 matrices, <=0.5M nnz).
+* ``medium`` — wider sweep (~120 matrices, a few M nnz at the top).
+
+The size *distribution* matters more than the absolute sizes: the
+paper's figures are scatter plots over nnz spanning several decades, so
+each scale spans several decades too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import scipy.sparse as sp
+
+from repro.matrices import generators as g
+
+__all__ = ["MatrixRecord", "suite", "suite_names", "SCALES"]
+
+SCALES = ("tiny", "small", "medium")
+
+
+@dataclass
+class MatrixRecord:
+    """One suite entry: metadata plus a lazy matrix constructor."""
+
+    name: str
+    group: str
+    build: Callable[[], sp.csr_matrix]
+    _cache: sp.csr_matrix | None = field(default=None, repr=False)
+
+    def matrix(self) -> sp.csr_matrix:
+        if self._cache is None:
+            self._cache = self.build()
+        return self._cache
+
+    def drop_cache(self) -> None:
+        self._cache = None
+
+
+def _sizes(scale: str) -> list[int]:
+    """Characteristic dimensions per scale, spanning ~2 decades."""
+    if scale == "tiny":
+        return [64, 256]
+    if scale == "small":
+        return [256, 1024, 4096, 16384]
+    if scale == "medium":
+        return [512, 2048, 8192, 32768, 131072]
+    raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+
+
+def suite(scale: str = "small") -> list[MatrixRecord]:
+    """Build the synthetic suite at the requested scale.
+
+    Matrices are deterministic: the seed is derived from the name, so a
+    record's matrix is identical across processes and runs.
+    """
+    sizes = _sizes(scale)
+    records: list[MatrixRecord] = []
+
+    def add(name: str, group: str, fn: Callable[[], sp.csr_matrix]) -> None:
+        records.append(MatrixRecord(name=name, group=group, build=fn))
+
+    for i, m in enumerate(sizes):
+        seed = 1000 + i
+        add(f"rand_{m}", "random",
+            lambda m=m, s=seed: g.random_uniform(m, m, nnz_per_row=8, seed=s))
+        add(f"rand_dense_{m}", "random",
+            lambda m=m, s=seed: g.random_uniform(m, m, nnz_per_row=32, seed=s + 1))
+        # Band widths are capped so the generator's dense candidate
+        # rectangle (rows x offsets) stays well under memory at the
+        # largest medium-scale sizes.
+        add(f"band_{m}", "banded",
+            lambda m=m, s=seed: g.banded(m, half_bandwidth=max(4, min(64, m // 256)), seed=s + 2))
+        add(f"band_ragged_{m}", "banded",
+            lambda m=m, s=seed: g.banded(m, half_bandwidth=max(8, min(96, m // 128)), fill=0.5, seed=s + 3))
+        add(f"fem3_{m}", "fem",
+            lambda m=m, s=seed: g.fem_blocks(max(8, m // 3), block=3, seed=s + 4))
+        add(f"fem6_{m}", "fem",
+            lambda m=m, s=seed: g.fem_blocks(max(4, m // 6), block=6, seed=s + 5))
+        add(f"powerlaw_{m}", "graph",
+            lambda m=m, s=seed: g.power_law(m, avg_degree=6, seed=s + 6))
+        add(f"diag5_{m}", "diagonal",
+            lambda m=m, s=seed: g.diagonal_bands(m, n_diags=5, spread=max(2, m // 64), seed=s + 7))
+        add(f"blocks16_{m}", "dense-block",
+            lambda m=m, s=seed: g.block_random(m, block=16, fill=0.95, seed=s + 8))
+        add(f"hyper_{m}", "hypersparse",
+            lambda m=m, s=seed: g.hypersparse(m, nnz=max(8, m // 2), seed=s + 9))
+        add(f"lp_{m}", "lp",
+            lambda m=m, s=seed: g.lp_like(max(32, m // 4), m, seed=s + 10))
+        # A 20-wide border is deliberately not 16-aligned: the border's
+        # last tile row/column holds 4 dense rows/columns, the DnsRow and
+        # DnsCol showcase.
+        add(f"arrow_{m}", "arrow",
+            lambda m=m, s=seed: g.gupta_arrow(m, border=min(20, max(4, m // 8)), seed=s + 11))
+
+    # Structured one-offs that exist at a single characteristic size.
+    top = sizes[-1]
+    add("stencil5", "stencil", lambda: g.stencil_2d(int(top ** 0.5) * 2, points=5, seed=7))
+    add("stencil9", "stencil", lambda: g.stencil_2d(int(top ** 0.5) * 2, points=9, seed=8))
+    add("stencil3d7", "stencil", lambda: g.stencil_3d(max(8, int(round(top ** (1 / 3)))), points=7, seed=14))
+    add("kron", "graph", lambda: g.kronecker_graph(power=max(8, top.bit_length() - 3), seed=15))
+    add("blocktri", "dense-block", lambda: g.block_tridiagonal(max(4, top // 256), block=16, seed=16))
+    add("circuit", "arrow", lambda: g.circuit_like(min(top, 8192), n_rails=3, seed=17))
+    add("rmat", "graph", lambda: g.rmat(scale=max(8, top.bit_length() - 1), edge_factor=8, seed=9))
+    add("dense_corner", "dense-block", lambda: g.dense_corner(min(2048, top), corner_frac=0.3, seed=10))
+    if scale == "medium":
+        # Past the paper's ~1.8M-nnz DeferredCOO crossover: the regime
+        # where COO tiles dominate and extraction to CSR5 pays off.
+        add("powerlaw_xl", "graph", lambda: g.power_law(1_000_000, avg_degree=6, seed=11))
+        add("hyper_xl", "hypersparse", lambda: g.hypersparse(4_000_000, nnz=2_500_000, seed=12))
+        add("rmat_xl", "graph", lambda: g.rmat(scale=18, edge_factor=12, seed=13))
+    return records
+
+
+def suite_names(scale: str = "small") -> list[str]:
+    return [r.name for r in suite(scale)]

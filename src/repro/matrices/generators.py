@@ -1,0 +1,394 @@
+"""Deterministic sparse-matrix generators, one per structural class.
+
+Each generator is fully vectorised (no per-nonzero Python loops) and
+seeded, so the whole synthetic collection is reproducible bit-for-bit.
+Duplicate coordinates produced by random generators are merged by the
+CSR constructor (values sum, which keeps spectra unremarkable but has no
+effect on the structure-driven experiments here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "random_uniform",
+    "banded",
+    "stencil_2d",
+    "stencil_3d",
+    "fem_blocks",
+    "power_law",
+    "rmat",
+    "kronecker_graph",
+    "lp_like",
+    "dense_corner",
+    "diagonal_bands",
+    "block_random",
+    "block_tridiagonal",
+    "hypersparse",
+    "gupta_arrow",
+    "circuit_like",
+]
+
+
+def _values(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Nonzero values: uniform in [0.5, 1.5) so no cancellation surprises."""
+    return rng.uniform(0.5, 1.5, size=n)
+
+
+def _finalize(rows, cols, vals, m, n) -> sp.csr_matrix:
+    mat = sp.csr_matrix(
+        (np.asarray(vals, dtype=np.float64), (np.asarray(rows), np.asarray(cols))),
+        shape=(m, n),
+    )
+    mat.sum_duplicates()
+    mat.sort_indices()
+    return mat
+
+
+def random_uniform(m: int, n: int, nnz_per_row: float, seed: int = 0) -> sp.csr_matrix:
+    """Uniformly random pattern with ~``nnz_per_row`` nonzeros per row."""
+    rng = np.random.default_rng(seed)
+    total = int(m * nnz_per_row)
+    rows = rng.integers(0, m, size=total)
+    cols = rng.integers(0, n, size=total)
+    return _finalize(rows, cols, _values(rng, total), m, n)
+
+
+def banded(m: int, half_bandwidth: int, fill: float = 1.0, seed: int = 0) -> sp.csr_matrix:
+    """Band matrix: nonzeros within ``half_bandwidth`` of the diagonal.
+
+    ``fill`` < 1 drops entries at random inside the band, producing the
+    ragged bands typical of reordered FEM problems.
+    """
+    rng = np.random.default_rng(seed)
+    offsets = np.arange(-half_bandwidth, half_bandwidth + 1)
+    rows = np.repeat(np.arange(m), offsets.size)
+    cols = rows + np.tile(offsets, m)
+    keep = (cols >= 0) & (cols < m)
+    if fill < 1.0:
+        keep &= rng.random(rows.size) < fill
+    rows, cols = rows[keep], cols[keep]
+    return _finalize(rows, cols, _values(rng, rows.size), m, m)
+
+
+def stencil_2d(grid: int, points: int = 5, seed: int = 0) -> sp.csr_matrix:
+    """5- or 9-point Laplacian stencil on a ``grid`` x ``grid`` mesh."""
+    if points not in (5, 9):
+        raise ValueError("points must be 5 or 9")
+    rng = np.random.default_rng(seed)
+    m = grid * grid
+    ii, jj = np.meshgrid(np.arange(grid), np.arange(grid), indexing="ij")
+    idx = (ii * grid + jj).ravel()
+    if points == 5:
+        offs = [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)]
+    else:
+        offs = [(di, dj) for di in (-1, 0, 1) for dj in (-1, 0, 1)]
+    rows_list, cols_list = [], []
+    for di, dj in offs:
+        ni, nj = ii + di, jj + dj
+        ok = ((ni >= 0) & (ni < grid) & (nj >= 0) & (nj < grid)).ravel()
+        rows_list.append(idx[ok])
+        cols_list.append((ni * grid + nj).ravel()[ok])
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return _finalize(rows, cols, _values(rng, rows.size), m, m)
+
+
+def fem_blocks(
+    n_nodes: int,
+    block: int = 3,
+    avg_degree: float = 8.0,
+    bandwidth_frac: float = 0.05,
+    seed: int = 0,
+) -> sp.csr_matrix:
+    """FEM-style matrix: dense ``block`` x ``block`` couplings between nodes.
+
+    Models matrices like *cant*, *pwtk*, *ldoor*: each mesh node carries
+    ``block`` degrees of freedom, and node adjacency is band-limited
+    (graph-reordered meshes have bounded bandwidth).  The resulting
+    matrix has size ``n_nodes*block`` and abundant small dense blocks —
+    the structure BSR and the Dns/ELL tile formats thrive on.
+    """
+    rng = np.random.default_rng(seed)
+    n_edges = int(n_nodes * avg_degree / 2)
+    bw = max(1, int(n_nodes * bandwidth_frac))
+    src = rng.integers(0, n_nodes, size=n_edges)
+    dst = src + rng.integers(-bw, bw + 1, size=n_edges)
+    dst = np.clip(dst, 0, n_nodes - 1)
+    # Symmetrise and add the diagonal (every node couples to itself).
+    node_r = np.concatenate([src, dst, np.arange(n_nodes)])
+    node_c = np.concatenate([dst, src, np.arange(n_nodes)])
+    # Expand each node pair into a dense block x block coupling.
+    bi, bj = np.meshgrid(np.arange(block), np.arange(block), indexing="ij")
+    bi, bj = bi.ravel(), bj.ravel()
+    rows = (node_r[:, None] * block + bi[None, :]).ravel()
+    cols = (node_c[:, None] * block + bj[None, :]).ravel()
+    m = n_nodes * block
+    return _finalize(rows, cols, _values(rng, rows.size), m, m)
+
+
+def power_law(m: int, avg_degree: float = 4.0, alpha: float = 2.1, seed: int = 0) -> sp.csr_matrix:
+    """Scale-free graph adjacency: Zipf degrees, preferential endpoints.
+
+    Models web/social graphs (*in-2004*, *webbase-1M*): a few hub rows
+    and columns, a long tail of near-empty rows, and essentially no 2D
+    locality — the COO-tile-dominated class that motivates DeferredCOO.
+    """
+    rng = np.random.default_rng(seed)
+    total = int(m * avg_degree)
+    # Endpoint weights ~ rank^{-1/(alpha-1)} (Zipf-ish stationary degrees).
+    weights = np.arange(1, m + 1, dtype=np.float64) ** (-1.0 / (alpha - 1.0))
+    weights /= weights.sum()
+    rows = rng.choice(m, size=total, p=weights)
+    cols = rng.choice(m, size=total, p=weights)
+    # Scatter hub identities so structure isn't an accidental dense corner.
+    perm = rng.permutation(m)
+    return _finalize(perm[rows], perm[cols], _values(rng, total), m, m)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    probs: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    seed: int = 0,
+) -> sp.csr_matrix:
+    """Recursive-MATrix (Graph500) generator, vectorised over edges."""
+    a, b, c, d = probs
+    if not np.isclose(a + b + c + d, 1.0):
+        raise ValueError("R-MAT probabilities must sum to 1")
+    rng = np.random.default_rng(seed)
+    m = 1 << scale
+    n_edges = m * edge_factor
+    rows = np.zeros(n_edges, dtype=np.int64)
+    cols = np.zeros(n_edges, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(n_edges)
+        # Quadrant choice: (row_bit, col_bit) with probs (a, b, c, d).
+        row_bit = (r >= a + b).astype(np.int64)
+        col_bit = ((r >= a) & (r < a + b) | (r >= a + b + c)).astype(np.int64)
+        rows = (rows << 1) | row_bit
+        cols = (cols << 1) | col_bit
+    return _finalize(rows, cols, _values(rng, n_edges), m, m)
+
+
+def lp_like(m: int, n: int, nnz_per_col: float = 6.0, dense_rows: int = 2, seed: int = 0) -> sp.csr_matrix:
+    """Linear-programming constraint matrix stand-in (*lp_osa_60* class).
+
+    Wide rectangular shape, a handful of dense coupling rows, and
+    columns whose few entries scatter across unrelated rows — no local
+    2D structure at all, which is why BSR's 4x4 dense blocks pad
+    catastrophically on this class.
+    """
+    rng = np.random.default_rng(seed)
+    total = int(n * nnz_per_col)
+    cols = rng.integers(0, n, size=total)
+    rows = rng.integers(dense_rows, m, size=total)
+    dr = np.repeat(np.arange(dense_rows), n)
+    dc = np.tile(np.arange(n), dense_rows)
+    rows = np.concatenate([rows, dr])
+    cols = np.concatenate([cols, dc])
+    return _finalize(rows, cols, _values(rng, rows.size), m, n)
+
+
+def dense_corner(m: int, corner_frac: float = 0.3, tail_nnz_per_row: float = 2.0, seed: int = 0) -> sp.csr_matrix:
+    """A fully dense leading submatrix plus a sparse tail (*exdata_1* class).
+
+    The paper reports >80% of *exdata_1*'s tiles select the Dns format;
+    this generator reproduces that regime with a dense ``corner_frac*m``
+    square corner.
+    """
+    rng = np.random.default_rng(seed)
+    k = max(16, int(m * corner_frac))
+    di, dj = np.meshgrid(np.arange(k), np.arange(k), indexing="ij")
+    rows = [di.ravel()]
+    cols = [dj.ravel()]
+    tail = int(m * tail_nnz_per_row)
+    rows.append(rng.integers(0, m, size=tail))
+    cols.append(rng.integers(0, m, size=tail))
+    rows = np.concatenate(rows)
+    cols = np.concatenate(cols)
+    return _finalize(rows, cols, _values(rng, rows.size), m, m)
+
+
+def diagonal_bands(m: int, n_diags: int = 5, spread: int = 200, seed: int = 0) -> sp.csr_matrix:
+    """A few scattered full diagonals — perfectly ELL-shaped rows."""
+    rng = np.random.default_rng(seed)
+    offs = np.unique(np.concatenate([[0], rng.integers(-spread, spread + 1, size=n_diags - 1)]))
+    rows = np.repeat(np.arange(m), offs.size)
+    cols = rows + np.tile(offs, m)
+    keep = (cols >= 0) & (cols < m)
+    rows, cols = rows[keep], cols[keep]
+    return _finalize(rows, cols, _values(rng, rows.size), m, m)
+
+
+def block_random(m: int, block: int = 16, n_blocks: int | None = None, fill: float = 0.9, seed: int = 0) -> sp.csr_matrix:
+    """Randomly-placed dense blocks of the tile size (*TSOPF* class).
+
+    Aligned ``block`` x ``block`` dense (or near-dense) blocks scattered
+    over the matrix — the best case for the Dns tile format.
+    """
+    rng = np.random.default_rng(seed)
+    nb = m // block
+    if n_blocks is None:
+        n_blocks = nb * 4
+    brows = rng.integers(0, nb, size=n_blocks)
+    bcols = rng.integers(0, nb, size=n_blocks)
+    # Keep the diagonal blocks so no row is empty.
+    brows = np.concatenate([brows, np.arange(nb)])
+    bcols = np.concatenate([bcols, np.arange(nb)])
+    bi, bj = np.meshgrid(np.arange(block), np.arange(block), indexing="ij")
+    bi, bj = bi.ravel(), bj.ravel()
+    rows = (brows[:, None] * block + bi[None, :]).ravel()
+    cols = (bcols[:, None] * block + bj[None, :]).ravel()
+    if fill < 1.0:
+        keep = rng.random(rows.size) < fill
+        rows, cols = rows[keep], cols[keep]
+    return _finalize(rows, cols, _values(rng, rows.size), m, m)
+
+
+def hypersparse(m: int, nnz: int, seed: int = 0) -> sp.csr_matrix:
+    """Far fewer nonzeros than rows — nearly every occupied tile is COO."""
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, m, size=nnz)
+    cols = rng.integers(0, m, size=nnz)
+    return _finalize(rows, cols, _values(rng, nnz), m, m)
+
+
+def gupta_arrow(m: int, border: int = 32, interior_nnz_per_row: float = 4.0, seed: int = 0) -> sp.csr_matrix:
+    """Arrow structure: dense border rows/columns + sparse interior (*gupta3*).
+
+    Dense borders make whole tile rows/columns dense (DnsRow/DnsCol
+    candidates) while the interior stays scattered.  The interior starts
+    at the next 16-aligned index past the border so the border's last
+    partial tile row/column keeps only its dense rows/columns — the
+    exact DnsRow/DnsCol pattern of the paper's Fig 3.
+    """
+    rng = np.random.default_rng(seed)
+    rows_b = np.repeat(np.arange(border), m)
+    cols_b = np.tile(np.arange(m), border)
+    pad = min(m - 1, -(-border // 16) * 16)
+    total = int(m * interior_nnz_per_row)
+    rows_i = rng.integers(pad, m, size=total)
+    cols_i = rng.integers(pad, m, size=total)
+    # Border rows AND border columns: transpose the border block too.
+    rows = np.concatenate([rows_b, cols_b, rows_i])
+    cols = np.concatenate([cols_b, rows_b, cols_i])
+    return _finalize(rows, cols, _values(rng, rows.size), m, m)
+
+
+def stencil_3d(grid: int, points: int = 7, seed: int = 0) -> sp.csr_matrix:
+    """7- or 27-point stencil on a ``grid``^3 mesh (CFD/heat problems)."""
+    if points not in (7, 27):
+        raise ValueError("points must be 7 or 27")
+    rng = np.random.default_rng(seed)
+    idx = np.arange(grid**3)
+    ii = idx // (grid * grid)
+    jj = (idx // grid) % grid
+    kk = idx % grid
+    if points == 7:
+        offs = [(0, 0, 0), (-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)]
+    else:
+        offs = [
+            (di, dj, dk)
+            for di in (-1, 0, 1)
+            for dj in (-1, 0, 1)
+            for dk in (-1, 0, 1)
+        ]
+    rows_list, cols_list = [], []
+    for di, dj, dk in offs:
+        ni, nj, nk = ii + di, jj + dj, kk + dk
+        ok = (
+            (ni >= 0) & (ni < grid) & (nj >= 0) & (nj < grid) & (nk >= 0) & (nk < grid)
+        )
+        rows_list.append(idx[ok])
+        cols_list.append((ni * grid * grid + nj * grid + nk)[ok])
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return _finalize(rows, cols, _values(rng, rows.size), grid**3, grid**3)
+
+
+def kronecker_graph(
+    initiator: np.ndarray | None = None, power: int = 6, seed: int = 0
+) -> sp.csr_matrix:
+    """Stochastic-Kronecker graph: ``power``-fold Kronecker of an initiator.
+
+    The deterministic backbone of R-MAT; self-similar community
+    structure with heavy-tailed degrees.  The initiator defaults to the
+    Graph500 2x2 probabilities, sampled per Kronecker cell.
+
+    Up to ``power`` 10 the dense Kronecker probability matrix is
+    materialised and sampled exactly (a Bernoulli per cell); beyond that
+    the dense matrix would cost gigabytes, so edges are drawn per level
+    from the normalised initiator — the R-MAT view of the same model,
+    with the expected edge count preserved.
+    """
+    rng = np.random.default_rng(seed)
+    if initiator is None:
+        initiator = np.array([[0.9, 0.5], [0.5, 0.1]])
+    initiator = np.asarray(initiator, dtype=np.float64)
+    k = initiator.shape[0]
+    if initiator.shape != (k, k):
+        raise ValueError("initiator must be square")
+    n = k**power
+    if power <= 10:
+        probs = initiator.copy()
+        for _ in range(power - 1):
+            probs = np.kron(probs, initiator)
+        keep = rng.random(probs.shape) < probs
+        rows, cols = np.nonzero(keep)
+        return _finalize(rows, cols, _values(rng, rows.size), n, n)
+    # Sampling path: expected nnz = (sum of initiator)^power edges, each
+    # choosing one initiator cell per Kronecker level.
+    n_edges = int(round(initiator.sum() ** power))
+    cell_probs = (initiator / initiator.sum()).ravel()
+    rows = np.zeros(n_edges, dtype=np.int64)
+    cols = np.zeros(n_edges, dtype=np.int64)
+    for _ in range(power):
+        cells = rng.choice(k * k, size=n_edges, p=cell_probs)
+        rows = rows * k + cells // k
+        cols = cols * k + cells % k
+    return _finalize(rows, cols, _values(rng, n_edges), n, n)
+
+
+def block_tridiagonal(n_blocks: int, block: int = 16, seed: int = 0) -> sp.csr_matrix:
+    """Dense blocks on the tridiagonal — 1D domain-decomposition structure.
+
+    With ``block`` equal to the tile size, every occupied tile is
+    completely dense: the pure-Dns showcase.
+    """
+    rng = np.random.default_rng(seed)
+    pairs = [(i, i) for i in range(n_blocks)]
+    pairs += [(i, i + 1) for i in range(n_blocks - 1)]
+    pairs += [(i + 1, i) for i in range(n_blocks - 1)]
+    brow = np.array([p[0] for p in pairs])
+    bcol = np.array([p[1] for p in pairs])
+    bi, bj = np.meshgrid(np.arange(block), np.arange(block), indexing="ij")
+    rows = (brow[:, None] * block + bi.ravel()[None, :]).ravel()
+    cols = (bcol[:, None] * block + bj.ravel()[None, :]).ravel()
+    m = n_blocks * block
+    return _finalize(rows, cols, _values(rng, rows.size), m, m)
+
+
+def circuit_like(
+    m: int, avg_degree: float = 3.0, n_rails: int = 2, seed: int = 0
+) -> sp.csr_matrix:
+    """Circuit-simulation structure: sparse rows + a few dense rails.
+
+    Modified nodal analysis matrices mix a near-diagonal sparse body
+    (device stamps) with a handful of dense rows/columns (power rails,
+    ground) — a DnsRow/DnsCol generator at realistic sparsity.
+    """
+    rng = np.random.default_rng(seed)
+    total = int(m * avg_degree)
+    body_rows = rng.integers(0, m, size=total)
+    spread = np.maximum(1, rng.geometric(0.05, size=total))
+    body_cols = np.clip(body_rows + rng.choice([-1, 1], size=total) * spread, 0, m - 1)
+    diag = np.arange(m)
+    rails = rng.choice(m, size=n_rails, replace=False)
+    rail_rows = np.repeat(rails, m)
+    rail_cols = np.tile(np.arange(m), n_rails)
+    rows = np.concatenate([body_rows, diag, rail_rows, rail_cols])
+    cols = np.concatenate([body_cols, diag, rail_cols, rail_rows])
+    return _finalize(rows, cols, _values(rng, rows.size), m, m)

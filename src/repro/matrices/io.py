@@ -1,0 +1,74 @@
+"""Minimal Matrix Market (.mtx) reader/writer.
+
+SuiteSparse distributes matrices in Matrix Market coordinate format; a
+user pointing this reproduction at real downloaded matrices needs the
+same entry point.  Supports the ``matrix coordinate
+real|integer|pattern general|symmetric`` subset, which covers the entire
+SuiteSparse collection for SpMV purposes.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+
+def read_matrix_market(path: str | Path) -> sp.csr_matrix:
+    """Parse a Matrix Market coordinate file into CSR."""
+    with open(path, "r", encoding="ascii") as fh:
+        header = fh.readline().strip().lower().split()
+        if len(header) < 5 or header[0] != "%%matrixmarket" or header[1] != "matrix":
+            raise ValueError(f"{path}: not a Matrix Market matrix file")
+        layout, field, symmetry = header[2], header[3], header[4]
+        if layout != "coordinate":
+            raise ValueError(f"{path}: only coordinate layout supported, got {layout!r}")
+        if field not in ("real", "integer", "pattern"):
+            raise ValueError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric", "skew-symmetric"):
+            raise ValueError(f"{path}: unsupported symmetry {symmetry!r}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        m, n, nnz = (int(tok) for tok in line.split())
+        body = np.loadtxt(fh, ndmin=2) if nnz else np.empty((0, 3))
+    if body.shape[0] != nnz:
+        raise ValueError(f"{path}: expected {nnz} entries, found {body.shape[0]}")
+    rows = body[:, 0].astype(np.int64) - 1
+    cols = body[:, 1].astype(np.int64) - 1
+    if field == "pattern":
+        vals = np.ones(nnz, dtype=np.float64)
+    else:
+        vals = body[:, 2].astype(np.float64)
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows = np.concatenate([rows, cols[off]])
+        cols = np.concatenate([cols, body[off, 0].astype(np.int64) - 1])
+        vals = np.concatenate([vals, sign * vals[off]])
+    mat = sp.csr_matrix((vals, (rows, cols)), shape=(m, n))
+    mat.sum_duplicates()
+    mat.sort_indices()
+    return mat
+
+
+def write_matrix_market(path: str | Path, matrix: sp.spmatrix, comment: str = "") -> None:
+    """Write a sparse matrix as general real coordinate Matrix Market."""
+    coo = matrix.tocoo()
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{coo.shape[0]} {coo.shape[1]} {coo.nnz}\n")
+        buf = _io.StringIO()
+        np.savetxt(
+            buf,
+            np.column_stack([coo.row + 1, coo.col + 1, coo.data]),
+            fmt=("%d", "%d", "%.17g"),
+        )
+        fh.write(buf.getvalue())

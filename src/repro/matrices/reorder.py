@@ -1,0 +1,100 @@
+"""Bandwidth-reducing reordering (reverse Cuthill-McKee).
+
+TileSpMV's motivation (§II.B) is 2D spatial structure: nonzeros
+clustered into tiles.  A bandwidth-reducing symmetric permutation
+*creates* that structure on matrices whose natural ordering scatters it,
+so RCM is the classic preprocessing companion of any tiled format.
+Implemented from scratch (BFS from a pseudo-peripheral vertex, visiting
+neighbours in increasing-degree order, reversed); validated against
+scipy's implementation in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["reverse_cuthill_mckee", "apply_symmetric_permutation", "bandwidth"]
+
+
+def bandwidth(matrix: sp.spmatrix) -> int:
+    """Maximum |i - j| over the nonzeros."""
+    coo = matrix.tocoo()
+    if coo.nnz == 0:
+        return 0
+    return int(np.abs(coo.row.astype(np.int64) - coo.col.astype(np.int64)).max())
+
+
+def _pseudo_peripheral(indptr: np.ndarray, indices: np.ndarray, start: int) -> int:
+    """Find a vertex of (near-)maximal eccentricity by repeated BFS."""
+    n = indptr.size - 1
+    current = start
+    last_depth = -1
+    for _ in range(8):  # converges in a couple of sweeps in practice
+        depth = np.full(n, -1, dtype=np.int64)
+        depth[current] = 0
+        frontier = [current]
+        d = 0
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in indices[indptr[u] : indptr[u + 1]]:
+                    if depth[v] < 0:
+                        depth[v] = d + 1
+                        nxt.append(int(v))
+            frontier = nxt
+            d += 1
+        far = int(np.argmax(depth))
+        if depth[far] <= last_depth:
+            return current
+        last_depth = int(depth[far])
+        current = far
+    return current
+
+
+def reverse_cuthill_mckee(matrix: sp.spmatrix) -> np.ndarray:
+    """RCM permutation of the symmetrised pattern of ``matrix``.
+
+    Returns ``perm`` such that ``A[perm][:, perm]`` has (near-)minimal
+    bandwidth.  Handles disconnected graphs by restarting from the
+    lowest-degree unvisited vertex.
+    """
+    csr = matrix.tocsr()
+    if csr.shape[0] != csr.shape[1]:
+        raise ValueError("RCM requires a square matrix")
+    pattern = csr + csr.T
+    pattern = pattern.tocsr()
+    pattern.sort_indices()
+    indptr, indices = pattern.indptr, pattern.indices
+    n = pattern.shape[0]
+    degree = np.diff(indptr)
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    deg_order = np.argsort(degree, kind="stable")
+    deg_cursor = 0
+    while pos < n:
+        while deg_cursor < n and visited[deg_order[deg_cursor]]:
+            deg_cursor += 1
+        seed = _pseudo_peripheral(indptr, indices, int(deg_order[deg_cursor]))
+        visited[seed] = True
+        order[pos] = seed
+        head = pos
+        pos += 1
+        while head < pos:
+            u = order[head]
+            head += 1
+            nbrs = indices[indptr[u] : indptr[u + 1]]
+            fresh = nbrs[~visited[nbrs]]
+            if fresh.size:
+                fresh = fresh[np.argsort(degree[fresh], kind="stable")]
+                visited[fresh] = True
+                order[pos : pos + fresh.size] = fresh
+                pos += fresh.size
+    return order[::-1].copy()
+
+
+def apply_symmetric_permutation(matrix: sp.spmatrix, perm: np.ndarray) -> sp.csr_matrix:
+    """Return ``A[perm][:, perm]`` as CSR."""
+    csr = matrix.tocsr()
+    return csr[perm][:, perm].tocsr()

@@ -1,0 +1,31 @@
+"""Shared low-level utilities for the TileSpMV reproduction."""
+
+from repro.util.packing import (
+    pack_nibble_pairs,
+    pack_nibbles,
+    unpack_nibble_pairs,
+    unpack_nibbles,
+)
+from repro.util.segments import (
+    lengths_to_offsets,
+    offsets_to_lengths,
+    repeat_offsets,
+    segment_local_index,
+    segment_max,
+    segment_sum,
+)
+from repro.util.timer import Timer
+
+__all__ = [
+    "pack_nibbles",
+    "unpack_nibbles",
+    "pack_nibble_pairs",
+    "unpack_nibble_pairs",
+    "lengths_to_offsets",
+    "offsets_to_lengths",
+    "repeat_offsets",
+    "segment_local_index",
+    "segment_sum",
+    "segment_max",
+    "Timer",
+]

@@ -1,0 +1,85 @@
+"""Bit-packing helpers for 4-bit tile-local indices.
+
+TileSpMV stores tiles of size 16x16, so a tile-local row or column index
+fits in 4 bits.  The paper packs two such indices into one ``unsigned
+char``: either two consecutive column indices of the CSR payload
+(``csrColIdx``) or the (row, col) pair of a COO entry.  These helpers
+implement both layouts, vectorised over whole arrays.
+
+All functions operate on ``numpy.uint8`` arrays and are exact inverses of
+each other (property-tested in ``tests/util/test_packing.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pack_nibbles",
+    "unpack_nibbles",
+    "pack_nibble_pairs",
+    "unpack_nibble_pairs",
+]
+
+
+def pack_nibbles(values: np.ndarray) -> np.ndarray:
+    """Pack a sequence of 4-bit values two-per-byte.
+
+    Element ``2*i`` lands in the high nibble of byte ``i`` and element
+    ``2*i + 1`` in the low nibble.  Odd-length input is padded with a zero
+    nibble; callers recover the original length from their own metadata
+    (the paper keeps per-tile nonzero counts in ``tileNnz``).
+
+    Parameters
+    ----------
+    values:
+        Integer array with every element in ``[0, 16)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint8`` array of length ``ceil(len(values) / 2)``.
+    """
+    values = np.asarray(values)
+    if values.size and (values.min() < 0 or values.max() > 15):
+        raise ValueError("nibble values must be in [0, 16)")
+    padded = np.zeros(((values.size + 1) // 2) * 2, dtype=np.uint8)
+    padded[: values.size] = values.astype(np.uint8)
+    high = padded[0::2]
+    low = padded[1::2]
+    return ((high << 4) | low).astype(np.uint8)
+
+
+def unpack_nibbles(packed: np.ndarray, count: int) -> np.ndarray:
+    """Invert :func:`pack_nibbles`, returning the first ``count`` values."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    if count > 2 * packed.size:
+        raise ValueError(f"cannot unpack {count} nibbles from {packed.size} bytes")
+    out = np.empty(2 * packed.size, dtype=np.uint8)
+    out[0::2] = packed >> 4
+    out[1::2] = packed & 0x0F
+    return out[:count]
+
+
+def pack_nibble_pairs(high: np.ndarray, low: np.ndarray) -> np.ndarray:
+    """Pack aligned (high, low) 4-bit pairs into single bytes.
+
+    Used for COO entries: the 4-bit tile-local row index goes in the high
+    nibble and the 4-bit column index in the low nibble, giving one byte
+    per nonzero exactly as in the paper's ``cooRowIdx``/``cooColIdx``
+    packing.
+    """
+    high = np.asarray(high)
+    low = np.asarray(low)
+    if high.shape != low.shape:
+        raise ValueError("high/low arrays must have identical shapes")
+    for arr, name in ((high, "high"), (low, "low")):
+        if arr.size and (arr.min() < 0 or arr.max() > 15):
+            raise ValueError(f"{name} nibble values must be in [0, 16)")
+    return ((high.astype(np.uint8) << 4) | low.astype(np.uint8)).astype(np.uint8)
+
+
+def unpack_nibble_pairs(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`pack_nibble_pairs`; returns ``(high, low)``."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    return (packed >> 4).astype(np.uint8), (packed & 0x0F).astype(np.uint8)

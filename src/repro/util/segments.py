@@ -1,0 +1,78 @@
+"""Vectorised segment (ragged-array) primitives.
+
+The tiled storage keeps per-tile payloads concatenated into flat arrays
+with CSR-style offset arrays delimiting each tile.  These helpers provide
+the handful of segment operations every encoder and kernel needs, built on
+``numpy`` so that whole-collection preprocessing stays vectorised (the
+hpc-parallel guides' first rule: no Python-level loops over nonzeros).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "lengths_to_offsets",
+    "offsets_to_lengths",
+    "repeat_offsets",
+    "segment_local_index",
+    "segment_sum",
+    "segment_max",
+]
+
+
+def lengths_to_offsets(lengths: np.ndarray, dtype=np.int64) -> np.ndarray:
+    """Exclusive prefix sum: segment lengths -> CSR-style offsets.
+
+    ``offsets`` has one more element than ``lengths`` and
+    ``offsets[i]:offsets[i+1]`` delimits segment ``i``.
+    """
+    lengths = np.asarray(lengths)
+    offsets = np.zeros(lengths.size + 1, dtype=dtype)
+    np.cumsum(lengths, out=offsets[1:])
+    return offsets
+
+
+def offsets_to_lengths(offsets: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`lengths_to_offsets`."""
+    offsets = np.asarray(offsets)
+    return np.diff(offsets)
+
+
+def repeat_offsets(offsets: np.ndarray) -> np.ndarray:
+    """Return the segment id of every element described by ``offsets``.
+
+    Equivalent to ``np.repeat(np.arange(n), lengths)`` but named for
+    intent.  The result has length ``offsets[-1]``.
+    """
+    offsets = np.asarray(offsets)
+    lengths = np.diff(offsets)
+    return np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+
+
+def segment_local_index(offsets: np.ndarray) -> np.ndarray:
+    """Position of every element within its own segment (0, 1, 2, ...).
+
+    Computed without a loop: a global ``arange`` minus each element's
+    segment start.
+    """
+    offsets = np.asarray(offsets)
+    total = int(offsets[-1])
+    seg_ids = repeat_offsets(offsets)
+    return np.arange(total, dtype=np.int64) - offsets[seg_ids]
+
+
+def segment_sum(values: np.ndarray, seg_ids: np.ndarray, n_segments: int) -> np.ndarray:
+    """Sum ``values`` grouped by ``seg_ids`` into ``n_segments`` buckets."""
+    values = np.asarray(values)
+    out = np.zeros(n_segments, dtype=values.dtype if values.dtype.kind == "f" else np.int64)
+    np.add.at(out, seg_ids, values)
+    return out
+
+
+def segment_max(values: np.ndarray, seg_ids: np.ndarray, n_segments: int, initial=0) -> np.ndarray:
+    """Max of ``values`` grouped by ``seg_ids`` (``initial`` for empties)."""
+    values = np.asarray(values)
+    out = np.full(n_segments, initial, dtype=values.dtype)
+    np.maximum.at(out, seg_ids, values)
+    return out

@@ -1,0 +1,102 @@
+"""Analysis-layer tests: format shares, space costs, perf summaries, tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.perf import evaluate_baselines, evaluate_methods, speedup_summary
+from repro.analysis.space import space_costs
+from repro.analysis.stats import aggregate_format_shares, matrix_format_counts
+from repro.analysis.tables import format_table
+from repro.formats import FormatID
+from repro.gpu.device import A100, TITAN_RTX
+from repro.matrices import fem_blocks, hypersparse, power_law, random_uniform
+
+
+class TestFormatShares:
+    def test_counts_sum_to_totals(self, zoo_matrix):
+        share = matrix_format_counts(zoo_matrix)
+        assert share.total_nnz == zoo_matrix.nnz
+        assert share.total_tiles > 0
+
+    def test_ratios_sum_to_one(self, zoo_matrix):
+        share = matrix_format_counts(zoo_matrix)
+        assert sum(share.tile_ratio(f) for f in FormatID) == pytest.approx(1.0)
+        assert sum(share.nnz_ratio(f) for f in FormatID) == pytest.approx(1.0)
+
+    def test_aggregate_pools(self):
+        shares = [
+            matrix_format_counts(random_uniform(100, 100, 3, seed=s)) for s in (1, 2)
+        ]
+        total = aggregate_format_shares(shares)
+        assert total.total_nnz == sum(s.total_nnz for s in shares)
+
+    def test_hypersparse_is_coo_dominated(self):
+        share = matrix_format_counts(hypersparse(800, nnz=100, seed=1))
+        assert share.tile_ratio(FormatID.COO) > 0.9
+
+
+class TestSpaceCosts:
+    def test_fields_consistent(self, zoo_matrix):
+        c = space_costs("m", zoo_matrix)
+        assert c.nnz == zoo_matrix.nnz
+        assert c.csr_bytes == 4 * (zoo_matrix.shape[0] + 1) + 12 * zoo_matrix.nnz
+        assert c.tile_csr_ratio > 0 and c.tile_adpt_ratio > 0
+
+    def test_scattered_tile_csr_inflates(self):
+        """The Fig 10 spike: near-empty tiles pay full row pointers.
+
+        Needs nnz >> m (otherwise standard CSR's own m+1 row pointer
+        dominates and masks the per-tile overhead).
+        """
+        c = space_costs("scatter", random_uniform(2000, 2000, nnz_per_row=4, seed=2))
+        assert c.tile_csr_ratio > 1.5
+        assert c.tile_adpt_ratio < c.tile_csr_ratio
+
+    def test_structured_tile_csr_comparable(self):
+        c = space_costs("fem", fem_blocks(200, block=3, avg_degree=10, seed=3))
+        assert c.tile_csr_ratio < 1.2  # packed indices offset the pointers
+
+
+class TestPerfEvaluation:
+    def test_evaluate_methods_rows(self):
+        a = random_uniform(200, 200, 5, seed=4)
+        rows = evaluate_methods("m", a, ("csr", "adpt"), (A100, TITAN_RTX))
+        assert len(rows) == 4
+        assert {r.device for r in rows} == {"A100", "Titan RTX"}
+        assert all(r.gflops > 0 and r.time_s > 0 for r in rows)
+
+    def test_evaluate_baselines_rows(self):
+        a = random_uniform(200, 200, 5, seed=5)
+        rows = evaluate_baselines("m", a, (A100,))
+        assert {r.method for r in rows} == {"Merge-SpMV", "CSR5", "BSR"}
+
+    def test_speedup_summary(self):
+        a1 = random_uniform(200, 200, 5, seed=6)
+        a2 = power_law(300, avg_degree=4, seed=7)
+        rows = []
+        for name, mat in (("a1", a1), ("a2", a2)):
+            rows += evaluate_methods(name, mat, ("adpt",), (A100,))
+            rows += evaluate_baselines(name, mat, (A100,))
+        s = speedup_summary(rows, "TileSpMV_adpt", "BSR", "A100")
+        assert s.n_matrices == 2
+        assert 0 <= s.wins <= 2
+        assert s.max_speedup > 0 and s.geomean_speedup > 0
+        assert s.max_speedup_matrix in ("a1", "a2")
+
+    def test_speedup_summary_empty(self):
+        s = speedup_summary([], "x", "y", "A100")
+        assert s.n_matrices == 0 and s.wins == 0
+
+
+class TestTables:
+    def test_alignment_and_content(self):
+        out = format_table(["a", "bb"], [(1, 2.5), (10, 0.001)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(l) for l in lines[1:]}) == 1  # all rows same width
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [(12345.678,), (0.0001234,), (0.0,)])
+        assert "1.23e+04" in out or "12345" in out or "1.23e4" in out
+        assert "0.000123" in out

@@ -1,0 +1,71 @@
+"""CSV export tests."""
+
+import csv
+import io
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.export import rows_to_csv, write_csv
+from repro.analysis.perf import MethodResult
+
+
+@dataclass
+class _Point:
+    name: str
+    value: float
+
+    @property
+    def doubled(self) -> float:
+        return 2 * self.value
+
+
+class TestRowsToCsv:
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_dataclass_rows(self):
+        out = rows_to_csv([_Point("a", 1.5), _Point("b", 2.0)])
+        parsed = list(csv.DictReader(io.StringIO(out)))
+        assert parsed[0]["name"] == "a"
+        assert float(parsed[1]["value"]) == 2.0
+
+    def test_properties_included(self):
+        out = rows_to_csv([_Point("a", 3.0)])
+        parsed = list(csv.DictReader(io.StringIO(out)))
+        assert float(parsed[0]["doubled"]) == 6.0
+
+    def test_dict_rows(self):
+        out = rows_to_csv([{"x": 1, "y": 2}])
+        assert "x,y" in out.splitlines()[0]
+
+    def test_rejects_sequences(self):
+        with pytest.raises(TypeError):
+            rows_to_csv([(1, 2, 3)])
+
+    def test_method_results_roundtrip(self):
+        rows = [
+            MethodResult("m1", "TileSpMV_adpt", "A100", 100, 1e-6, 200.0),
+            MethodResult("m2", "CSR5", "A100", 300, 2e-6, 300.0),
+        ]
+        parsed = list(csv.DictReader(io.StringIO(rows_to_csv(rows))))
+        assert parsed[0]["matrix"] == "m1"
+        assert parsed[1]["method"] == "CSR5"
+
+
+class TestWriteCsv:
+    def test_creates_parents(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "nested" / "out.csv", [{"a": 1}])
+        assert path.exists()
+        assert "a" in path.read_text()
+
+
+class TestExperimentRowsExport:
+    def test_fig6_rows_export(self, tmp_path):
+        from repro.experiments import fig6
+
+        rows = fig6.collect("tiny")[:4]
+        path = write_csv(tmp_path / "fig6.csv", rows)
+        parsed = list(csv.DictReader(path.open()))
+        assert "speedup_adpt_over_csr" in parsed[0]
+        assert len(parsed) == 4

@@ -1,0 +1,46 @@
+"""ASCII scatter renderer tests."""
+
+import numpy as np
+
+from repro.analysis.scatter import ascii_scatter
+
+
+class TestAsciiScatter:
+    def test_renders_all_series_glyphs(self):
+        out = ascii_scatter(
+            {
+                "a": ([10, 100], [1.0, 2.0]),
+                "b": ([10, 1000], [3.0, 4.0]),
+            },
+            title="T",
+        )
+        assert "T" in out
+        assert "*=a" in out and "+=b" in out
+        assert "*" in out.split("\n", 2)[2]
+
+    def test_empty_data(self):
+        assert ascii_scatter({"a": ([], [])}) == "(no data)"
+
+    def test_dimensions(self):
+        out = ascii_scatter({"a": ([1, 10], [0.0, 5.0])}, width=40, height=10)
+        body = [l for l in out.splitlines() if "|" in l]
+        assert len(body) == 10
+        assert all(len(l) == len(body[0]) for l in body)
+
+    def test_monotone_points_monotone_rows(self):
+        """Higher y must land on a higher (earlier) grid row."""
+        out = ascii_scatter({"a": ([10, 10000], [1.0, 9.0])}, width=30, height=8)
+        body = [l for l in out.splitlines() if "|" in l]
+        rows = [i for i, l in enumerate(body) if "*" in l]
+        cols = [body[i].index("*") for i in rows]
+        # The high-y point is on an earlier line and a later column.
+        assert rows[0] < rows[1]
+        assert cols[0] > cols[1]
+
+    def test_single_point(self):
+        out = ascii_scatter({"a": ([5], [1.0])})
+        assert "*" in out
+
+    def test_linear_x_mode(self):
+        out = ascii_scatter({"a": ([0, 50], [1.0, 2.0])}, logx=False)
+        assert "[nnz (log) vs GFlops]" in out

@@ -1,0 +1,81 @@
+"""BSR baseline tests: block construction, numerics, padding behaviour."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.bsr import BsrSpMV
+from repro.matrices import fem_blocks, lp_like, random_uniform
+
+
+class TestBlockConstruction:
+    def test_matches_scipy_bsr_block_count(self, zoo_matrix):
+        ours = BsrSpMV(zoo_matrix, block=4)
+        m, n = zoo_matrix.shape
+        pad_m, pad_n = -(-m // 4) * 4, -(-n // 4) * 4
+        padded = sp.csr_matrix((pad_m, pad_n))
+        padded = sp.vstack([
+            sp.hstack([zoo_matrix, sp.csr_matrix((m, pad_n - n))]),
+            sp.csr_matrix((pad_m - m, pad_n)),
+        ]).tocsr()
+        ref = sp.bsr_matrix(padded, blocksize=(4, 4))
+        ref.eliminate_zeros()
+        assert ours.n_blocks == ref.indices.size
+
+    def test_dense_block_values(self):
+        a = sp.csr_matrix(np.arange(16, dtype=float).reshape(4, 4) + 1)
+        engine = BsrSpMV(a, block=4)
+        assert engine.n_blocks == 1
+        np.testing.assert_array_equal(engine.val.reshape(4, 4), a.toarray())
+
+    def test_fill_ratio_one_for_dense_blocks(self):
+        a = fem_blocks(60, block=4, avg_degree=6, seed=1)
+        # 4-dof FEM blocks align with 4x4 BSR blocks -> near-unit fill.
+        assert BsrSpMV(a, block=4).fill_ratio < 1.7
+
+    def test_fill_ratio_catastrophic_for_scatter(self):
+        a = lp_like(200, 800, nnz_per_col=3, seed=2)
+        # One nonzero per block -> ~16 stored slots per nonzero.
+        assert BsrSpMV(a, block=4).fill_ratio > 8.0
+
+
+class TestNumerics:
+    def test_matches_scipy(self, zoo_matrix, rng):
+        x = rng.standard_normal(zoo_matrix.shape[1])
+        engine = BsrSpMV(zoo_matrix)
+        np.testing.assert_allclose(engine.spmv(x), zoo_matrix @ x, rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("block", [2, 4, 8])
+    def test_block_sizes(self, block, rng):
+        a = random_uniform(130, 170, 5, seed=3)
+        x = rng.standard_normal(170)
+        np.testing.assert_allclose(BsrSpMV(a, block=block).spmv(x), a @ x, rtol=1e-10)
+
+    def test_empty_matrix(self):
+        a = sp.csr_matrix((12, 12))
+        np.testing.assert_array_equal(BsrSpMV(a).spmv(np.ones(12)), np.zeros(12))
+
+    def test_rejects_bad_block(self):
+        a = random_uniform(10, 10, 2, seed=4)
+        with pytest.raises(ValueError):
+            BsrSpMV(a, block=0)
+
+
+class TestCosts:
+    def test_padding_inflates_traffic(self):
+        """The paper's 426x mechanism: padded zeros dominate BSR traffic."""
+        scatter = lp_like(200, 800, nnz_per_col=3, seed=5)
+        engine = BsrSpMV(scatter)
+        rc = engine.run_cost()
+        assert rc.payload_bytes > 8 * scatter.nnz * 8  # >8x the values alone
+        assert rc.executed_flops > 8 * rc.useful_flops
+
+    def test_dense_blocks_efficient(self):
+        a = fem_blocks(60, block=4, avg_degree=6, seed=6)
+        rc = BsrSpMV(a, block=4).run_cost()
+        assert rc.executed_flops < 2 * rc.useful_flops
+
+    def test_warp_per_block_row(self):
+        a = random_uniform(64, 64, 4, seed=7)
+        engine = BsrSpMV(a, block=4)
+        assert engine.run_cost().n_warps == engine.mb

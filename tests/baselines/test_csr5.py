@@ -1,0 +1,88 @@
+"""CSR5 tests: transposed tile layout, bit flags, segmented-sum numerics."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.csr5 import OMEGA, Csr5SpMV, _auto_sigma
+from repro.matrices import power_law, random_uniform
+
+
+class TestSigmaHeuristic:
+    def test_sparse_rows_get_shallow_tiles(self):
+        assert _auto_sigma(1000, 1500) == 4
+
+    def test_dense_rows_get_deep_tiles(self):
+        assert _auto_sigma(1000, 100_000) == 16
+
+    def test_explicit_sigma_respected(self):
+        a = random_uniform(100, 100, 5, seed=0)
+        assert Csr5SpMV(a, sigma=8).sigma == 8
+
+
+class TestTileLayout:
+    def test_transposed_permutation(self):
+        a = random_uniform(200, 200, 6, seed=1)
+        engine = Csr5SpMV(a, sigma=4)
+        tn = engine.tile_nnz
+        # Lane w of tile 0 owns original entries w*sigma..(w+1)*sigma-1;
+        # stored position s*omega + w maps back accordingly.
+        for w in (0, 5, 31):
+            for s in range(engine.sigma):
+                stored = s * OMEGA + w
+                assert engine.perm[stored] == w * engine.sigma + s
+
+    def test_bit_flags_reconstruct_row_starts(self):
+        a = random_uniform(300, 300, 5, seed=2)
+        engine = Csr5SpMV(a)
+        got = engine.reconstruct_row_starts()
+        lens = np.diff(engine.indptr)
+        want = np.sort(engine.indptr[:-1][lens > 0])
+        np.testing.assert_array_equal(got, want)
+
+    def test_tile_ptr_rows(self):
+        a = random_uniform(300, 300, 5, seed=3)
+        engine = Csr5SpMV(a, sigma=4)
+        bases = np.arange(engine.n_tiles) * engine.tile_nnz
+        rows = np.searchsorted(engine.indptr, bases, side="right") - 1
+        np.testing.assert_array_equal(engine.tile_ptr, rows)
+
+    def test_padding_marked_invalid(self):
+        a = random_uniform(100, 100, 3, seed=4)
+        engine = Csr5SpMV(a)
+        assert int(engine.stored_valid.sum()) == a.nnz
+
+
+class TestNumerics:
+    def test_matches_scipy(self, zoo_matrix, rng):
+        x = rng.standard_normal(zoo_matrix.shape[1])
+        engine = Csr5SpMV(zoo_matrix)
+        np.testing.assert_allclose(engine.spmv(x), zoo_matrix @ x, rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("sigma", [4, 8, 16, 32])
+    def test_all_sigmas(self, sigma, rng):
+        a = random_uniform(250, 250, 7, seed=5)
+        x = rng.standard_normal(250)
+        np.testing.assert_allclose(Csr5SpMV(a, sigma=sigma).spmv(x), a @ x, rtol=1e-10)
+
+    def test_empty_matrix(self):
+        a = sp.csr_matrix((10, 10))
+        np.testing.assert_array_equal(Csr5SpMV(a).spmv(np.ones(10)), np.zeros(10))
+
+
+class TestCosts:
+    def test_balanced_by_construction(self):
+        a = power_law(3000, avg_degree=5, seed=6)
+        rc = Csr5SpMV(a).run_cost()
+        # Every warp runs exactly one tile of fixed work.
+        assert rc.warp_cycles_max * rc.n_warps == pytest.approx(rc.warp_instructions)
+
+    def test_descriptor_bytes_counted(self):
+        a = random_uniform(400, 400, 8, seed=7)
+        engine = Csr5SpMV(a)
+        assert engine.nbytes_model() > 12 * a.nnz  # payload + descriptors
+
+    def test_carry_atomics(self):
+        a = random_uniform(400, 400, 8, seed=8)
+        engine = Csr5SpMV(a)
+        assert engine.run_cost().atomic_ops == max(engine.n_tiles - 1, 0)

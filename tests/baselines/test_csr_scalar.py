@@ -1,0 +1,38 @@
+"""Scalar CSR baseline tests."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.csr_scalar import CsrScalarSpMV, reference_spmv
+from repro.matrices import power_law, random_uniform
+
+
+class TestReference:
+    def test_reference_is_scipy(self, zoo_matrix, rng):
+        x = rng.standard_normal(zoo_matrix.shape[1])
+        np.testing.assert_allclose(reference_spmv(zoo_matrix, x), zoo_matrix @ x)
+
+
+class TestCsrScalar:
+    def test_matches_scipy(self, zoo_matrix, rng):
+        x = rng.standard_normal(zoo_matrix.shape[1])
+        engine = CsrScalarSpMV(zoo_matrix)
+        np.testing.assert_allclose(engine.spmv(x), zoo_matrix @ x, rtol=1e-10, atol=1e-12)
+
+    def test_empty_rows_zero(self):
+        a = sp.csr_matrix(([1.0], ([5], [3])), shape=(10, 10))
+        y = CsrScalarSpMV(a).spmv(np.ones(10))
+        assert y[5] == 1.0 and y.sum() == 1.0
+
+    def test_tail_sensitive_to_skew(self):
+        """Row-per-thread inherits the longest row as its critical path."""
+        skew = power_law(4000, avg_degree=5, seed=1)
+        uniform = random_uniform(4000, 4000, 5, seed=2)
+        c_skew = CsrScalarSpMV(skew).run_cost()
+        c_uni = CsrScalarSpMV(uniform).run_cost()
+        assert c_skew.warp_cycles_max > 3 * c_uni.warp_cycles_max
+
+    def test_payload_bytes(self, zoo_matrix):
+        engine = CsrScalarSpMV(zoo_matrix)
+        m, nnz = zoo_matrix.shape[0], zoo_matrix.nnz
+        assert engine.nbytes_model() == 4 * (m + 1) + 12 * nnz

@@ -1,0 +1,87 @@
+"""Baseline lane-accurate kernels vs the vectorised engines and scipy."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BsrSpMV, Csr5SpMV, MergeSpMV
+from repro.baselines.lane_accurate import (
+    bsr_lane_accurate_spmv,
+    csr5_lane_accurate_spmv,
+    merge_lane_accurate_spmv,
+)
+from repro.matrices import power_law, random_uniform
+
+
+class TestCsr5LaneAccurate:
+    def test_matches_scipy_on_zoo(self, zoo_matrix, rng):
+        engine = Csr5SpMV(zoo_matrix)
+        x = rng.standard_normal(zoo_matrix.shape[1])
+        np.testing.assert_allclose(
+            csr5_lane_accurate_spmv(engine, x), zoo_matrix @ x, rtol=1e-10, atol=1e-12
+        )
+
+    def test_matches_vectorised(self, rng):
+        a = power_law(400, avg_degree=4, seed=1)
+        engine = Csr5SpMV(a)
+        x = rng.standard_normal(400)
+        np.testing.assert_allclose(
+            csr5_lane_accurate_spmv(engine, x), engine.spmv(x), rtol=1e-12, atol=1e-12
+        )
+
+    @pytest.mark.parametrize("sigma", [4, 8, 16])
+    def test_all_sigmas(self, sigma, rng):
+        a = random_uniform(200, 200, 6, seed=2)
+        engine = Csr5SpMV(a, sigma=sigma)
+        x = rng.standard_normal(200)
+        np.testing.assert_allclose(
+            csr5_lane_accurate_spmv(engine, x), a @ x, rtol=1e-10, atol=1e-12
+        )
+
+    def test_empty(self):
+        import scipy.sparse as sp
+
+        engine = Csr5SpMV(sp.csr_matrix((10, 10)))
+        np.testing.assert_array_equal(csr5_lane_accurate_spmv(engine, np.ones(10)), np.zeros(10))
+
+
+class TestMergeLaneAccurate:
+    def test_matches_scipy_on_zoo(self, zoo_matrix, rng):
+        engine = MergeSpMV(zoo_matrix)
+        x = rng.standard_normal(zoo_matrix.shape[1])
+        np.testing.assert_allclose(
+            merge_lane_accurate_spmv(engine, x), zoo_matrix @ x, rtol=1e-10, atol=1e-12
+        )
+
+    def test_small_parts_exercise_boundaries(self, rng):
+        a = power_law(300, avg_degree=5, seed=3)
+        engine = MergeSpMV(a, items_per_warp=16)  # many boundary rows
+        x = rng.standard_normal(300)
+        np.testing.assert_allclose(
+            merge_lane_accurate_spmv(engine, x), a @ x, rtol=1e-10, atol=1e-12
+        )
+
+    def test_empty_rows_handled(self, rng):
+        import scipy.sparse as sp
+
+        a = sp.csr_matrix(([1.0, 2.0], ([0, 9], [3, 4])), shape=(10, 10))
+        engine = MergeSpMV(a, items_per_warp=4)
+        x = rng.standard_normal(10)
+        np.testing.assert_allclose(merge_lane_accurate_spmv(engine, x), a @ x, rtol=1e-12)
+
+
+class TestBsrLaneAccurate:
+    def test_matches_scipy_on_zoo(self, zoo_matrix, rng):
+        engine = BsrSpMV(zoo_matrix)
+        x = rng.standard_normal(zoo_matrix.shape[1])
+        np.testing.assert_allclose(
+            bsr_lane_accurate_spmv(engine, x), zoo_matrix @ x, rtol=1e-10, atol=1e-12
+        )
+
+    @pytest.mark.parametrize("block", [2, 4, 8])
+    def test_block_sizes(self, block, rng):
+        a = random_uniform(90, 130, 4, seed=4)
+        engine = BsrSpMV(a, block=block)
+        x = rng.standard_normal(130)
+        np.testing.assert_allclose(
+            bsr_lane_accurate_spmv(engine, x), a @ x, rtol=1e-10, atol=1e-12
+        )

@@ -1,0 +1,83 @@
+"""Merge-path SpMV tests: partition invariants and numerics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.merge import MergeSpMV, merge_path_partition
+from repro.matrices import power_law, random_uniform
+from repro.util.segments import lengths_to_offsets
+
+
+class TestMergePathPartition:
+    def test_covers_whole_path(self):
+        indptr = lengths_to_offsets(np.array([3, 0, 7, 1]))
+        rows, nnzs = merge_path_partition(indptr, 4)
+        assert rows[0] == 0 and nnzs[0] == 0
+        assert rows[-1] == 4 and nnzs[-1] == 11
+        assert np.all(np.diff(rows) >= 0)
+        assert np.all(np.diff(nnzs) >= 0)
+
+    def test_equal_diagonals(self):
+        indptr = lengths_to_offsets(np.array([5, 5, 5, 5]))
+        rows, nnzs = merge_path_partition(indptr, 4)
+        diag = rows + nnzs
+        assert np.all(np.diff(diag) == 6)  # path length 24 over 4 parts
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=120), st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_invariants_property(self, lens, parts):
+        indptr = lengths_to_offsets(np.array(lens, dtype=np.int64))
+        rows, nnzs = merge_path_partition(indptr, parts)
+        m, nnz = len(lens), int(indptr[-1])
+        diagonals = (np.arange(parts + 1) * (m + nnz)) // parts
+        # Each split lies on its diagonal and respects the merge condition.
+        np.testing.assert_array_equal(rows + nnzs, diagonals)
+        for i, d in zip(rows, diagonals):
+            # All rows before i are fully consumed by diagonal d.
+            if i > 0:
+                assert indptr[i] + i - 1 < d + 1
+            if i < m:
+                assert indptr[i + 1] + i >= d
+
+
+class TestMergeSpMV:
+    def test_matches_scipy(self, zoo_matrix, rng):
+        x = rng.standard_normal(zoo_matrix.shape[1])
+        engine = MergeSpMV(zoo_matrix)
+        np.testing.assert_allclose(engine.spmv(x), zoo_matrix @ x, rtol=1e-10, atol=1e-12)
+
+    def test_balanced_warps(self):
+        """The whole point: warp work independent of row skew."""
+        a = power_law(4000, avg_degree=5, seed=2)
+        engine = MergeSpMV(a)
+        items = np.diff(engine.nnz_starts) + np.diff(engine.row_starts)
+        assert items.max() - items.min() <= 2
+
+    def test_run_cost_fields(self, zoo_matrix):
+        rc = MergeSpMV(zoo_matrix).run_cost()
+        assert rc.useful_flops == 2 * zoo_matrix.nnz
+        assert rc.executed_flops == rc.useful_flops
+        assert rc.n_warps >= 1
+
+    def test_tail_insensitive_to_skew(self):
+        skew = power_law(4000, avg_degree=5, seed=3)
+        uniform = random_uniform(4000, 4000, 5, seed=4)
+        c_skew = MergeSpMV(skew).run_cost()
+        c_uni = MergeSpMV(uniform).run_cost()
+        # Tail within 2x across wildly different skew (same nnz scale).
+        ratio = c_skew.warp_cycles_max / c_uni.warp_cycles_max
+        assert 0.5 < ratio < 2.0
+
+    def test_boundary_atomics_counted(self):
+        a = random_uniform(300, 300, 7, seed=5)
+        engine = MergeSpMV(a, items_per_warp=64)
+        assert engine.boundary_atomics() >= 0
+        assert engine.run_cost().atomic_ops == engine.boundary_atomics()
+
+    def test_empty_matrix(self):
+        import scipy.sparse as sp
+
+        a = sp.csr_matrix((10, 10))
+        engine = MergeSpMV(a)
+        np.testing.assert_array_equal(engine.spmv(np.ones(10)), np.zeros(10))

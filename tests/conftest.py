@@ -1,0 +1,66 @@
+"""Shared fixtures: a deterministic matrix zoo and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices import (
+    banded,
+    dense_corner,
+    diagonal_bands,
+    fem_blocks,
+    gupta_arrow,
+    hypersparse,
+    lp_like,
+    power_law,
+    random_uniform,
+    stencil_2d,
+)
+
+
+def zoo() -> list[tuple[str, sp.csr_matrix]]:
+    """Small matrices covering every structural class (deterministic)."""
+    return [
+        ("random", random_uniform(200, 200, nnz_per_row=5, seed=1)),
+        ("random_rect", random_uniform(150, 310, nnz_per_row=4, seed=2)),
+        ("banded", banded(240, half_bandwidth=6, seed=3)),
+        ("stencil", stencil_2d(18, points=5, seed=4)),
+        ("fem", fem_blocks(90, block=3, avg_degree=8, seed=5)),
+        ("powerlaw", power_law(500, avg_degree=4, seed=6)),
+        ("diag", diagonal_bands(300, n_diags=4, spread=40, seed=7)),
+        ("hyper", hypersparse(600, nnz=90, seed=8)),
+        ("lp", lp_like(80, 320, seed=9)),
+        ("arrow", gupta_arrow(200, border=20, seed=10)),
+        ("dense_corner", dense_corner(160, corner_frac=0.4, seed=11)),
+        ("single_entry", sp.csr_matrix(([3.5], ([7], [11])), shape=(40, 40))),
+        ("empty_rowcol_mix", sp.csr_matrix(
+            (np.array([1.0, 2.0, 4.0]), (np.array([0, 17, 17]), np.array([33, 2, 3]))),
+            shape=(50, 50),
+        )),
+        ("boundary_17", random_uniform(17, 17, nnz_per_row=3, seed=12)),
+        ("boundary_33x49", random_uniform(33, 49, nnz_per_row=4, seed=13)),
+    ]
+
+
+@pytest.fixture(params=zoo(), ids=[name for name, _ in zoo()])
+def zoo_matrix(request) -> sp.csr_matrix:
+    return request.param[1]
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_tile_entries(rng: np.random.Generator, tile: int = 16, nnz: int | None = None):
+    """Random unique (lrow, lcol, val) entries inside one tile, sorted."""
+    if nnz is None:
+        nnz = int(rng.integers(1, tile * tile + 1))
+    flat = rng.choice(tile * tile, size=nnz, replace=False)
+    flat.sort()
+    lrow = (flat // tile).astype(np.uint8)
+    lcol = (flat % tile).astype(np.uint8)
+    val = rng.uniform(0.5, 1.5, size=nnz)
+    return lrow, lcol, val

@@ -1,0 +1,107 @@
+"""Cost-formula vs interpreter consistency.
+
+The vectorised cost functions claim their cycle formulas mirror the
+lane-accurate kernels' control flow.  These tests execute the
+interpreter kernels (which count every intrinsic they issue) and check
+the analytic per-tile cycles track the counted instructions: same
+work-scaling, agreeing within a constant factor across densities.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import lane_accurate as lak
+from repro.core.kernels.costs import coo_costs, csr_costs, dns_costs, ell_costs
+from repro.core.kernels.params import KernelCostParams
+from repro.formats.tile_coo import encode_coo
+from repro.formats.tile_csr import encode_csr
+from repro.formats.tile_dns import encode_dns
+from repro.formats.tile_ell import encode_ell
+from repro.gpu.warp import Warp
+from tests.conftest import random_tile_entries
+from tests.formats.conftest import make_view
+
+P = KernelCostParams()
+
+
+def counted_instructions(kernel, data, x, monkey=None):
+    """Run a lane-accurate kernel and return the warp's instruction count.
+
+    The kernels construct their own Warp, so we intercept construction.
+    """
+    counts = []
+    original_init = Warp.__init__
+
+    def tracking_init(self):
+        original_init(self)
+        counts.append(self)
+
+    Warp.__init__ = tracking_init
+    try:
+        kernel(data, 0, x)
+    finally:
+        Warp.__init__ = original_init
+    return sum(w.instructions for w in counts)
+
+
+@pytest.mark.parametrize("nnz", [1, 8, 64, 200, 256])
+class TestScalingAgreement:
+    def _tile(self, nnz, seed=0):
+        rng = np.random.default_rng(seed + nnz)
+        lrow, lcol, val = random_tile_entries(rng, nnz=nnz)
+        view = make_view([(lrow, lcol, val)])
+        return view, rng.uniform(-1, 1, 16)
+
+    def test_csr(self, nnz):
+        view, x = self._tile(nnz)
+        data = encode_csr(view)
+        counted = counted_instructions(lak.csr_tile_spmv, data, x)
+        analytic = float(csr_costs(data, P, view.eff_w).cycles[0])
+        assert 0.3 * counted <= analytic <= 4.0 * counted + 10
+
+    def test_coo(self, nnz):
+        view, x = self._tile(nnz)
+        data = encode_coo(view)
+        counted = counted_instructions(lak.coo_tile_spmv, data, x)
+        analytic = float(coo_costs(data, P).cycles[0])
+        assert 0.3 * counted <= analytic <= 6.0 * counted + 10
+
+    def test_ell(self, nnz):
+        view, x = self._tile(nnz)
+        data = encode_ell(view)
+        counted = counted_instructions(lak.ell_tile_spmv, data, x)
+        analytic = float(ell_costs(data, P, view.eff_w).cycles[0])
+        assert 0.3 * counted <= analytic <= 4.0 * counted + 10
+
+    def test_dns(self, nnz):
+        view, x = self._tile(nnz)
+        data = encode_dns(view)
+        counted = counted_instructions(lak.dns_tile_spmv, data, x)
+        analytic = float(dns_costs(data, P).cycles[0])
+        assert 0.3 * counted <= analytic <= 4.0 * counted + 10
+
+
+class TestRelativeOrdering:
+    """The format rankings that drive selection must agree between the
+    analytic model and the interpreter."""
+
+    def test_coo_cheaper_than_csr_for_singletons(self):
+        rng = np.random.default_rng(5)
+        lrow, lcol, val = random_tile_entries(rng, nnz=2)
+        view = make_view([(lrow, lcol, val)])
+        x = np.ones(16)
+        csr_counted = counted_instructions(lak.csr_tile_spmv, encode_csr(view), x)
+        coo_counted = counted_instructions(lak.coo_tile_spmv, encode_coo(view), x)
+        assert coo_counted < csr_counted
+        csr_analytic = csr_costs(encode_csr(view), P, view.eff_w).cycles[0]
+        coo_analytic = coo_costs(encode_coo(view), P).cycles[0]
+        assert coo_analytic < csr_analytic
+
+    def test_ell_cheap_for_balanced_rows(self):
+        lrow = np.arange(16, dtype=np.uint8)
+        lcol = np.arange(16, dtype=np.uint8)
+        view = make_view([(lrow, lcol, np.ones(16))])
+        x = np.ones(16)
+        ell_counted = counted_instructions(lak.ell_tile_spmv, encode_ell(view), x)
+        csr_counted = counted_instructions(lak.csr_tile_spmv, encode_csr(view), x)
+        assert ell_counted <= csr_counted

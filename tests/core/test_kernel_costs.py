@@ -1,0 +1,147 @@
+"""Vectorised kernel-cost accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels.costs import (
+    coo_costs,
+    csr_costs,
+    dns_costs,
+    dnscol_costs,
+    dnsrow_costs,
+    ell_costs,
+    hyb_costs,
+)
+from repro.core.kernels.params import KernelCostParams
+from repro.formats.tile_coo import encode_coo
+from repro.formats.tile_csr import encode_csr
+from repro.formats.tile_dns import encode_dns
+from repro.formats.tile_dnscol import encode_dnscol
+from repro.formats.tile_dnsrow import encode_dnsrow
+from repro.formats.tile_ell import encode_ell
+from repro.formats.tile_hyb import encode_hyb
+from tests.conftest import random_tile_entries
+from tests.formats.conftest import make_view
+
+P = KernelCostParams()
+
+
+def eff_w(view):
+    return view.eff_w
+
+
+class TestCsrCosts:
+    def test_iterations_from_longest_row(self):
+        # Row 0 has 5 entries, 2 lanes/row -> ceil(5/2) = 3 iterations.
+        view = make_view([(np.zeros(5, int), np.arange(5), np.ones(5))])
+        cost = csr_costs(encode_csr(view), P, eff_w(view))
+        assert cost.cycles.tolist() == [P.csr_overhead + 3 * P.csr_per_iter]
+
+    def test_flops_and_bytes(self):
+        view = make_view([(np.zeros(5, int), np.arange(5), np.ones(5))])
+        data = encode_csr(view)
+        cost = csr_costs(data, P, eff_w(view))
+        assert cost.flops == 10
+        assert cost.payload_bytes == data.nbytes_model()
+
+    def test_x_sectors_full_window(self):
+        view = make_view([(np.zeros(1, int), np.zeros(1, int), np.ones(1))])
+        cost = csr_costs(encode_csr(view), P, eff_w(view))
+        assert cost.x_sectors == 4  # 16 doubles = 4 sectors, regardless of nnz
+
+
+class TestCooCosts:
+    def test_single_batch_and_conflicts(self):
+        # 3 entries in one row -> atomic rounds 3.
+        view = make_view([(np.full(3, 7), np.arange(3), np.ones(3))])
+        cost = coo_costs(encode_coo(view), P)
+        assert cost.atomic_ops == 1
+        assert cost.atomic_rounds == 3
+        assert cost.cycles.tolist() == [P.coo_overhead + P.coo_per_batch + 3]
+
+    def test_x_sectors_only_touched(self):
+        # Columns 0 and 1 share a sector; column 12 is another.
+        view = make_view([(np.array([0, 1, 2]), np.array([0, 1, 12]), np.ones(3))])
+        cost = coo_costs(encode_coo(view), P)
+        assert cost.x_sectors == 2
+
+    def test_multi_batch(self):
+        rng = np.random.default_rng(0)
+        view = make_view([random_tile_entries(rng, nnz=70)])
+        cost = coo_costs(encode_coo(view), P)
+        assert cost.atomic_ops == 3  # ceil(70/32)
+
+
+class TestEllCosts:
+    def test_iterations_from_width(self):
+        # Width 2 -> 32 slots -> 1 iteration.
+        lrow = np.concatenate([np.arange(16), np.arange(16)])
+        lcol = np.concatenate([np.zeros(16, int), np.ones(16, int)])
+        view = make_view([(lrow, lcol, np.ones(32))])
+        cost = ell_costs(encode_ell(view), P, eff_w(view))
+        assert cost.cycles.tolist() == [P.ell_overhead + P.ell_per_iter * 1]
+
+    def test_padding_counted_in_flops(self):
+        # 1 entry, width 1 -> 16 slots execute.
+        view = make_view([(np.array([0]), np.array([0]), np.ones(1))])
+        cost = ell_costs(encode_ell(view), P, eff_w(view))
+        assert cost.flops == 32  # 2 * 16 slots
+
+
+class TestHybCosts:
+    def test_combines_parts(self):
+        rng = np.random.default_rng(1)
+        view = make_view([random_tile_entries(rng, nnz=40)])
+        data = encode_hyb(view)
+        cost = hyb_costs(data, P, eff_w(view))
+        ell = ell_costs(data.ell, P, eff_w(view))
+        coo = coo_costs(data.coo, P)
+        assert cost.flops == ell.flops + coo.flops
+        assert cost.payload_bytes == data.nbytes_model()
+        assert np.all(cost.cycles >= ell.cycles)
+
+
+class TestDenseFamilyCosts:
+    def test_dns_full_tile_rounds(self):
+        rng = np.random.default_rng(2)
+        view = make_view([random_tile_entries(rng, nnz=256)])
+        cost = dns_costs(encode_dns(view), P)
+        assert cost.cycles.tolist() == [P.dns_overhead + 8 * P.dns_per_round]
+
+    def test_dnsrow_rounds(self):
+        lrow = np.repeat([2, 9], 16)
+        lcol = np.tile(np.arange(16), 2)
+        view = make_view([(lrow, lcol, np.ones(32))])
+        cost = dnsrow_costs(encode_dnsrow(view), P)
+        assert cost.flops == 64
+        assert cost.cycles[0] > P.dnsrow_overhead
+
+    def test_dnscol_x_sectors(self):
+        # Columns 0 and 15 -> two distinct sectors.
+        lcol = np.repeat([0, 15], 16)
+        lrow = np.tile(np.arange(16), 2)
+        view = make_view([(lrow, lcol, np.ones(32))])
+        cost = dnscol_costs(encode_dnscol(view), P)
+        assert cost.x_sectors == 2
+
+
+class TestMonotonicity:
+    """More work never costs fewer cycles — guards the formulas."""
+
+    @pytest.mark.parametrize("encoder,coster,needs_w", [
+        (encode_csr, csr_costs, True),
+        (encode_coo, coo_costs, False),
+        (encode_ell, ell_costs, True),
+        (encode_dns, dns_costs, False),
+    ])
+    def test_cycles_monotone_in_nnz(self, encoder, coster, needs_w, rng):
+        dense_rng = np.random.default_rng(7)
+        small_view = make_view([random_tile_entries(dense_rng, nnz=8)])
+        big_view = make_view([(
+            np.repeat(np.arange(16), 16)[:240],
+            np.tile(np.arange(16), 16)[:240],
+            np.ones(240),
+        )])
+        args_s = (encoder(small_view), P) + ((eff_w(small_view),) if needs_w else ())
+        args_b = (encoder(big_view), P) + ((eff_w(big_view),) if needs_w else ())
+        assert coster(*args_b).cycles[0] >= coster(*args_s).cycles[0]

@@ -1,0 +1,204 @@
+"""Lane-accurate warp kernels vs dense ground truth.
+
+These are the paper's Algorithms 2-4 (and the Fig 4 dense-family
+kernels) executed on the 32-lane interpreter against the *encoded*
+payload bytes; each must reproduce ``tile @ x`` exactly (up to float
+summation order).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kernels import lane_accurate as lak
+from repro.formats.tile_coo import encode_coo
+from repro.formats.tile_csr import encode_csr
+from repro.formats.tile_dns import encode_dns
+from repro.formats.tile_dnscol import encode_dnscol
+from repro.formats.tile_dnsrow import encode_dnsrow
+from repro.formats.tile_ell import encode_ell
+from repro.formats.tile_hyb import encode_hyb
+from tests.conftest import random_tile_entries
+from tests.formats.conftest import dense_tile_from_view_entries, make_view
+
+
+def ground_truth(lrow, lcol, val, x_slice, tile=16):
+    dense = dense_tile_from_view_entries(lrow, lcol, val, tile)
+    return dense @ x_slice[:tile]
+
+
+def random_x(rng, tile=16):
+    return rng.uniform(-2, 2, size=tile)
+
+
+seeds = st.integers(0, 2**32 - 1)
+
+
+class TestCsrKernel:
+    @given(seeds, st.integers(1, 256))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_ground_truth(self, seed, nnz):
+        rng = np.random.default_rng(seed)
+        lrow, lcol, val = random_tile_entries(rng, nnz=nnz)
+        data = encode_csr(make_view([(lrow, lcol, val)]))
+        x = random_x(rng)
+        y = lak.csr_tile_spmv(data, 0, x)
+        np.testing.assert_allclose(y, ground_truth(lrow, lcol, val, x), rtol=1e-12, atol=1e-10)
+
+    def test_second_tile_of_two(self, rng):
+        tiles = [random_tile_entries(rng, nnz=9), random_tile_entries(rng, nnz=77)]
+        data = encode_csr(make_view(tiles))
+        x = random_x(rng)
+        y = lak.csr_tile_spmv(data, 1, x)
+        np.testing.assert_allclose(y, ground_truth(*tiles[1], x), rtol=1e-12, atol=1e-10)
+
+    @pytest.mark.parametrize("tile", [4, 8, 16])
+    def test_smaller_tiles(self, tile, rng):
+        nnz = tile * 2
+        flat = rng.choice(tile * tile, size=nnz, replace=False)
+        flat.sort()
+        lrow, lcol = (flat // tile).astype(np.uint8), (flat % tile).astype(np.uint8)
+        val = rng.uniform(0.5, 1.5, nnz)
+        data = encode_csr(make_view([(lrow, lcol, val)], tile=tile))
+        x = random_x(rng, tile)
+        y = lak.csr_tile_spmv(data, 0, x)
+        np.testing.assert_allclose(y, ground_truth(lrow, lcol, val, x, tile), rtol=1e-12, atol=1e-10)
+
+
+class TestCooKernel:
+    @given(seeds, st.integers(1, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_ground_truth(self, seed, nnz):
+        rng = np.random.default_rng(seed)
+        lrow, lcol, val = random_tile_entries(rng, nnz=nnz)
+        data = encode_coo(make_view([(lrow, lcol, val)]))
+        x = random_x(rng)
+        y = lak.coo_tile_spmv(data, 0, x)
+        np.testing.assert_allclose(y, ground_truth(lrow, lcol, val, x), rtol=1e-12, atol=1e-10)
+
+    def test_multi_batch_tile(self, rng):
+        # > 32 entries forces several 32-lane batches.
+        lrow, lcol, val = random_tile_entries(rng, nnz=100)
+        data = encode_coo(make_view([(lrow, lcol, val)]))
+        x = random_x(rng)
+        np.testing.assert_allclose(
+            lak.coo_tile_spmv(data, 0, x), ground_truth(lrow, lcol, val, x), rtol=1e-12
+        )
+
+
+class TestEllKernel:
+    @given(seeds, st.integers(1, 256))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_ground_truth(self, seed, nnz):
+        rng = np.random.default_rng(seed)
+        lrow, lcol, val = random_tile_entries(rng, nnz=nnz)
+        data = encode_ell(make_view([(lrow, lcol, val)]))
+        x = random_x(rng)
+        y = lak.ell_tile_spmv(data, 0, x)
+        np.testing.assert_allclose(y, ground_truth(lrow, lcol, val, x), rtol=1e-12, atol=1e-10)
+
+    @pytest.mark.parametrize("tile", [4, 8, 16])
+    def test_fold_for_small_tiles(self, tile, rng):
+        lrow = np.arange(tile, dtype=np.uint8)
+        lcol = np.arange(tile, dtype=np.uint8)
+        val = rng.uniform(0.5, 1.5, tile)
+        data = encode_ell(make_view([(lrow, lcol, val)], tile=tile))
+        x = random_x(rng, tile)
+        np.testing.assert_allclose(
+            lak.ell_tile_spmv(data, 0, x), ground_truth(lrow, lcol, val, x, tile), rtol=1e-12
+        )
+
+
+class TestHybKernel:
+    @given(seeds, st.integers(1, 256))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_ground_truth(self, seed, nnz):
+        rng = np.random.default_rng(seed)
+        lrow, lcol, val = random_tile_entries(rng, nnz=nnz)
+        data = encode_hyb(make_view([(lrow, lcol, val)]))
+        x = random_x(rng)
+        y = lak.hyb_tile_spmv(data, 0, x)
+        np.testing.assert_allclose(y, ground_truth(lrow, lcol, val, x), rtol=1e-12, atol=1e-10)
+
+
+class TestDnsKernel:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_full_tile(self, seed):
+        rng = np.random.default_rng(seed)
+        lrow, lcol, val = random_tile_entries(rng, nnz=256)
+        data = encode_dns(make_view([(lrow, lcol, val)]))
+        x = random_x(rng)
+        y = lak.dns_tile_spmv(data, 0, x)
+        np.testing.assert_allclose(y, ground_truth(lrow, lcol, val, x), rtol=1e-12, atol=1e-10)
+
+    def test_boundary_rectangle(self, rng):
+        # 5x7 effective tile: h does not divide 32.
+        flat = rng.choice(35, size=30, replace=False)
+        flat.sort()
+        lrow = (flat // 7).astype(np.uint8)
+        lcol = (flat % 7).astype(np.uint8)
+        val = rng.uniform(0.5, 1.5, 30)
+        data = encode_dns(make_view([(lrow, lcol, val)], eff=(5, 7)))
+        x = random_x(rng)
+        np.testing.assert_allclose(
+            lak.dns_tile_spmv(data, 0, x), ground_truth(lrow, lcol, val, x), rtol=1e-12
+        )
+
+
+class TestDnsRowKernel:
+    def test_paper_single_row(self, rng):
+        lrow = np.full(16, 3, dtype=np.uint8)
+        lcol = np.arange(16, dtype=np.uint8)
+        val = rng.uniform(0.5, 1.5, 16)
+        data = encode_dnsrow(make_view([(lrow, lcol, val)]))
+        x = random_x(rng)
+        y = lak.dnsrow_tile_spmv(data, 0, x)
+        np.testing.assert_allclose(y, ground_truth(lrow, lcol, val, x), rtol=1e-12, atol=1e-10)
+
+    def test_several_rows(self, rng):
+        rows = [1, 6, 15]
+        lrow = np.repeat(np.array(rows, np.uint8), 16)
+        lcol = np.tile(np.arange(16, dtype=np.uint8), 3)
+        val = rng.uniform(0.5, 1.5, 48)
+        data = encode_dnsrow(make_view([(lrow, lcol, val)]))
+        x = random_x(rng)
+        np.testing.assert_allclose(
+            lak.dnsrow_tile_spmv(data, 0, x), ground_truth(lrow, lcol, val, x), rtol=1e-12
+        )
+
+
+class TestDnsColKernel:
+    def test_paper_single_col(self, rng):
+        lcol = np.full(16, 2, dtype=np.uint8)
+        lrow = np.arange(16, dtype=np.uint8)
+        val = rng.uniform(0.5, 1.5, 16)
+        data = encode_dnscol(make_view([(lrow, lcol, val)]))
+        x = random_x(rng)
+        y = lak.dnscol_tile_spmv(data, 0, x)
+        np.testing.assert_allclose(y, ground_truth(lrow, lcol, val, x), rtol=1e-12, atol=1e-10)
+
+    def test_several_cols(self, rng):
+        cols = [0, 9, 13]
+        lcol = np.repeat(np.array(cols, np.uint8), 16)
+        lrow = np.tile(np.arange(16, dtype=np.uint8), 3)
+        val = rng.uniform(0.5, 1.5, 48)
+        data = encode_dnscol(make_view([(lrow, lcol, val)]))
+        x = random_x(rng)
+        np.testing.assert_allclose(
+            lak.dnscol_tile_spmv(data, 0, x), ground_truth(lrow, lcol, val, x), rtol=1e-12
+        )
+
+
+class TestInstructionCounting:
+    def test_csr_counts_scale_with_work(self, rng):
+        from repro.gpu.warp import Warp
+
+        small = encode_csr(make_view([random_tile_entries(rng, nnz=4)]))
+        big = encode_csr(make_view([random_tile_entries(rng, nnz=250)]))
+        x = random_x(rng)
+        # The kernels allocate their own warps; instrument indirectly by
+        # comparing iteration-proportional results via cost functions in
+        # test_kernel_costs. Here just assert both execute cleanly.
+        lak.csr_tile_spmv(small, 0, x)
+        lak.csr_tile_spmv(big, 0, x)

@@ -1,0 +1,86 @@
+"""tbalance warp-scheduling tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import build_schedule
+from repro.util.segments import lengths_to_offsets
+
+
+class TestBuildSchedule:
+    def test_one_warp_per_small_row(self):
+        tile_ptr = lengths_to_offsets(np.array([3, 8, 1]))
+        sched = build_schedule(tile_ptr, tbalance=8)
+        assert sched.n_warps == 3
+        assert sched.warp_tile_count.tolist() == [3, 8, 1]
+        assert sched.warp_row.tolist() == [0, 1, 2]
+
+    def test_long_row_split(self):
+        tile_ptr = lengths_to_offsets(np.array([20]))
+        sched = build_schedule(tile_ptr, tbalance=8)
+        assert sched.n_warps == 3
+        assert sched.warp_tile_count.tolist() == [8, 8, 4]
+        assert sched.warp_tile_start.tolist() == [0, 8, 16]
+        assert sched.warps_per_row.tolist() == [3]
+
+    def test_empty_rows_get_no_warp(self):
+        tile_ptr = lengths_to_offsets(np.array([0, 5, 0, 2]))
+        sched = build_schedule(tile_ptr, tbalance=8)
+        assert sched.n_warps == 2
+        assert sched.warp_row.tolist() == [1, 3]
+
+    def test_coverage_partition(self):
+        """Warps partition the tile list exactly: disjoint and complete."""
+        rng = np.random.default_rng(0)
+        lengths = rng.integers(0, 40, size=100)
+        tile_ptr = lengths_to_offsets(lengths)
+        sched = build_schedule(tile_ptr, tbalance=8)
+        covered = np.concatenate([
+            np.arange(s, s + c)
+            for s, c in zip(sched.warp_tile_start, sched.warp_tile_count)
+        ]) if sched.n_warps else np.zeros(0, int)
+        assert covered.size == lengths.sum()
+        assert np.array_equal(np.sort(covered), np.arange(lengths.sum()))
+
+    def test_tbalance_one(self):
+        tile_ptr = lengths_to_offsets(np.array([3]))
+        sched = build_schedule(tile_ptr, tbalance=1)
+        assert sched.n_warps == 3
+        assert np.all(sched.warp_tile_count == 1)
+
+    def test_rejects_bad_tbalance(self):
+        with pytest.raises(ValueError):
+            build_schedule(np.array([0, 1]), tbalance=0)
+
+
+class TestCycleAggregation:
+    def test_warp_cycle_totals(self):
+        tile_ptr = lengths_to_offsets(np.array([2, 3]))
+        sched = build_schedule(tile_ptr, tbalance=8)
+        cycles = np.array([1.0, 2.0, 10.0, 20.0, 30.0])
+        totals = sched.warp_cycle_totals(cycles, warp_overhead=5.0)
+        assert totals.tolist() == [8.0, 65.0]
+
+    def test_split_row_totals(self):
+        tile_ptr = lengths_to_offsets(np.array([10]))
+        sched = build_schedule(tile_ptr, tbalance=8)
+        cycles = np.ones(10)
+        totals = sched.warp_cycle_totals(cycles, warp_overhead=0.0)
+        assert totals.tolist() == [8.0, 2.0]
+
+    def test_empty_schedule(self):
+        sched = build_schedule(np.array([0]), tbalance=8)
+        assert sched.warp_cycle_totals(np.zeros(0), 1.0).size == 0
+
+
+class TestCrossWarpAtomics:
+    def test_no_split_no_atomics(self):
+        sched = build_schedule(lengths_to_offsets(np.array([4, 8])), tbalance=8)
+        ops, rounds = sched.cross_warp_atomics(16)
+        assert ops == 0 and rounds == 0
+
+    def test_split_rows_charged_per_extra_warp(self):
+        sched = build_schedule(lengths_to_offsets(np.array([17])), tbalance=8)
+        ops, rounds = sched.cross_warp_atomics(16)
+        assert ops == 2 * 16  # 3 warps -> 2 extra
+        assert rounds == ops

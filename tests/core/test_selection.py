@@ -1,0 +1,128 @@
+"""Format-selection flowchart tests: every branch exercised by hand-built tiles."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.selection import SelectionConfig, compute_tile_stats, select_formats
+from repro.core.tiling import tile_decompose
+from repro.formats import FormatID
+
+
+def single_tile_matrix(lrow, lcol, val=None, m=16, n=16):
+    """A matrix occupying exactly one 16x16 tile."""
+    lrow = np.asarray(lrow)
+    lcol = np.asarray(lcol)
+    if val is None:
+        val = np.ones(lrow.size)
+    return sp.csr_matrix((val, (lrow, lcol)), shape=(m, n))
+
+
+def select_single(matrix, config=None):
+    ts = tile_decompose(matrix, tile=16)
+    fmt = select_formats(ts, config)
+    assert fmt.size == 1
+    return FormatID(fmt[0])
+
+
+class TestFlowchartBranches:
+    def test_very_sparse_uneven_is_coo(self):
+        # 3 entries crammed in one row: nnz < 12, very uneven.
+        assert select_single(single_tile_matrix([5, 5, 5], [0, 3, 9])) == FormatID.COO
+
+    def test_half_full_is_dns(self):
+        flat = np.arange(140)
+        assert select_single(single_tile_matrix(flat // 16, flat % 16)) == FormatID.DNS
+
+    def test_dense_rows_is_dnsrow(self):
+        lrow = np.repeat([2, 7], 16)
+        lcol = np.tile(np.arange(16), 2)
+        assert select_single(single_tile_matrix(lrow, lcol)) == FormatID.DNSROW
+
+    def test_dense_cols_is_dnscol(self):
+        lcol = np.repeat([4, 11], 16)
+        lrow = np.tile(np.arange(16), 2)
+        assert select_single(single_tile_matrix(lrow, lcol)) == FormatID.DNSCOL
+
+    def test_full_diagonal_is_ell(self):
+        # Balanced rows (variation 0), not dense, nnz >= 12.
+        assert select_single(single_tile_matrix(np.arange(16), np.arange(16))) == FormatID.ELL
+
+    def test_moderate_variation_is_csr(self):
+        # Row counts 1..2 mixed: variation between te and th.
+        lrow = np.concatenate([np.arange(16), np.arange(8)])
+        lcol = np.concatenate([np.zeros(16, int), np.ones(8, int)])
+        mat = single_tile_matrix(lrow, lcol)
+        fmt = select_single(mat)
+        ts = tile_decompose(mat)
+        stats = compute_tile_stats(ts)
+        assert 0.2 < stats.variation[0] <= 1.0
+        assert fmt == FormatID.CSR
+
+    def test_high_variation_is_hyb(self):
+        # One long row + several singletons: variation > 1.
+        lrow = np.concatenate([np.zeros(14, int), [3, 8]])
+        lcol = np.concatenate([np.arange(14), [0, 0]])
+        mat = single_tile_matrix(lrow, lcol)
+        ts = tile_decompose(mat)
+        stats = compute_tile_stats(ts)
+        assert stats.variation[0] > 1.0
+        assert select_single(mat) == FormatID.HYB
+
+    def test_dns_beats_dnsrow_on_full_tile(self):
+        flat = np.arange(256)
+        assert select_single(single_tile_matrix(flat // 16, flat % 16)) == FormatID.DNS
+
+    def test_even_sparse_tile_falls_through_coo(self):
+        # 8-entry diagonal fragment: nnz < 12 but variation 1.0 > te -> COO
+        # under the default thresholds (the unevenness test).
+        fmt = select_single(single_tile_matrix(np.arange(8), np.arange(8)))
+        assert fmt == FormatID.COO
+
+
+class TestBoundaryTiles:
+    def test_boundary_dense_rows(self):
+        # 8-wide matrix: a full row has 8 entries; must still be DNSROW.
+        mat = single_tile_matrix(np.zeros(8, int), np.arange(8), m=16, n=8)
+        assert select_single(mat) == FormatID.COO  # nnz=8 < 12 and uneven
+        mat2 = single_tile_matrix(
+            np.repeat([0, 1], 8), np.tile(np.arange(8), 2), m=16, n=8
+        )
+        assert select_single(mat2) == FormatID.DNSROW
+
+    def test_boundary_dns_cut_scales(self):
+        # 8x8 effective tile: the 128 cut scales to 32 entries.
+        flat = np.arange(34)
+        mat = single_tile_matrix(flat // 8, flat % 8, m=8, n=8)
+        assert select_single(mat) == FormatID.DNS
+
+
+class TestConfig:
+    def test_custom_thresholds_shift_ell(self):
+        lrow = np.concatenate([np.arange(16), np.arange(8)])
+        lcol = np.concatenate([np.zeros(16, int), np.ones(8, int)])
+        mat = single_tile_matrix(lrow, lcol)
+        wide = SelectionConfig(te=0.6, th=1.0)
+        assert select_single(mat, wide) == FormatID.ELL
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            SelectionConfig(te=2.0, th=1.0)
+
+    def test_disable_coo_rule(self):
+        cfg = SelectionConfig(coo_nnz_max=0)
+        fmt = select_single(single_tile_matrix([5, 5, 5], [0, 3, 9]), cfg)
+        assert fmt != FormatID.COO
+
+
+class TestStats:
+    def test_variation_zero_for_uniform_rows(self):
+        mat = single_tile_matrix(np.arange(16), np.arange(16))
+        stats = compute_tile_stats(tile_decompose(mat))
+        assert stats.variation[0] == pytest.approx(0.0)
+
+    def test_every_tile_gets_a_format(self, zoo_matrix):
+        ts = tile_decompose(zoo_matrix)
+        fmt = select_formats(ts)
+        assert fmt.size == ts.n_tiles
+        assert set(np.unique(fmt)).issubset({int(f) for f in FormatID})

@@ -1,0 +1,224 @@
+"""Top-level TileSpMV API tests: all methods, all structure classes."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro import A100, TITAN_RTX, SelectionConfig, TileSpMV, tile_spmv
+from repro.core.tilespmv import AUTO_DEFERRED_NNZ, METHODS
+from repro.matrices import power_law, random_uniform
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_matches_scipy(self, zoo_matrix, method, rng):
+        x = rng.standard_normal(zoo_matrix.shape[1])
+        engine = TileSpMV(zoo_matrix, method=method)
+        np.testing.assert_allclose(
+            engine.spmv(x), zoo_matrix @ x, rtol=1e-10, atol=1e-12
+        )
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_random_matrices_property(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(1, 120))
+        n = int(rng.integers(1, 120))
+        nnz = int(rng.integers(0, m * n // 2 + 1))
+        rows = rng.integers(0, m, size=nnz)
+        cols = rng.integers(0, n, size=nnz)
+        a = sp.csr_matrix((rng.standard_normal(nnz), (rows, cols)), shape=(m, n))
+        x = rng.standard_normal(n)
+        for method in ("csr", "adpt", "deferred_coo"):
+            got = tile_spmv(a, x, method=method)
+            np.testing.assert_allclose(got, a @ x, rtol=1e-9, atol=1e-10)
+
+    def test_matmul_operator(self, zoo_matrix, rng):
+        x = rng.standard_normal(zoo_matrix.shape[1])
+        engine = TileSpMV(zoo_matrix)
+        np.testing.assert_allclose(engine @ x, zoo_matrix @ x, rtol=1e-10, atol=1e-12)
+
+    def test_empty_matrix(self):
+        a = sp.csr_matrix((30, 30))
+        engine = TileSpMV(a, method="adpt")
+        y = engine.spmv(np.ones(30))
+        np.testing.assert_array_equal(y, np.zeros(30))
+
+    def test_all_methods_agree(self, zoo_matrix, rng):
+        x = rng.standard_normal(zoo_matrix.shape[1])
+        ys = [TileSpMV(zoo_matrix, method=m).spmv(x) for m in METHODS]
+        for y in ys[1:]:
+            np.testing.assert_allclose(y, ys[0], rtol=1e-10, atol=1e-12)
+
+
+class TestApi:
+    def test_rejects_unknown_method(self, zoo_matrix):
+        with pytest.raises(ValueError, match="method"):
+            TileSpMV(zoo_matrix, method="banana")
+
+    def test_shape_and_nnz(self, zoo_matrix):
+        engine = TileSpMV(zoo_matrix)
+        assert engine.shape == zoo_matrix.shape
+        assert engine.nnz == zoo_matrix.nnz
+
+    def test_preprocessing_time_recorded(self, zoo_matrix):
+        assert TileSpMV(zoo_matrix).preprocessing_seconds > 0
+
+    def test_auto_picks_adpt_below_threshold(self):
+        a = random_uniform(100, 100, 4, seed=0)
+        assert a.nnz < AUTO_DEFERRED_NNZ
+        assert TileSpMV(a, method="auto").method == "adpt"
+
+    def test_custom_selection_config(self, zoo_matrix, rng):
+        cfg = SelectionConfig(coo_nnz_max=4, dns_nnz_min=64, te=0.1, th=2.0)
+        engine = TileSpMV(zoo_matrix, method="adpt", selection=cfg)
+        x = rng.standard_normal(zoo_matrix.shape[1])
+        np.testing.assert_allclose(engine.spmv(x), zoo_matrix @ x, rtol=1e-10, atol=1e-12)
+
+    @pytest.mark.parametrize("tile", [4, 8, 16])
+    def test_tile_sizes(self, tile, rng):
+        a = random_uniform(90, 90, 5, seed=1)
+        x = rng.standard_normal(90)
+        engine = TileSpMV(a, method="adpt", tile=tile)
+        np.testing.assert_allclose(engine.spmv(x), a @ x, rtol=1e-10, atol=1e-12)
+
+
+class TestCosts:
+    def test_run_cost_positive(self, zoo_matrix):
+        rc = TileSpMV(zoo_matrix).run_cost()
+        assert rc.useful_flops == 2 * zoo_matrix.nnz
+        assert rc.payload_bytes > 0
+
+    def test_predicted_time_ordering_memory_bound(self):
+        # A100 has 2.3x the bandwidth; on a large matrix (memory bound)
+        # it must win.  (Tiny latency-bound kernels can legitimately run
+        # faster on the higher-clocked Titan RTX.)
+        a = random_uniform(20_000, 20_000, 12, seed=9)
+        engine = TileSpMV(a)
+        assert engine.predicted_time(A100) < engine.predicted_time(TITAN_RTX)
+
+    def test_gflops_consistent_with_time(self, zoo_matrix):
+        engine = TileSpMV(zoo_matrix)
+        t = engine.predicted_time(A100)
+        assert engine.gflops(A100) == pytest.approx(2 * engine.nnz / t / 1e9)
+
+    def test_deferred_has_two_launches_when_split(self):
+        a = power_law(800, avg_degree=4, seed=2)
+        engine = TileSpMV(a, method="deferred_coo")
+        if engine.deferred_engine is not None and engine.tiled is not None:
+            assert engine.run_cost().kernel_launches == 2
+
+    def test_histogram_empty_when_fully_deferred(self):
+        from repro.matrices import hypersparse
+
+        a = hypersparse(400, nnz=25, seed=3)
+        engine = TileSpMV(a, method="deferred_coo")
+        hist = engine.format_histogram()
+        assert sum(h["nnz"] for h in hist.values()) + (
+            engine.deferred_engine.nnz if engine.deferred_engine else 0
+        ) == a.nnz
+
+
+class TestPaperShapes:
+    """Structure-class expectations from the paper, at test scale."""
+
+    def test_adpt_at_least_as_fast_as_csr_on_graphs(self):
+        a = power_law(3000, avg_degree=4, seed=4)
+        t_csr = TileSpMV(a, method="csr").predicted_time(A100)
+        t_adpt = TileSpMV(a, method="adpt").predicted_time(A100)
+        assert t_adpt <= t_csr * 1.001
+
+    def test_deferred_wins_on_large_graph(self):
+        a = power_law(60_000, avg_degree=6, seed=5)
+        t_adpt = TileSpMV(a, method="adpt").predicted_time(A100)
+        t_def = TileSpMV(a, method="deferred_coo").predicted_time(A100)
+        assert t_def < t_adpt
+
+
+class TestExplicitZeros:
+    """Explicit zero values are legal CSR entries; the engine must not
+    choke on them (they ride along as stored zeros)."""
+
+    def test_spmv_with_explicit_zeros(self, rng):
+        import scipy.sparse as sp
+
+        rows = np.array([0, 1, 2, 17, 17])
+        cols = np.array([0, 5, 9, 2, 30])
+        vals = np.array([1.0, 0.0, 2.0, 0.0, 3.0])
+        a = sp.csr_matrix((vals, (rows, cols)), shape=(40, 40))
+        x = rng.standard_normal(40)
+        for method in ("csr", "adpt", "deferred_coo"):
+            np.testing.assert_allclose(
+                TileSpMV(a, method=method).spmv(x), a @ x, rtol=1e-12, atol=1e-12
+            )
+
+    def test_negative_values(self, rng):
+        import scipy.sparse as sp
+
+        a = sp.random(60, 60, density=0.08, random_state=1, format="csr")
+        a.data -= a.data.mean()  # mixed signs
+        x = rng.standard_normal(60)
+        np.testing.assert_allclose(TileSpMV(a).spmv(x), a @ x, rtol=1e-10, atol=1e-12)
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("method", ["csr", "adpt", "deferred_coo"])
+    def test_matches_scipy_transpose(self, zoo_matrix, method, rng):
+        engine = TileSpMV(zoo_matrix, method=method)
+        x = rng.standard_normal(zoo_matrix.shape[0])
+        np.testing.assert_allclose(
+            engine.spmv_transpose(x), zoo_matrix.T @ x, rtol=1e-10, atol=1e-12
+        )
+
+    def test_transpose_identity(self, zoo_matrix, rng):
+        """<A x, y> == <x, A^T y> (the adjoint identity)."""
+        engine = TileSpMV(zoo_matrix)
+        x = rng.standard_normal(zoo_matrix.shape[1])
+        y = rng.standard_normal(zoo_matrix.shape[0])
+        assert engine.spmv(x) @ y == pytest.approx(x @ engine.spmv_transpose(y), rel=1e-10)
+
+    def test_rejects_wrong_shape(self, zoo_matrix):
+        engine = TileSpMV(zoo_matrix)
+        with pytest.raises(ValueError):
+            engine.spmv_transpose(np.zeros(zoo_matrix.shape[0] + 1))
+
+
+class TestAutoDevice:
+    def test_auto_device_respected(self):
+        """auto's arbitration device can flip the pick near the crossover."""
+        from repro.matrices import power_law
+
+        a = power_law(20_000, avg_degree=5, seed=11)
+        e_a100 = TileSpMV(a, method="auto", auto_device=A100)
+        e_titan = TileSpMV(a, method="auto", auto_device=TITAN_RTX)
+        # Both picks must be internally optimal for their device.
+        for engine, dev in ((e_a100, A100), (e_titan, TITAN_RTX)):
+            other = "adpt" if engine.method == "deferred_coo" else "deferred_coo"
+            t_theirs = TileSpMV(a, method=other).predicted_time(dev)
+            assert engine.predicted_time(dev) <= t_theirs * 1.0001
+
+    def test_auto_correct_regardless_of_pick(self, rng):
+        from repro.matrices import rmat
+
+        a = rmat(scale=11, edge_factor=6, seed=12)
+        x = rng.standard_normal(a.shape[1])
+        for dev in (A100, TITAN_RTX):
+            engine = TileSpMV(a, method="auto", auto_device=dev)
+            np.testing.assert_allclose(engine.spmv(x), a @ x, rtol=1e-10, atol=1e-12)
+
+
+class TestDescribe:
+    def test_contains_key_facts(self, zoo_matrix):
+        engine = TileSpMV(zoo_matrix, method="adpt")
+        text = engine.describe()
+        assert f"nnz={zoo_matrix.nnz}" in text
+        assert "format mix:" in text
+        assert "A100" in text and "Titan RTX" in text
+
+    def test_deferred_mentions_split(self):
+        from repro.matrices import hypersparse
+
+        engine = TileSpMV(hypersparse(500, nnz=60, seed=1), method="deferred_coo")
+        if engine.deferred_engine is not None:
+            assert "deferred nnz=" in engine.describe()

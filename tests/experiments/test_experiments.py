@@ -1,0 +1,67 @@
+"""Experiment drivers produce well-formed output at tiny scale."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments import fig6, fig7, fig8, table1, table2
+
+
+class TestRegistry:
+    def test_all_eight_present(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        }
+
+
+class TestTable1:
+    def test_contains_devices_and_algorithms(self):
+        out = table1.run()
+        assert "A100" in out and "Titan RTX" in out
+        assert "1555" in out and "672" in out
+        assert "CSR5" in out and "Merge" in out and "BSR" in out and "TileSpMV" in out
+
+
+class TestTable2:
+    def test_all_sixteen_rows(self):
+        out = table2.run()
+        for name in ("TSOPF_RS_b2383", "cant", "webbase-1M", "ldoor", "gupta3"):
+            assert name in out
+
+
+class TestFig6:
+    def test_collect_rows(self):
+        rows = fig6.collect("tiny")
+        assert rows, "tiny suite must produce rows"
+        assert {r.device for r in rows} == {"A100", "Titan RTX"}
+        for r in rows:
+            assert r.gflops_csr > 0 and r.gflops_adpt > 0 and r.gflops_deferred > 0
+
+    def test_run_mentions_speedups(self):
+        out = fig6.run("tiny")
+        assert "ADPT vs CSR" in out and "DeferredCOO vs ADPT" in out
+
+
+class TestFig7:
+    def test_shares_normalised(self):
+        _, _, total, _ = fig7.collect("tiny")
+        from repro.formats import FormatID
+
+        assert sum(total.tile_ratio(f) for f in FormatID) == pytest.approx(1.0)
+
+    def test_coo_dominates_tiles_not_nnz(self):
+        """The paper's Fig 7 headline shape at tiny scale."""
+        _, _, total, _ = fig7.collect("tiny")
+        from repro.formats import FormatID
+
+        assert total.tile_ratio(FormatID.COO) > total.nnz_ratio(FormatID.COO)
+
+
+class TestFig8:
+    def test_collect_has_all_methods(self):
+        results = fig8.collect("tiny")
+        methods = {r.method for r in results}
+        assert methods == {"TileSpMV_auto", "Merge-SpMV", "CSR5", "BSR"}
+
+    def test_run_reports_wins(self):
+        out = fig8.run("tiny")
+        assert "vs Merge-SpMV" in out and "vs CSR5" in out and "vs BSR" in out

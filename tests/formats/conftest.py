@@ -1,0 +1,59 @@
+"""Format-test helpers: build TilesViews directly from entry lists."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.base import TilesView
+from repro.util.segments import lengths_to_offsets
+
+
+def make_view(tiles: list[tuple], tile: int = 16, eff: tuple | None = None) -> TilesView:
+    """Build a TilesView from per-tile entry triplet lists.
+
+    ``tiles`` is a list of (lrow, lcol, val) array triples, one per tile.
+    Entries are sorted to the canonical (tile, lrow, lcol) order here so
+    tests can list them naturally.
+    """
+    lrows, lcols, vals, lengths = [], [], [], []
+    for lrow, lcol, val in tiles:
+        lrow = np.asarray(lrow, dtype=np.uint8)
+        lcol = np.asarray(lcol, dtype=np.uint8)
+        val = np.asarray(val, dtype=np.float64)
+        order = np.lexsort((lcol, lrow))
+        lrows.append(lrow[order])
+        lcols.append(lcol[order])
+        vals.append(val[order])
+        lengths.append(lrow.size)
+    n = len(tiles)
+    eff_h = np.full(n, tile, dtype=np.uint8)
+    eff_w = np.full(n, tile, dtype=np.uint8)
+    if eff is not None:
+        eff_h[:] = eff[0]
+        eff_w[:] = eff[1]
+    return TilesView(
+        lrow=np.concatenate(lrows) if n else np.zeros(0, np.uint8),
+        lcol=np.concatenate(lcols) if n else np.zeros(0, np.uint8),
+        val=np.concatenate(vals) if n else np.zeros(0),
+        offsets=lengths_to_offsets(np.array(lengths, dtype=np.int64)),
+        eff_h=eff_h,
+        eff_w=eff_w,
+        tile=tile,
+    )
+
+
+def dense_tile_from_view_entries(lrow, lcol, val, tile: int = 16) -> np.ndarray:
+    """Materialise a dense tile from decoded entries (duplicates sum)."""
+    out = np.zeros((tile, tile))
+    np.add.at(out, (np.asarray(lrow, dtype=int), np.asarray(lcol, dtype=int)), val)
+    return out
+
+
+@pytest.fixture
+def random_view(rng):
+    """A multi-tile view with varied densities."""
+    from tests.conftest import random_tile_entries
+
+    tiles = [random_tile_entries(rng, nnz=k) for k in (1, 7, 40, 128, 256, 13)]
+    return make_view(tiles)

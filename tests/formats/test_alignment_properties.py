@@ -1,0 +1,95 @@
+"""Cross-format alignment/layout invariants (property-based).
+
+The byte-level promises documented in docs/FORMATS.md, checked on
+randomly generated multi-tile views.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.formats.tile_coo import encode_coo
+from repro.formats.tile_csr import encode_csr
+from repro.formats.tile_dns import encode_dns
+from repro.formats.tile_ell import encode_ell
+from repro.formats.tile_hyb import encode_hyb
+from tests.conftest import random_tile_entries
+from tests.formats.conftest import make_view
+
+multi_tile = st.lists(st.integers(1, 256), min_size=1, max_size=10)
+
+
+def view_of(nnzs, seed):
+    rng = np.random.default_rng(seed)
+    return make_view([random_tile_entries(rng, nnz=k) for k in nnzs])
+
+
+@given(multi_tile, st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_csr_offsets_consistent(nnzs, seed):
+    view = view_of(nnzs, seed)
+    data = encode_csr(view)
+    # Offsets cover the value array exactly; bytes cover packed indices.
+    assert data.offsets[-1] == data.val.size
+    assert data.byte_offsets[-1] == data.colidx.size
+    # Per-tile byte counts are ceil(nnz/2): byte alignment per tile.
+    np.testing.assert_array_equal(
+        np.diff(data.byte_offsets), (np.diff(data.offsets) + 1) // 2
+    )
+    # Row pointers never exceed the 240 cap.
+    assert data.rowptr.max(initial=0) <= 240
+
+
+@given(multi_tile, st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_coo_one_byte_per_entry(nnzs, seed):
+    view = view_of(nnzs, seed)
+    data = encode_coo(view)
+    assert data.rowcol.size == data.val.size == int(data.offsets[-1])
+
+
+@given(multi_tile, st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_ell_slots_multiple_of_tile(nnzs, seed):
+    view = view_of(nnzs, seed)
+    data = encode_ell(view)
+    slots = np.diff(data.slot_offsets)
+    assert np.all(slots % view.tile == 0)
+    assert np.all(slots == data.width.astype(np.int64) * view.tile)
+    # Valid slots equal the true nonzero counts.
+    assert int(data.valid.sum()) == int(view.offsets[-1])
+
+
+@given(multi_tile, st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_hyb_parts_partition_entries(nnzs, seed):
+    view = view_of(nnzs, seed)
+    data = encode_hyb(view)
+    assert int(data.ell.valid.sum()) + data.coo.nnz == int(view.offsets[-1])
+    # The chosen widths are never wider than the tiles' max row count.
+    rc = view.row_counts().astype(np.int64)
+    assert np.all(data.ell.width.astype(np.int64) <= rc.max(axis=1))
+
+
+@given(multi_tile, st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_dns_rectangles_cover_entries(nnzs, seed):
+    view = view_of(nnzs, seed)
+    data = encode_dns(view)
+    assert int(data.valid.sum()) == int(view.offsets[-1])
+    slots = np.diff(data.slot_offsets)
+    np.testing.assert_array_equal(
+        slots, data.eff_h.astype(np.int64) * data.eff_w.astype(np.int64)
+    )
+
+
+@given(multi_tile, st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_space_accounting_additive(nnzs, seed):
+    """nbytes of a multi-tile payload equals the sum over single tiles."""
+    view = view_of(nnzs, seed)
+    whole = encode_csr(view).nbytes_model()
+    parts = sum(
+        encode_csr(view.select(np.array([i]))).nbytes_model()
+        for i in range(view.n_tiles)
+    )
+    assert whole == parts

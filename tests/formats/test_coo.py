@@ -1,0 +1,52 @@
+"""COO tile format tests."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.formats.tile_coo import encode_coo
+from tests.conftest import random_tile_entries
+from tests.formats.conftest import dense_tile_from_view_entries, make_view
+
+
+class TestEncodeCoo:
+    def test_paper_example_packing(self):
+        # Two entries at (1, 0) and (2, 2): bytes 0x10 and 0x22.
+        view = make_view([(np.array([1, 2]), np.array([0, 2]), np.array([5.0, 7.0]))], tile=4)
+        data = encode_coo(view)
+        assert data.rowcol.tolist() == [0x10, 0x22]
+        assert data.val.tolist() == [5.0, 7.0]
+
+    def test_offsets_per_tile(self):
+        view = make_view([
+            (np.array([0]), np.array([0]), np.array([1.0])),
+            (np.array([3, 4]), np.array([1, 2]), np.array([2.0, 3.0])),
+        ])
+        data = encode_coo(view)
+        assert data.offsets.tolist() == [0, 1, 3]
+        assert data.n_tiles == 2 and data.nnz == 3
+
+    def test_nbytes_model_is_9_per_entry(self):
+        view = make_view([(np.array([0, 1, 2]), np.array([0, 1, 2]), np.ones(3))])
+        assert encode_coo(view).nbytes_model() == 3 * 9
+
+    def test_roundtrip_simple(self):
+        lrow = np.array([0, 5, 15])
+        lcol = np.array([15, 3, 0])
+        val = np.array([1.0, 2.0, 3.0])
+        view = make_view([(lrow, lcol, val)])
+        r, c, v = encode_coo(view).decode()
+        got = dense_tile_from_view_entries(r, c, v)
+        want = dense_tile_from_view_entries(lrow, lcol, val)
+        np.testing.assert_allclose(got, want)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 256))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, seed, nnz):
+        rng = np.random.default_rng(seed)
+        lrow, lcol, val = random_tile_entries(rng, nnz=nnz)
+        view = make_view([(lrow, lcol, val)])
+        r, c, v = encode_coo(view).decode()
+        np.testing.assert_allclose(
+            dense_tile_from_view_entries(r, c, v),
+            dense_tile_from_view_entries(lrow, lcol, val),
+        )

@@ -1,0 +1,93 @@
+"""CSR tile format tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formats.tile_csr import encode_csr
+from tests.conftest import random_tile_entries
+from tests.formats.conftest import dense_tile_from_view_entries, make_view
+
+
+class TestEncodeCsr:
+    def test_rowptr_layout(self):
+        # Rows: 0 -> 2 entries, 2 -> 1 entry (row 1, 3 empty), tile=4.
+        view = make_view(
+            [(np.array([0, 0, 2]), np.array([1, 3, 0]), np.array([1.0, 2.0, 3.0]))],
+            tile=4,
+        )
+        data = encode_csr(view)
+        assert data.rowptr.tolist() == [0, 2, 2, 3]
+
+    def test_colidx_packed_two_per_byte(self):
+        view = make_view(
+            [(np.array([0, 0, 2]), np.array([1, 3, 0]), np.array([1.0, 2.0, 3.0]))],
+            tile=4,
+        )
+        data = encode_csr(view)
+        # cols 1,3,0 -> bytes 0x13, 0x00 (padding nibble).
+        assert data.colidx.tolist() == [0x13, 0x00]
+        assert data.byte_offsets.tolist() == [0, 2]
+
+    def test_values_row_major(self):
+        view = make_view(
+            [(np.array([1, 0, 1]), np.array([0, 2, 3]), np.array([10.0, 20.0, 30.0]))],
+            tile=4,
+        )
+        data = encode_csr(view)
+        assert data.val.tolist() == [20.0, 10.0, 30.0]
+
+    def test_tiles_byte_aligned(self):
+        # Two tiles with odd counts must not share a byte.
+        view = make_view([
+            (np.array([0]), np.array([5]), np.array([1.0])),
+            (np.array([2]), np.array([7]), np.array([2.0])),
+        ])
+        data = encode_csr(view)
+        assert data.byte_offsets.tolist() == [0, 1, 2]
+        assert data.colidx.tolist() == [0x50, 0x70]
+
+    def test_nbytes_model(self):
+        view = make_view([(np.array([0, 1, 2]), np.array([0, 1, 2]), np.ones(3))])
+        data = encode_csr(view)
+        # 3 values + 2 packed bytes + 16 pointer bytes.
+        assert data.nbytes_model() == 3 * 8 + 2 + 16
+
+    def test_row_lengths(self):
+        view = make_view(
+            [(np.array([0, 0, 3, 3, 3]), np.array([0, 1, 0, 1, 2]), np.ones(5))],
+            tile=4,
+        )
+        assert encode_csr(view).row_lengths().tolist() == [[2, 0, 0, 3]]
+
+    def test_full_tile_rowptr_stays_uint8(self):
+        rng = np.random.default_rng(0)
+        lrow, lcol, val = random_tile_entries(rng, nnz=256)
+        data = encode_csr(make_view([(lrow, lcol, val)]))
+        assert data.rowptr.dtype == np.uint8
+        assert data.rowptr.max() == 240  # second-to-last row pointer cap
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 256))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, seed, nnz):
+        rng = np.random.default_rng(seed)
+        lrow, lcol, val = random_tile_entries(rng, nnz=nnz)
+        view = make_view([(lrow, lcol, val)])
+        r, c, v = encode_csr(view).decode()
+        np.testing.assert_allclose(
+            dense_tile_from_view_entries(r, c, v),
+            dense_tile_from_view_entries(lrow, lcol, val),
+        )
+
+    def test_multi_tile_roundtrip(self, rng):
+        tiles = [random_tile_entries(rng) for _ in range(8)]
+        view = make_view(tiles)
+        data = encode_csr(view)
+        r, c, v = data.decode()
+        # Compare per tile using offsets.
+        for i, (lr, lc, va) in enumerate(tiles):
+            sl = slice(int(data.offsets[i]), int(data.offsets[i + 1]))
+            np.testing.assert_allclose(
+                dense_tile_from_view_entries(r[sl], c[sl], v[sl]),
+                dense_tile_from_view_entries(lr, lc, va),
+            )

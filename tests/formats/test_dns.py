@@ -1,0 +1,55 @@
+"""Dns tile format tests."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.formats.tile_dns import encode_dns
+from tests.conftest import random_tile_entries
+from tests.formats.conftest import dense_tile_from_view_entries, make_view
+
+
+class TestEncodeDns:
+    def test_column_major_order(self):
+        # tile 2x2, entries (0,0)=1, (1,1)=4 -> [1, 0, 0, 4].
+        view = make_view([(np.array([0, 1]), np.array([0, 1]), np.array([1.0, 4.0]))], tile=2)
+        data = encode_dns(view)
+        assert data.val.tolist() == [1.0, 0.0, 0.0, 4.0]
+        assert data.valid.tolist() == [True, False, False, True]
+
+    def test_nbytes_values_only(self):
+        view = make_view([(np.array([0]), np.array([0]), np.array([1.0]))], tile=4)
+        assert encode_dns(view).nbytes_model() == 16 * 8  # no index arrays
+
+    def test_boundary_tile_stores_effective_rect(self):
+        view = make_view(
+            [(np.array([0, 2]), np.array([0, 1]), np.array([1.0, 2.0]))],
+            tile=16,
+            eff=(3, 2),
+        )
+        data = encode_dns(view)
+        assert data.n_slots == 6
+        assert data.val.tolist() == [1.0, 0.0, 0.0, 0.0, 0.0, 2.0]
+
+    def test_full_tile(self):
+        rng = np.random.default_rng(1)
+        lrow, lcol, val = random_tile_entries(rng, nnz=256)
+        data = encode_dns(make_view([(lrow, lcol, val)]))
+        assert data.n_slots == 256
+        assert data.valid.all()
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 256))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, seed, nnz):
+        rng = np.random.default_rng(seed)
+        lrow, lcol, val = random_tile_entries(rng, nnz=nnz)
+        view = make_view([(lrow, lcol, val)])
+        t, r, c, v = encode_dns(view).decode()
+        np.testing.assert_allclose(
+            dense_tile_from_view_entries(r, c, v),
+            dense_tile_from_view_entries(lrow, lcol, val),
+        )
+
+    def test_multi_tile_offsets(self, rng):
+        tiles = [random_tile_entries(rng, nnz=200), random_tile_entries(rng, nnz=130)]
+        data = encode_dns(make_view(tiles))
+        assert data.slot_offsets.tolist() == [0, 256, 512]

@@ -1,0 +1,69 @@
+"""DnsCol tile format tests."""
+
+import numpy as np
+import pytest
+
+from repro.formats.tile_dnscol import encode_dnscol
+from tests.formats.conftest import dense_tile_from_view_entries, make_view
+
+
+def full_cols_view(cols, tile=16, eff_h=None):
+    """A view whose occupied columns are completely dense."""
+    h = eff_h or tile
+    lcol = np.repeat(np.array(cols, dtype=np.uint8), h)
+    lrow = np.tile(np.arange(h, dtype=np.uint8), len(cols))
+    val = np.arange(lrow.size, dtype=np.float64) + 1.0
+    return make_view([(lrow, lcol, val)], tile=tile, eff=(h, tile)), (lrow, lcol, val)
+
+
+class TestEncodeDnsCol:
+    def test_paper_example_single_col(self):
+        view, _ = full_cols_view([2], tile=4)
+        data = encode_dnscol(view)
+        assert data.colidx.tolist() == [2]
+        assert data.nnz == 4
+
+    def test_values_column_contiguous(self):
+        # Entries arrive row-major; storage must be column-major.
+        lrow = np.array([0, 0, 1, 1])
+        lcol = np.array([1, 3, 1, 3])
+        val = np.array([10.0, 20.0, 30.0, 40.0])
+        view = make_view([(lrow, lcol, val)], tile=4, eff=(2, 4))
+        data = encode_dnscol(view)
+        assert data.colidx.tolist() == [1, 3]
+        assert data.val.tolist() == [10.0, 30.0, 20.0, 40.0]
+
+    def test_rejects_partial_column(self):
+        view = make_view([(np.array([0, 3]), np.array([5, 5]), np.ones(2))])
+        with pytest.raises(ValueError, match="partially-filled"):
+            encode_dnscol(view)
+
+    def test_roundtrip(self):
+        view, (lr, lc, va) = full_cols_view([0, 7, 15])
+        t, r, c, v = encode_dnscol(view).decode()
+        np.testing.assert_allclose(
+            dense_tile_from_view_entries(r, c, v),
+            dense_tile_from_view_entries(lr, lc, va),
+        )
+
+    def test_boundary_tile_uses_eff_h(self):
+        view, _ = full_cols_view([3], eff_h=5)
+        data = encode_dnscol(view)
+        assert data.nnz == 5
+        assert data.eff_h.tolist() == [5]
+
+    def test_nbytes_model(self):
+        view, _ = full_cols_view([1, 2, 3])
+        data = encode_dnscol(view)
+        assert data.nbytes_model() == 48 * 8 + 3
+
+    def test_multi_tile(self):
+        v1, _ = full_cols_view([2])
+        v2, _ = full_cols_view([0, 9])
+        view = make_view([
+            (v1.lrow, v1.lcol, v1.val),
+            (v2.lrow, v2.lcol, v2.val),
+        ])
+        data = encode_dnscol(view)
+        assert data.n_cols().tolist() == [1, 2]
+        assert data.colidx.tolist() == [2, 0, 9]

@@ -1,0 +1,66 @@
+"""DnsRow tile format tests."""
+
+import numpy as np
+import pytest
+
+from repro.formats.tile_dnsrow import encode_dnsrow
+from tests.formats.conftest import dense_tile_from_view_entries, make_view
+
+
+def full_rows_view(rows, tile=16, eff_w=None):
+    """A view whose occupied rows are completely dense."""
+    w = eff_w or tile
+    lrow = np.repeat(np.array(rows, dtype=np.uint8), w)
+    lcol = np.tile(np.arange(w, dtype=np.uint8), len(rows))
+    val = np.arange(lrow.size, dtype=np.float64) + 1.0
+    return make_view([(lrow, lcol, val)], tile=tile, eff=(tile, w)), (lrow, lcol, val)
+
+
+class TestEncodeDnsRow:
+    def test_paper_example_single_row(self):
+        # Paper Fig 3 red tile: one full row (index 3 recorded in rowid).
+        view, _ = full_rows_view([3], tile=4)
+        data = encode_dnsrow(view)
+        assert data.rowidx.tolist() == [3]
+        assert data.row_offsets.tolist() == [0, 1]
+        assert data.nnz == 4
+
+    def test_multiple_rows_ordered(self):
+        view, (lr, lc, va) = full_rows_view([1, 9, 14])
+        data = encode_dnsrow(view)
+        assert data.rowidx.tolist() == [1, 9, 14]
+        t, r, c, v = data.decode()
+        np.testing.assert_allclose(
+            dense_tile_from_view_entries(r, c, v),
+            dense_tile_from_view_entries(lr, lc, va),
+        )
+
+    def test_rejects_partial_row(self):
+        view = make_view([(np.array([2, 2]), np.array([0, 1]), np.ones(2))])
+        with pytest.raises(ValueError, match="partially-filled"):
+            encode_dnsrow(view)
+
+    def test_boundary_tile_uses_eff_w(self):
+        view, _ = full_rows_view([0, 5], eff_w=7)
+        data = encode_dnsrow(view)
+        assert data.nnz == 14
+        assert data.eff_w.tolist() == [7]
+
+    def test_nbytes_model(self):
+        view, _ = full_rows_view([2, 3])
+        data = encode_dnsrow(view)
+        assert data.nbytes_model() == 32 * 8 + 2  # values + 2 row-id bytes
+
+    def test_multi_tile(self):
+        v1, _ = full_rows_view([0])
+        v2, _ = full_rows_view([4, 8])
+        lrow = np.concatenate([v1.lrow, v2.lrow])
+        lcol = np.concatenate([v1.lcol, v2.lcol])
+        val = np.concatenate([v1.val, v2.val])
+        view = make_view([
+            (v1.lrow, v1.lcol, v1.val),
+            (v2.lrow, v2.lcol, v2.val),
+        ])
+        data = encode_dnsrow(view)
+        assert data.row_offsets.tolist() == [0, 1, 3]
+        assert data.n_rows().tolist() == [1, 2]

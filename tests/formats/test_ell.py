@@ -1,0 +1,74 @@
+"""ELL tile format tests."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.formats.tile_ell import ell_widths, encode_ell
+from tests.conftest import random_tile_entries
+from tests.formats.conftest import dense_tile_from_view_entries, make_view
+
+
+class TestWidths:
+    def test_width_is_max_row_count(self):
+        view = make_view(
+            [(np.array([0, 0, 0, 2]), np.array([0, 1, 2, 5]), np.ones(4))]
+        )
+        assert ell_widths(view).tolist() == [3]
+
+    def test_diagonal_width_one(self):
+        view = make_view([(np.arange(16), np.arange(16), np.ones(16))])
+        assert ell_widths(view).tolist() == [1]
+
+
+class TestEncodeEll:
+    def test_column_major_slots(self):
+        # Diagonal tile of 4: slots are one column of 4, values in row order.
+        view = make_view([(np.arange(4), np.arange(4), np.array([1.0, 2.0, 3.0, 4.0]))], tile=4)
+        data = encode_ell(view)
+        assert data.width.tolist() == [1]
+        assert data.val.tolist() == [1.0, 2.0, 3.0, 4.0]
+        assert data.valid.all()
+
+    def test_padding_slots_are_zero(self):
+        # Rows 0 has 2 entries, row 1 has 1: width 2, one padding slot.
+        view = make_view(
+            [(np.array([0, 0, 1]), np.array([0, 1, 0]), np.array([1.0, 2.0, 3.0]))],
+            tile=2,
+        )
+        data = encode_ell(view)
+        assert data.n_slots == 4
+        # Column-major: [row0_e0, row1_e0, row0_e1, row1_pad]
+        assert data.val.tolist() == [1.0, 3.0, 2.0, 0.0]
+        assert data.valid.tolist() == [True, True, True, False]
+
+    def test_nbytes_model(self):
+        view = make_view([(np.arange(16), np.arange(16), np.ones(16))])
+        data = encode_ell(view)
+        # 16 slots * 8B + 8 packed bytes + 1 width byte.
+        assert data.nbytes_model() == 16 * 8 + 8 + 1
+
+    def test_empty_tile_width_zero(self):
+        view = make_view([(np.array([], int), np.array([], int), np.array([]))])
+        data = encode_ell(view)
+        assert data.width.tolist() == [0]
+        assert data.n_slots == 0
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 256))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, seed, nnz):
+        rng = np.random.default_rng(seed)
+        lrow, lcol, val = random_tile_entries(rng, nnz=nnz)
+        view = make_view([(lrow, lcol, val)])
+        t, r, c, v = encode_ell(view).decode()
+        assert (t == 0).all()
+        np.testing.assert_allclose(
+            dense_tile_from_view_entries(r, c, v),
+            dense_tile_from_view_entries(lrow, lcol, val),
+        )
+
+    def test_multi_tile_decode_tile_ids(self, rng):
+        tiles = [random_tile_entries(rng, nnz=5), random_tile_entries(rng, nnz=33)]
+        data = encode_ell(make_view(tiles))
+        t, r, c, v = data.decode()
+        assert set(np.unique(t)) == {0, 1}
+        assert (t == 0).sum() == 5 and (t == 1).sum() == 33

@@ -1,0 +1,85 @@
+"""HYB tile format tests: split-width search and ELL+COO roundtrip."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.formats.base import VALUE_BYTES
+from repro.formats.tile_hyb import encode_hyb, hyb_split_widths
+from tests.conftest import random_tile_entries
+from tests.formats.conftest import dense_tile_from_view_entries, make_view
+
+
+def naive_best_width(row_counts: np.ndarray, tile: int) -> tuple[int, int]:
+    """Brute-force the paper's memory-minimisation search."""
+    best = None
+    for w in range(int(row_counts.max(initial=0)), -1, -1):
+        ell = w * tile * VALUE_BYTES + (w * tile + 1) // 2 + 1
+        coo = int(np.maximum(row_counts - w, 0).sum()) * (1 + VALUE_BYTES)
+        cost = ell + coo
+        if best is None or cost <= best[1]:
+            best = (w, cost)
+    return best
+
+
+class TestSplitWidths:
+    def test_single_dense_column_plus_tail(self):
+        # 16 rows with 1 entry + one row with 5 extra: ELL width 1 wins.
+        lrow = np.concatenate([np.arange(16), np.zeros(5, dtype=int)])
+        lcol = np.concatenate([np.zeros(16, dtype=int), np.arange(1, 6)])
+        view = make_view([(lrow, lcol, np.ones(21))])
+        assert hyb_split_widths(view).tolist() == [1]
+
+    def test_pure_scatter_prefers_width_zero(self):
+        # A few entries in one row: ELL would pad 16 slots per level.
+        view = make_view([(np.array([3, 3]), np.array([1, 2]), np.ones(2))])
+        assert hyb_split_widths(view).tolist() == [0]
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 256))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_bruteforce(self, seed, nnz):
+        rng = np.random.default_rng(seed)
+        lrow, lcol, val = random_tile_entries(rng, nnz=nnz)
+        view = make_view([(lrow, lcol, val)])
+        rc = np.bincount(lrow, minlength=16)
+        w_naive, _ = naive_best_width(rc, 16)
+        assert hyb_split_widths(view).tolist() == [w_naive]
+
+
+class TestEncodeHyb:
+    def test_paper_example_split(self):
+        # Paper Fig 3 purple tile: a full first column (4 rows) + 2 extras
+        # in one row -> ELL width 1, 2 entries in COO.
+        lrow = np.array([0, 1, 2, 3, 1, 1])
+        lcol = np.array([0, 0, 0, 0, 2, 3])
+        view = make_view([(lrow, lcol, np.ones(6))], tile=4)
+        data = encode_hyb(view)
+        assert data.ell.width.tolist() == [1]
+        assert int(data.ell.valid.sum()) == 4
+        assert data.coo.nnz == 2
+
+    def test_nbytes_is_sum_of_parts(self):
+        rng = np.random.default_rng(3)
+        view = make_view([random_tile_entries(rng, nnz=50)])
+        data = encode_hyb(view)
+        assert data.nbytes_model() == data.ell.nbytes_model() + data.coo.nbytes_model()
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 256))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, seed, nnz):
+        rng = np.random.default_rng(seed)
+        lrow, lcol, val = random_tile_entries(rng, nnz=nnz)
+        view = make_view([(lrow, lcol, val)])
+        t, r, c, v = encode_hyb(view).decode()
+        np.testing.assert_allclose(
+            dense_tile_from_view_entries(r, c, v),
+            dense_tile_from_view_entries(lrow, lcol, val),
+        )
+
+    def test_multi_tile_alignment(self, rng):
+        tiles = [random_tile_entries(rng, nnz=k) for k in (2, 60, 17)]
+        data = encode_hyb(make_view(tiles))
+        assert data.ell.n_tiles == data.coo.n_tiles == 3
+        totals = np.zeros(3, dtype=int)
+        t, r, c, v = data.decode()
+        np.add.at(totals, t, 1)
+        assert totals.tolist() == [2, 60, 17]

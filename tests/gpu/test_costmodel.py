@@ -1,0 +1,126 @@
+"""Cost-model behaviour tests: roofline terms, L2 model, RunCost algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.costmodel import CostModel, KernelStats, RunCost, l2_adjusted_bytes
+from repro.gpu.device import A100, TITAN_RTX
+
+
+class TestL2Adjustment:
+    def test_zero_gather(self):
+        assert l2_adjusted_bytes(0, 1000, 100) == 0.0
+
+    def test_cache_resident_collapses_to_footprint(self):
+        # 10x reuse of a footprint smaller than L2 -> compulsory only.
+        assert l2_adjusted_bytes(10_000, 1_000, 1_000_000) == 1_000
+
+    def test_no_reuse_passes_through(self):
+        assert l2_adjusted_bytes(500, 1_000, 10) == 500
+
+    def test_thrashing_keeps_miss_fraction(self):
+        # footprint = 2x L2: half the reuse traffic misses.
+        got = l2_adjusted_bytes(3_000, 1_000, 500)
+        assert got == 1_000 + 2_000 * 0.5
+
+    @given(
+        st.floats(0, 1e9),
+        st.floats(1, 1e9),
+        st.floats(1, 1e9),
+    )
+    def test_bounded_between_footprint_and_gather(self, gather, footprint, l2):
+        got = l2_adjusted_bytes(gather, footprint, l2)
+        assert 0 <= got <= max(gather, 0) + 1e-6
+        if gather >= footprint:
+            assert got >= min(gather, footprint) - 1e-6
+
+
+class TestCostModel:
+    def _stats(self, **kw):
+        base = dict(bytes_read=1e6, bytes_written=1e5, warp_instructions=1e5, n_warps=100)
+        base.update(kw)
+        return KernelStats(**base)
+
+    def test_memory_bound_case(self):
+        stats = self._stats(bytes_read=1e9, warp_instructions=10)
+        bd = CostModel(A100).breakdown(stats)
+        assert bd.bound == "memory"
+        assert bd.total == pytest.approx(bd.t_launch + bd.t_mem + bd.t_atomic)
+
+    def test_issue_bound_case(self):
+        stats = self._stats(bytes_read=10, warp_instructions=1e9)
+        bd = CostModel(A100).breakdown(stats)
+        assert bd.bound == "issue"
+
+    def test_tail_bound_case(self):
+        stats = self._stats(warp_cycles_max=1e9)
+        assert CostModel(A100).breakdown(stats).bound == "tail"
+
+    def test_l2_term(self):
+        stats = self._stats(bytes_l2=1e9, bytes_read=10, warp_instructions=10)
+        bd = CostModel(A100).breakdown(stats)
+        assert bd.bound == "l2"
+        assert bd.t_l2 == pytest.approx(1e9 / (A100.l2_bandwidth_gbps * 1e9))
+
+    def test_atomic_excess_charged(self):
+        no_conflict = self._stats(atomic_ops=100, atomic_rounds=100)
+        conflict = self._stats(atomic_ops=100, atomic_rounds=10_000_000)
+        cm = CostModel(A100)
+        assert cm.time(conflict) > cm.time(no_conflict)
+
+    def test_launch_overhead_floor(self):
+        t = CostModel(A100).time(KernelStats(kernel_launches=2))
+        assert t >= 2 * A100.launch_overhead_us * 1e-6
+
+    def test_faster_device_wins_memory_bound(self):
+        stats = self._stats(bytes_read=1e9)
+        assert CostModel(A100).time(stats) < CostModel(TITAN_RTX).time(stats)
+
+    def test_gflops_uses_paper_convention(self):
+        stats = self._stats(flops=123.0)
+        cm = CostModel(A100)
+        t = cm.time(stats)
+        assert cm.gflops(stats, useful_flops=2e9) == pytest.approx(2e9 / t / 1e9)
+
+
+class TestKernelStatsAlgebra:
+    def test_add_sums_traffic(self):
+        a = KernelStats(bytes_read=10, warp_cycles_max=5, kernel_launches=1)
+        b = KernelStats(bytes_read=20, warp_cycles_max=9, kernel_launches=1)
+        c = a + b
+        assert c.bytes_read == 30
+        assert c.warp_cycles_max == 9
+        assert c.kernel_launches == 2
+
+    def test_merge_concurrent_keeps_single_launch(self):
+        a = KernelStats(kernel_launches=1)
+        b = KernelStats(kernel_launches=1)
+        assert a.merge_concurrent(b).kernel_launches == 1
+
+
+class TestRunCost:
+    def test_stats_applies_l2_model(self):
+        rc = RunCost(x_gather_bytes=1e9, x_footprint_bytes=1e3)
+        st_a = rc.stats(A100)
+        # Cache resident -> DRAM side sees only the footprint.
+        assert st_a.bytes_read == pytest.approx(1e3)
+        # L2 side sees the raw gather.
+        assert st_a.bytes_l2 == pytest.approx(1e9)
+
+    def test_add_sequential(self):
+        a = RunCost(payload_bytes=5, kernel_launches=1, useful_flops=4)
+        b = RunCost(payload_bytes=7, kernel_launches=1, useful_flops=6)
+        c = a + b
+        assert c.payload_bytes == 12
+        assert c.kernel_launches == 2
+        assert c.useful_flops == 10
+
+    def test_gflops_positive(self):
+        rc = RunCost(payload_bytes=1e6, useful_flops=2e6, executed_flops=2e6)
+        assert rc.gflops(A100) > 0
+
+    def test_time_monotone_in_traffic(self):
+        small = RunCost(payload_bytes=1e6)
+        big = RunCost(payload_bytes=1e9)
+        assert big.time(A100) > small.time(A100)

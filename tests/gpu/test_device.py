@@ -1,0 +1,46 @@
+"""Device-spec sanity tests (Table I inputs)."""
+
+import pytest
+
+from repro.gpu.device import A100, TITAN_RTX, DeviceSpec
+
+
+def test_presets_match_table1():
+    assert A100.cuda_cores == 6912
+    assert A100.clock_mhz == 1410
+    assert A100.mem_bandwidth_gbps == 1555
+    assert A100.mem_gb == 40
+    assert TITAN_RTX.cuda_cores == 4608
+    assert TITAN_RTX.clock_mhz == 1770
+    assert TITAN_RTX.mem_bandwidth_gbps == 672
+    assert TITAN_RTX.mem_gb == 24
+
+
+def test_derived_quantities():
+    assert A100.clock_hz == pytest.approx(1.41e9)
+    assert A100.mem_bandwidth_bytes < 1555e9  # efficiency < 1
+    assert A100.warp_issue_rate == pytest.approx(108 * 4 * 1.41e9)
+
+
+def test_fp64_ratio_by_architecture():
+    # Ampere datacenter: half-rate FP64; Turing consumer: 1/32.
+    assert A100.peak_gflops_fp64 > 9000
+    assert TITAN_RTX.peak_gflops_fp64 < 1000
+
+
+def test_a100_has_more_bandwidth_and_l2():
+    assert A100.mem_bandwidth_gbps > TITAN_RTX.mem_bandwidth_gbps
+    assert A100.l2_mb > TITAN_RTX.l2_mb
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        A100.sm_count = 1  # type: ignore[misc]
+
+
+def test_custom_device():
+    dev = DeviceSpec(
+        name="toy", architecture="Test", sm_count=2, cuda_cores=128,
+        clock_mhz=1000, mem_bandwidth_gbps=100, mem_gb=1,
+    )
+    assert dev.warp_issue_rate == 2 * 4 * 1e9

@@ -1,0 +1,72 @@
+"""Coalescing model and shared-memory tests."""
+
+import numpy as np
+
+from repro.gpu.memory import (
+    SECTOR_BYTES,
+    SharedMemory,
+    coalesced_bytes,
+    coalesced_sectors,
+    contiguous_stream_bytes,
+)
+
+
+class TestCoalescing:
+    def test_empty(self):
+        assert coalesced_sectors(np.array([])) == 0
+
+    def test_fully_coalesced_warp_load(self):
+        # 32 lanes loading consecutive float64: 256 bytes = 8 sectors.
+        addrs = np.arange(32) * 8
+        assert coalesced_sectors(addrs) == 8
+
+    def test_same_address_is_one_sector(self):
+        assert coalesced_sectors(np.zeros(32, dtype=np.int64)) == 1
+
+    def test_fully_scattered(self):
+        # One sector per lane when each access is >= 32 bytes apart.
+        addrs = np.arange(32) * 64
+        assert coalesced_sectors(addrs) == 32
+
+    def test_bytes_is_sectors_times_size(self):
+        addrs = np.array([0, 100, 200])
+        assert coalesced_bytes(addrs) == coalesced_sectors(addrs) * SECTOR_BYTES
+
+
+class TestContiguousStream:
+    def test_zero(self):
+        assert contiguous_stream_bytes(0, 8) == 0
+
+    def test_rounds_up_to_sector(self):
+        assert contiguous_stream_bytes(1, 8) == 32
+        assert contiguous_stream_bytes(5, 8) == 64
+
+    def test_exact_multiple(self):
+        assert contiguous_stream_bytes(4, 8) == 32
+
+
+class TestSharedMemory:
+    def test_store_load(self):
+        sm = SharedMemory(16)
+        sm.store(np.arange(4), np.array([1.0, 2.0, 3.0, 4.0]))
+        np.testing.assert_array_equal(sm.load(np.array([1, 3])), [2.0, 4.0])
+        assert sm.loads == 1 and sm.stores == 1
+
+    def test_atomic_add_counts_rounds(self):
+        sm = SharedMemory(8)
+        rounds = sm.atomic_add(np.array([0, 0, 1]), np.array([1.0, 2.0, 5.0]))
+        assert rounds == 2
+        assert sm.atomic_rounds == 2
+        assert sm.data[0] == 3.0 and sm.data[1] == 5.0
+
+    def test_atomic_add_active_mask(self):
+        sm = SharedMemory(8)
+        rounds = sm.atomic_add(
+            np.array([0, 0, 1]), np.array([1.0, 2.0, 5.0]), np.array([True, False, True])
+        )
+        assert rounds == 1
+        assert sm.data[0] == 1.0 and sm.data[1] == 5.0
+
+    def test_atomic_add_empty(self):
+        sm = SharedMemory(8)
+        assert sm.atomic_add(np.array([], dtype=int), np.array([])) == 0

@@ -1,0 +1,126 @@
+"""Warp-interpreter semantics tests (CUDA intrinsic behaviour)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.warp import FULL_MASK, HALF_MASK, WARP_SIZE, Warp
+
+
+class TestShflDown:
+    def test_shifts_by_delta(self):
+        w = Warp()
+        var = np.arange(32, dtype=np.float64)
+        out = w.shfl_down_sync(FULL_MASK, var, 4)
+        np.testing.assert_array_equal(out[:28], var[4:])
+
+    def test_out_of_range_lanes_keep_value(self):
+        w = Warp()
+        var = np.arange(32, dtype=np.float64)
+        out = w.shfl_down_sync(FULL_MASK, var, 4)
+        np.testing.assert_array_equal(out[28:], var[28:])
+
+    def test_half_mask_leaves_upper_untouched(self):
+        w = Warp()
+        var = np.arange(32, dtype=np.float64)
+        out = w.shfl_down_sync(HALF_MASK, var, 1)
+        np.testing.assert_array_equal(out[16:], var[16:])
+        np.testing.assert_array_equal(out[:15], var[1:16])
+
+    def test_counts_instructions(self):
+        w = Warp()
+        w.shfl_down_sync(FULL_MASK, w.zeros(), 1)
+        assert w.instructions == 1 and w.shuffles == 1
+
+    @given(st.integers(min_value=0, max_value=31))
+    def test_reduction_tree_sums_warp(self, seed):
+        """The canonical shfl_down reduction sums all 32 lanes into lane 0."""
+        rng = np.random.default_rng(seed)
+        w = Warp()
+        acc = rng.standard_normal(WARP_SIZE)
+        total = acc.sum()
+        for stride in (16, 8, 4, 2, 1):
+            acc = acc + w.shfl_down_sync(FULL_MASK, acc, stride)
+        assert np.isclose(acc[0], total)
+
+
+class TestShflSync:
+    def test_broadcast_scalar_lane(self):
+        w = Warp()
+        var = np.arange(32, dtype=np.float64)
+        out = w.shfl_sync(FULL_MASK, var, 7)
+        np.testing.assert_array_equal(out, np.full(32, 7.0))
+
+    def test_gather_vector_sources(self):
+        w = Warp()
+        var = np.arange(32, dtype=np.float64) * 10
+        src = (np.arange(32) + 1) % 32
+        out = w.shfl_sync(FULL_MASK, var, src)
+        np.testing.assert_array_equal(out, var[src])
+
+    def test_masked_lanes_unchanged(self):
+        w = Warp()
+        var = np.arange(32, dtype=np.float64)
+        out = w.shfl_sync(HALF_MASK, var, 0)
+        np.testing.assert_array_equal(out[16:], var[16:])
+        np.testing.assert_array_equal(out[:16], np.zeros(16))
+
+    def test_out_of_range_active_source_raises(self):
+        w = Warp()
+        with pytest.raises(ValueError):
+            w.shfl_sync(FULL_MASK, w.zeros(), 99)
+
+
+class TestBallot:
+    def test_basic_mask(self):
+        w = Warp()
+        pred = np.zeros(32, dtype=bool)
+        pred[[0, 5, 31]] = True
+        assert w.ballot_sync(FULL_MASK, pred) == (1 | (1 << 5) | (1 << 31))
+
+    def test_respects_participation_mask(self):
+        w = Warp()
+        pred = np.ones(32, dtype=bool)
+        assert w.ballot_sync(HALF_MASK, pred) == HALF_MASK
+
+
+class TestAtomicAdd:
+    def test_conflict_free_single_round(self):
+        w = Warp()
+        target = np.zeros(32)
+        rounds = w.atomic_add(target, np.arange(32), np.ones(32))
+        assert rounds == 1
+        np.testing.assert_array_equal(target, np.ones(32))
+
+    def test_full_conflict_serialises(self):
+        w = Warp()
+        target = np.zeros(4)
+        rounds = w.atomic_add(target, np.zeros(32, dtype=np.int64), np.ones(32))
+        assert rounds == 32
+        assert target[0] == 32
+
+    def test_inactive_lanes_excluded(self):
+        w = Warp()
+        target = np.zeros(4)
+        active = np.zeros(32, dtype=bool)
+        active[:3] = True
+        w.atomic_add(target, np.zeros(32, dtype=np.int64), np.ones(32), active)
+        assert target[0] == 3
+
+    def test_empty_active_set(self):
+        w = Warp()
+        target = np.zeros(4)
+        rounds = w.atomic_add(target, np.zeros(32, dtype=np.int64), np.ones(32), np.zeros(32, bool))
+        assert rounds == 0 and target.sum() == 0
+
+
+class TestRegisters:
+    def test_zeros_and_broadcast(self):
+        w = Warp()
+        assert w.zeros().shape == (32,)
+        np.testing.assert_array_equal(w.broadcast(3.0), np.full(32, 3.0))
+
+    def test_op_counts(self):
+        w = Warp()
+        w.op(w.zeros(), 5)
+        assert w.instructions == 5

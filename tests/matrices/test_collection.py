@@ -1,0 +1,68 @@
+"""Suite and representative-collection tests."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.collection import SCALES, MatrixRecord, suite, suite_names
+from repro.matrices.representative import REPRESENTATIVE_SPECS, representative_suite
+
+
+class TestSuite:
+    def test_tiny_scale_builds_everything(self):
+        for rec in suite("tiny"):
+            mat = rec.matrix()
+            assert mat.nnz > 0, rec.name
+            assert mat.shape[0] > 0
+
+    def test_names_unique(self):
+        for scale in SCALES:
+            names = suite_names(scale)
+            assert len(names) == len(set(names))
+
+    def test_deterministic_across_calls(self):
+        a = suite("tiny")[0].matrix()
+        b = suite("tiny")[0].matrix()
+        assert (a != b).nnz == 0
+
+    def test_groups_cover_structural_classes(self):
+        groups = {r.group for r in suite("small")}
+        assert {"random", "banded", "fem", "graph", "hypersparse", "lp",
+                "arrow", "dense-block", "diagonal", "stencil"} <= groups
+
+    def test_cache_and_drop(self):
+        rec = suite("tiny")[0]
+        m1 = rec.matrix()
+        assert rec.matrix() is m1
+        rec.drop_cache()
+        assert rec.matrix() is not m1
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            suite("galactic")
+
+    def test_sizes_span_decades(self):
+        sizes = [rec.matrix().nnz for rec in suite("tiny")]
+        assert max(sizes) / max(min(sizes), 1) > 10
+
+
+class TestRepresentative:
+    def test_sixteen_specs(self):
+        assert len(REPRESENTATIVE_SPECS) == 16
+        names = [s.name for s in REPRESENTATIVE_SPECS]
+        assert "TSOPF_RS_b2383" in names and "lp" not in names
+
+    def test_paper_names_match_table2(self):
+        expected = {
+            "TSOPF_RS_b2383", "cant", "bcsstk37", "exdata_1", "raefsky3",
+            "pdb1HYS", "pwtk", "shipsec1", "consph", "in-2004", "opt1",
+            "matrix_9", "mip1", "webbase-1M", "gupta3", "ldoor",
+        }
+        assert {s.name for s in REPRESENTATIVE_SPECS} == expected
+
+    def test_records_build(self):
+        recs = representative_suite()
+        assert len(recs) == 16
+        # Build the two smallest to keep the test fast.
+        small = sorted(recs, key=lambda r: r.name)[:2]
+        for rec in small:
+            assert rec.matrix().nnz > 0

@@ -1,0 +1,70 @@
+"""Structural feature extraction tests."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices import banded, dense_corner, hypersparse, power_law
+from repro.matrices.features import MatrixFeatures, _gini, extract_features
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert _gini(np.full(100, 5)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentrated_near_one(self):
+        v = np.zeros(1000)
+        v[0] = 1000
+        assert _gini(v) > 0.99
+
+    def test_empty(self):
+        assert _gini(np.array([])) == 0.0
+
+
+class TestExtractFeatures:
+    def test_identity_matrix(self):
+        f = extract_features(sp.identity(64, format="csr"))
+        assert f.rows == f.cols == 64
+        assert f.nnz == 64
+        assert f.row_mean == 1.0 and f.row_std == 0.0
+        assert f.bandwidth == 0
+        assert f.symmetry == 1.0
+        assert f.diag_dominance == 1.0
+        assert f.empty_rows == 0
+
+    def test_banded_bandwidth(self):
+        f = extract_features(banded(200, half_bandwidth=7, seed=0))
+        assert f.bandwidth == 7
+        assert f.symmetry == 1.0  # band pattern is symmetric
+
+    def test_powerlaw_skew_signature(self):
+        f = extract_features(power_law(3000, avg_degree=4, seed=1))
+        assert f.row_gini > 0.4  # heavy skew
+        assert f.singleton_tile_share > 0.5
+        assert f.dense_tile_share < 0.05
+
+    def test_dense_corner_signature(self):
+        f = extract_features(dense_corner(300, corner_frac=0.5, seed=2))
+        assert f.dense_tile_share > 0.2
+
+    def test_hypersparse_empty_rows(self):
+        f = extract_features(hypersparse(500, nnz=40, seed=3))
+        assert f.empty_rows > 400
+        assert f.density < 1e-3
+
+    def test_rectangular(self):
+        a = sp.random(40, 90, density=0.05, random_state=4, format="csr")
+        f = extract_features(a)
+        assert f.rows == 40 and f.cols == 90
+        assert 0.0 <= f.symmetry <= 1.0
+
+    def test_empty_matrix(self):
+        f = extract_features(sp.csr_matrix((10, 10)))
+        assert f.nnz == 0 and f.tiles == 0
+        assert f.row_gini == 0.0
+
+    def test_as_dict_roundtrip(self):
+        f = extract_features(sp.identity(32, format="csr"))
+        d = f.as_dict()
+        assert d["rows"] == 32
+        assert set(d) == {fld for fld in MatrixFeatures.__dataclass_fields__}

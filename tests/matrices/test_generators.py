@@ -1,0 +1,169 @@
+"""Generator tests: determinism, shape, and the structural property each
+class exists to provide."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices import generators as g
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("fn,kwargs", [
+        (g.random_uniform, dict(m=100, n=100, nnz_per_row=4)),
+        (g.banded, dict(m=100, half_bandwidth=3)),
+        (g.stencil_2d, dict(grid=10)),
+        (g.fem_blocks, dict(n_nodes=30)),
+        (g.power_law, dict(m=200)),
+        (g.rmat, dict(scale=7)),
+        (g.lp_like, dict(m=40, n=160)),
+        (g.dense_corner, dict(m=100)),
+        (g.diagonal_bands, dict(m=100)),
+        (g.block_random, dict(m=64)),
+        (g.hypersparse, dict(m=100, nnz=20)),
+        (g.gupta_arrow, dict(m=100)),
+    ])
+    def test_same_seed_same_matrix(self, fn, kwargs):
+        a = fn(seed=42, **kwargs)
+        b = fn(seed=42, **kwargs)
+        assert (a != b).nnz == 0
+
+    def test_different_seed_differs(self):
+        a = g.random_uniform(100, 100, 4, seed=1)
+        b = g.random_uniform(100, 100, 4, seed=2)
+        assert (a != b).nnz > 0
+
+
+class TestStructure:
+    def test_banded_within_band(self):
+        a = g.banded(100, half_bandwidth=5, seed=0).tocoo()
+        assert np.all(np.abs(a.row - a.col) <= 5)
+
+    def test_stencil_row_degree(self):
+        a = g.stencil_2d(10, points=5, seed=0)
+        lens = np.diff(a.indptr)
+        assert lens.max() == 5 and lens.min() >= 3  # corners have 3
+
+    def test_stencil_rejects_bad_points(self):
+        with pytest.raises(ValueError):
+            g.stencil_2d(10, points=7)
+
+    def test_fem_has_dense_blocks(self):
+        a = g.fem_blocks(40, block=3, seed=0)
+        assert a.shape == (120, 120)
+        # The diagonal blocks are fully dense 3x3.
+        dense = a[:3, :3].toarray()
+        assert np.all(dense != 0)
+
+    def test_power_law_skew(self):
+        a = g.power_law(2000, avg_degree=4, seed=0)
+        lens = np.sort(np.diff(a.indptr))[::-1]
+        # Hub rows dominate: top 1% of rows hold >10% of nonzeros.
+        assert lens[:20].sum() > 0.1 * a.nnz
+
+    def test_rmat_shape_power_of_two(self):
+        a = g.rmat(scale=8, edge_factor=4, seed=0)
+        assert a.shape == (256, 256)
+
+    def test_rmat_rejects_bad_probs(self):
+        with pytest.raises(ValueError):
+            g.rmat(scale=5, probs=(0.5, 0.5, 0.5, 0.5))
+
+    def test_lp_has_dense_rows(self):
+        a = g.lp_like(50, 400, dense_rows=2, seed=0)
+        lens = np.diff(a.indptr)
+        assert lens[0] == 400 and lens[1] == 400
+
+    def test_dense_corner_is_dense(self):
+        a = g.dense_corner(100, corner_frac=0.3, seed=0)
+        k = 30
+        assert np.all(a[:k, :k].toarray() != 0)
+
+    def test_diagonal_bands_rows_balanced(self):
+        a = g.diagonal_bands(200, n_diags=5, spread=20, seed=0)
+        lens = np.diff(a.indptr)
+        assert lens.max() <= 5
+
+    def test_block_random_aligned_blocks(self):
+        a = g.block_random(64, block=16, fill=1.0, seed=0).tocoo()
+        # Every entry lies inside some aligned 16x16 block with the
+        # diagonal blocks guaranteed dense.
+        assert np.all(a.toarray()[:16, :16][np.ix_(range(16), range(16))].diagonal() != 0)
+
+    def test_hypersparse_nnz_bound(self):
+        a = g.hypersparse(1000, nnz=50, seed=0)
+        assert a.nnz <= 50  # duplicates merge
+
+    def test_gupta_arrow_borders_dense(self):
+        a = g.gupta_arrow(100, border=10, seed=0)
+        assert np.all(a[:10, :].toarray() != 0)
+        assert np.all(a[:, :10].toarray() != 0)
+
+    def test_gupta_arrow_interior_tile_aligned(self):
+        a = g.gupta_arrow(100, border=10, seed=0).tocoo()
+        off_border = (a.row >= 10) & (a.col >= 10)
+        assert np.all(a.row[off_border] >= 16)
+        assert np.all(a.col[off_border] >= 16)
+
+
+class TestValues:
+    @pytest.mark.parametrize("fn,kwargs", [
+        (g.random_uniform, dict(m=50, n=50, nnz_per_row=3)),
+        (g.fem_blocks, dict(n_nodes=20)),
+        (g.power_law, dict(m=100)),
+    ])
+    def test_float64_and_finite(self, fn, kwargs):
+        a = fn(seed=0, **kwargs)
+        assert a.dtype == np.float64
+        assert np.all(np.isfinite(a.data))
+        assert isinstance(a, sp.csr_matrix)
+
+
+class TestNewGenerators:
+    def test_stencil_3d_degree(self):
+        a = g.stencil_3d(6, points=7, seed=0)
+        lens = np.diff(a.indptr)
+        assert a.shape == (216, 216)
+        assert lens.max() == 7 and lens.min() >= 4  # corners have 4
+
+    def test_stencil_3d_27pt(self):
+        a = g.stencil_3d(5, points=27, seed=0)
+        assert np.diff(a.indptr).max() == 27
+
+    def test_stencil_3d_rejects_bad_points(self):
+        with pytest.raises(ValueError):
+            g.stencil_3d(4, points=9)
+
+    def test_kronecker_size(self):
+        a = g.kronecker_graph(power=6, seed=1)
+        assert a.shape == (64, 64)
+        assert a.nnz > 0
+
+    def test_kronecker_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            g.kronecker_graph(initiator=np.ones((2, 3)), power=2)
+
+    def test_kronecker_heavy_tail(self):
+        a = g.kronecker_graph(power=9, seed=2)
+        lens = np.sort(np.diff(a.indptr))[::-1]
+        assert lens[0] > 4 * max(np.median(lens), 1)
+
+    def test_block_tridiagonal_all_tiles_dense(self):
+        from repro.core.selection import select_formats
+        from repro.core.tiling import tile_decompose
+        from repro.formats import FormatID
+
+        a = g.block_tridiagonal(8, block=16, seed=3)
+        ts = tile_decompose(a)
+        formats = select_formats(ts)
+        assert all(FormatID(f) == FormatID.DNS for f in formats)
+        assert ts.n_tiles == 3 * 8 - 2
+
+    def test_circuit_has_dense_rails(self):
+        a = g.circuit_like(400, n_rails=3, seed=4)
+        lens = np.diff(a.indptr)
+        assert (lens >= 399).sum() >= 3  # the rails
+
+    def test_circuit_diagonal_full(self):
+        a = g.circuit_like(300, seed=5)
+        assert np.all(a.diagonal() != 0)

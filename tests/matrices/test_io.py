@@ -1,0 +1,105 @@
+"""Matrix Market I/O tests."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices import random_uniform
+from repro.matrices.io import read_matrix_market, write_matrix_market
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path, zoo_matrix):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, zoo_matrix, comment="zoo matrix")
+        back = read_matrix_market(path)
+        assert back.shape == zoo_matrix.shape
+        np.testing.assert_allclose(back.toarray(), zoo_matrix.toarray(), rtol=1e-15)
+
+    def test_empty_matrix(self, tmp_path):
+        path = tmp_path / "e.mtx"
+        write_matrix_market(path, sp.csr_matrix((5, 7)))
+        back = read_matrix_market(path)
+        assert back.shape == (5, 7) and back.nnz == 0
+
+
+class TestReadVariants:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "t.mtx"
+        path.write_text(text)
+        return path
+
+    def test_pattern_field(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n",
+        )
+        a = read_matrix_market(path)
+        np.testing.assert_array_equal(a.toarray(), np.eye(2))
+
+    def test_symmetric_mirrors_off_diagonal(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 7.0\n",
+        )
+        a = read_matrix_market(path).toarray()
+        assert a[1, 0] == 5.0 and a[0, 1] == 5.0 and a[2, 2] == 7.0
+
+    def test_skew_symmetric(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3.0\n",
+        )
+        a = read_matrix_market(path).toarray()
+        assert a[1, 0] == 3.0 and a[0, 1] == -3.0
+
+    def test_comments_skipped(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n% a comment\n% another\n1 1 1\n1 1 2.5\n",
+        )
+        assert read_matrix_market(path).toarray()[0, 0] == 2.5
+
+    def test_rejects_array_layout(self, tmp_path):
+        path = self._write(tmp_path, "%%MatrixMarket matrix array real general\n2 2\n")
+        with pytest.raises(ValueError, match="coordinate"):
+            read_matrix_market(path)
+
+    def test_rejects_complex(self, tmp_path):
+        path = self._write(
+            tmp_path, "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"
+        )
+        with pytest.raises(ValueError, match="field"):
+            read_matrix_market(path)
+
+    def test_rejects_non_mm(self, tmp_path):
+        path = self._write(tmp_path, "hello world\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+    def test_rejects_truncated(self, tmp_path):
+        path = self._write(
+            tmp_path, "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"
+        )
+        with pytest.raises(ValueError, match="entries"):
+            read_matrix_market(path)
+
+
+class TestInterop:
+    def test_readable_by_scipy(self, tmp_path):
+        import scipy.io
+
+        a = random_uniform(40, 40, 3, seed=0)
+        path = tmp_path / "x.mtx"
+        write_matrix_market(path, a)
+        b = scipy.io.mmread(path).tocsr()
+        assert (b != a).nnz == 0
+
+    def test_reads_scipy_output(self, tmp_path):
+        import scipy.io
+
+        a = random_uniform(40, 40, 3, seed=1)
+        path = tmp_path / "y.mtx"
+        scipy.io.mmwrite(path, a.tocoo())
+        b = read_matrix_market(path)
+        assert (b != a).nnz == 0

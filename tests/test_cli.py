@@ -1,0 +1,90 @@
+"""CLI behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.matrices import random_uniform
+from repro.matrices.io import write_matrix_market
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "A100" in out and "table1" in out
+
+
+def test_scale_flag(capsys):
+    assert main(["fig7", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 7" in out and "scale=tiny" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(SystemExit):
+        main(["table1", "--scale", "huge"])
+
+
+@pytest.fixture
+def mtx_file(tmp_path):
+    path = tmp_path / "demo.mtx"
+    write_matrix_market(path, random_uniform(120, 120, 5, seed=3))
+    return str(path)
+
+
+def test_spmv_command(capsys, mtx_file):
+    assert main(["spmv", mtx_file]) == 0
+    out = capsys.readouterr().out
+    assert "matches scipy: True" in out
+    assert "TileSpMV" in out and "Merge-SpMV" in out and "CSR5" in out and "BSR" in out
+
+
+def test_spmv_device_and_method_flags(capsys, mtx_file):
+    assert main(["spmv", mtx_file, "--method", "adpt", "--device", "titanrtx"]) == 0
+    out = capsys.readouterr().out
+    assert "Titan RTX" in out and "method resolved: adpt" in out
+
+
+def test_inspect_command(capsys, mtx_file):
+    assert main(["inspect", mtx_file]) == 0
+    out = capsys.readouterr().out
+    assert "occupied 16x16 tiles" in out
+    assert "nnz %" in out
+
+
+def test_missing_file_errors(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        main(["spmv", str(tmp_path / "nope.mtx")])
+
+
+def test_report_generation(tmp_path):
+    # Restrict to the cheap sections; the full report is exercised by the
+    # benchmark harness.
+    from repro.experiments.report import generate_report
+
+    out_file = tmp_path / "report.md"
+    text = generate_report(scale="tiny", output=out_file, sections=["table1", "fig7"])
+    assert out_file.read_text() == text
+    assert "# TileSpMV reproduction report" in text
+    assert "## table1" in text and "## fig7" in text
+    assert "## fig9" not in text
+
+
+def test_verify_command(capsys):
+    assert main(["verify"]) == 0
+    out = capsys.readouterr().out
+    assert "ALL GOOD" in out
+    assert "lane-accurate == vectorised" in out
+
+
+def test_experiment_csv_export(tmp_path, capsys):
+    assert main(["fig6", "--scale", "tiny", "--csv", str(tmp_path)]) == 0
+    csv_file = tmp_path / "fig6_tiny.csv"
+    assert csv_file.exists()
+    header = csv_file.read_text().splitlines()[0]
+    assert "gflops_adpt" in header and "speedup_adpt_over_csr" in header

@@ -1,0 +1,20 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.tilespmv
+import repro.util.timer
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.core.tilespmv, repro.util.timer],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} should carry doctest examples"
+    assert result.failed == 0

@@ -1,0 +1,76 @@
+"""Nibble-packing unit and property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.packing import (
+    pack_nibble_pairs,
+    pack_nibbles,
+    unpack_nibble_pairs,
+    unpack_nibbles,
+)
+
+nibbles = st.lists(st.integers(min_value=0, max_value=15), max_size=600)
+
+
+class TestPackNibbles:
+    def test_empty(self):
+        assert pack_nibbles(np.array([], dtype=np.uint8)).size == 0
+
+    def test_even_length_layout(self):
+        packed = pack_nibbles(np.array([0xA, 0x3, 0xF, 0x0]))
+        assert packed.tolist() == [0xA3, 0xF0]
+
+    def test_odd_length_pads_low_nibble(self):
+        packed = pack_nibbles(np.array([0x7]))
+        assert packed.tolist() == [0x70]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_nibbles(np.array([16]))
+        with pytest.raises(ValueError):
+            pack_nibbles(np.array([-1]))
+
+    @given(nibbles)
+    def test_roundtrip(self, values):
+        arr = np.array(values, dtype=np.uint8)
+        packed = pack_nibbles(arr)
+        assert packed.size == (arr.size + 1) // 2
+        out = unpack_nibbles(packed, arr.size)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_unpack_too_many_raises(self):
+        with pytest.raises(ValueError):
+            unpack_nibbles(np.array([0x12], dtype=np.uint8), 3)
+
+
+class TestPackNibblePairs:
+    def test_layout(self):
+        packed = pack_nibble_pairs(np.array([0xB]), np.array([0x4]))
+        assert packed.tolist() == [0xB4]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pack_nibble_pairs(np.array([1, 2]), np.array([3]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_nibble_pairs(np.array([16]), np.array([0]))
+        with pytest.raises(ValueError):
+            pack_nibble_pairs(np.array([0]), np.array([99]))
+
+    @given(nibbles, st.data())
+    def test_roundtrip(self, high, data):
+        low = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=15),
+                min_size=len(high),
+                max_size=len(high),
+            )
+        )
+        h = np.array(high, dtype=np.uint8)
+        l = np.array(low, dtype=np.uint8)
+        rh, rl = unpack_nibble_pairs(pack_nibble_pairs(h, l))
+        np.testing.assert_array_equal(rh, h)
+        np.testing.assert_array_equal(rl, l)

@@ -1,0 +1,75 @@
+"""Segment-primitive unit and property tests."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.util.segments import (
+    lengths_to_offsets,
+    offsets_to_lengths,
+    repeat_offsets,
+    segment_local_index,
+    segment_max,
+    segment_sum,
+)
+
+lengths_strategy = st.lists(st.integers(min_value=0, max_value=20), max_size=50)
+
+
+class TestOffsets:
+    def test_empty(self):
+        offsets = lengths_to_offsets(np.array([], dtype=np.int64))
+        assert offsets.tolist() == [0]
+
+    def test_basic(self):
+        offsets = lengths_to_offsets(np.array([2, 0, 3]))
+        assert offsets.tolist() == [0, 2, 2, 5]
+
+    @given(lengths_strategy)
+    def test_roundtrip(self, lengths):
+        arr = np.array(lengths, dtype=np.int64)
+        np.testing.assert_array_equal(offsets_to_lengths(lengths_to_offsets(arr)), arr)
+
+
+class TestRepeatOffsets:
+    def test_basic(self):
+        offsets = np.array([0, 2, 2, 5])
+        assert repeat_offsets(offsets).tolist() == [0, 0, 2, 2, 2]
+
+    @given(lengths_strategy)
+    def test_matches_naive(self, lengths):
+        arr = np.array(lengths, dtype=np.int64)
+        offsets = lengths_to_offsets(arr)
+        naive = [i for i, n in enumerate(lengths) for _ in range(n)]
+        assert repeat_offsets(offsets).tolist() == naive
+
+
+class TestSegmentLocalIndex:
+    def test_basic(self):
+        offsets = np.array([0, 3, 3, 5])
+        assert segment_local_index(offsets).tolist() == [0, 1, 2, 0, 1]
+
+    @given(lengths_strategy)
+    def test_matches_naive(self, lengths):
+        offsets = lengths_to_offsets(np.array(lengths, dtype=np.int64))
+        naive = [j for n in lengths for j in range(n)]
+        assert segment_local_index(offsets).tolist() == naive
+
+
+class TestSegmentReductions:
+    def test_sum(self):
+        out = segment_sum(np.array([1.0, 2.0, 4.0]), np.array([0, 0, 2]), 3)
+        assert out.tolist() == [3.0, 0.0, 4.0]
+
+    def test_max_with_initial(self):
+        out = segment_max(np.array([5, 1]), np.array([1, 1]), 3, initial=-1)
+        assert out.tolist() == [-1, 5, -1]
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.floats(-10, 10)), max_size=60))
+    def test_sum_matches_naive(self, pairs):
+        seg = np.array([p[0] for p in pairs], dtype=np.int64)
+        vals = np.array([p[1] for p in pairs])
+        got = segment_sum(vals, seg, 10)
+        want = np.zeros(10)
+        for s, v in pairs:
+            want[s] += v
+        np.testing.assert_allclose(got, want, atol=1e-12)

@@ -1,0 +1,30 @@
+"""Timer behaviour tests."""
+
+import time
+
+from repro.util.timer import Timer
+
+
+def test_accumulates_across_uses():
+    t = Timer()
+    with t:
+        time.sleep(0.01)
+    first = t.elapsed
+    with t:
+        time.sleep(0.01)
+    assert t.elapsed > first
+
+
+def test_reset():
+    t = Timer()
+    with t:
+        pass
+    t.reset()
+    assert t.elapsed == 0.0
+
+
+def test_elapsed_nonnegative():
+    t = Timer()
+    with t:
+        sum(range(100))
+    assert t.elapsed >= 0.0
