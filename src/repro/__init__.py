@@ -22,7 +22,7 @@ True
 True
 """
 
-from repro.core import SelectionConfig, TileMatrix, TileSpMV, tile_spmv
+from repro.core import PlanCache, SelectionConfig, TileMatrix, TileSpMV, tile_spmv
 from repro.formats import FormatID
 from repro.gpu import A100, TITAN_RTX, CostModel, DeviceSpec, KernelStats, RunCost
 
@@ -32,6 +32,7 @@ __all__ = [
     "TileSpMV",
     "tile_spmv",
     "TileMatrix",
+    "PlanCache",
     "SelectionConfig",
     "FormatID",
     "DeviceSpec",

@@ -7,12 +7,20 @@ an ``spmv`` method (a :class:`~repro.core.tilespmv.TileSpMV`, a baseline
 engine, or a raw scipy matrix via the adapter).
 """
 
-from repro.apps.graph import connected_component_sizes, pagerank
+from repro.apps.graph import (
+    connected_component_sizes,
+    make_transition,
+    pagerank,
+    personalized_pagerank,
+)
 from repro.apps.partition import NVLINK, PCIE4, Interconnect, PartitionedSpMV, row_block_partition
 from repro.apps.solvers import (
+    BlockSolveResult,
     ScipyOperator,
     SolveResult,
     bicgstab,
+    block_bicgstab,
+    block_conjugate_gradient,
     conjugate_gradient,
     jacobi,
     power_iteration,
@@ -21,11 +29,16 @@ from repro.apps.solvers import (
 __all__ = [
     "ScipyOperator",
     "SolveResult",
+    "BlockSolveResult",
     "conjugate_gradient",
     "bicgstab",
+    "block_conjugate_gradient",
+    "block_bicgstab",
     "jacobi",
     "power_iteration",
     "pagerank",
+    "personalized_pagerank",
+    "make_transition",
     "connected_component_sizes",
     "Interconnect",
     "NVLINK",

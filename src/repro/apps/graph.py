@@ -7,7 +7,12 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["pagerank", "connected_component_sizes"]
+__all__ = [
+    "pagerank",
+    "personalized_pagerank",
+    "make_transition",
+    "connected_component_sizes",
+]
 
 
 def pagerank(
@@ -32,6 +37,53 @@ def pagerank(
             return new, it
         rank = new
     return rank, max_iter
+
+
+def personalized_pagerank(
+    engine,
+    dangling: np.ndarray,
+    seeds: np.ndarray,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> tuple[np.ndarray, np.ndarray]:
+    """k personalised PageRank vectors in one batched power iteration.
+
+    ``seeds`` is an ``(n, k)`` column-stochastic personalisation matrix
+    (each column a restart distribution — e.g. one-hot per query node).
+    Every step applies the operator to all k rank vectors at once via
+    ``engine.spmm``, so the transition matrix streams from memory once
+    per iteration instead of once per query; converged columns are
+    frozen.  Returns ``(ranks, iterations)`` with shapes ``(n, k)`` and
+    ``(k,)``.
+    """
+    seeds = np.asarray(seeds, dtype=np.float64)
+    if seeds.ndim != 2 or seeds.shape[0] != dangling.size:
+        raise ValueError(f"seeds must have shape ({dangling.size}, k)")
+    k = seeds.shape[1]
+    colsum = seeds.sum(axis=0)
+    if not np.allclose(colsum, 1.0):
+        raise ValueError("each seed column must sum to 1")
+    spmm = engine.spmm if hasattr(engine, "spmm") else (
+        lambda block: np.column_stack(
+            [engine.spmv(block[:, j]) for j in range(block.shape[1])]
+        )
+    )
+    rank = seeds.copy()
+    active = np.ones(k, dtype=bool)
+    iterations = np.zeros(k, dtype=np.int64)
+    for it in range(1, max_iter + 1):
+        spread = spmm(rank) + dangling @ rank / dangling.size
+        new = damping * spread + (1.0 - damping) * seeds
+        delta = np.abs(new - rank).sum(axis=0)
+        rank = np.where(active, new, rank)
+        done = active & (delta <= tol)
+        iterations[done] = it
+        active &= ~done
+        iterations[active] = it
+        if not active.any():
+            break
+    return rank, iterations
 
 
 def make_transition(adjacency: sp.spmatrix) -> tuple[sp.csr_matrix, np.ndarray]:

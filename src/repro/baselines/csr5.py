@@ -17,6 +17,8 @@ payload through the inverse tile permutation.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -95,6 +97,14 @@ class Csr5SpMV:
         # tile_ptr: row of each tile's first nonzero.
         bases = np.arange(self.n_tiles, dtype=np.int64) * tn
         self.tile_ptr = np.searchsorted(self.indptr, bases, side="right") - 1
+        # Row of every original entry; computed once and shared by the
+        # single- and multi-vector numeric paths.
+        self.entry_rows = (
+            np.searchsorted(self.indptr, np.arange(nnz), side="right") - 1
+        )
+        # Inspector-executor matrix for spmm, assembled lazily from the
+        # stored (transposed) payload on first use.
+        self._spmm_csr: sp.csr_matrix | None = None
 
     def reconstruct_row_starts(self) -> np.ndarray:
         """Original nnz indices flagged as row starts (for validation)."""
@@ -122,8 +132,49 @@ class Csr5SpMV:
         # permutation to stay payload-driven.
         original_products = np.zeros(self.nnz)
         original_products[self.perm[self.stored_valid]] = products[self.stored_valid]
-        rows = np.searchsorted(self.indptr, np.arange(self.nnz), side="right") - 1
-        return np.bincount(rows, weights=original_products, minlength=self.m)
+        return np.bincount(self.entry_rows, weights=original_products, minlength=self.m)
+
+    def spmm(self, x: np.ndarray) -> np.ndarray:
+        """Y = A @ X for a dense block of vectors, in one pass.
+
+        The stored (transposed) payload is gathered once; every column
+        of ``X`` rides the same index traffic — the k-vector
+        amortisation that makes batched CSR5 SpMM profitable.  No
+        per-column Python loop.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != self.n:
+            raise ValueError(f"X must have shape ({self.n}, k)")
+        k = x.shape[1]
+        if self.nnz == 0:
+            return np.zeros((self.m, k))
+        if self._spmm_csr is None:
+            # Values routed through the stored (transposed) payload so
+            # the block product exercises the same arrays as spmv.
+            original_val = np.zeros(self.nnz)
+            original_val[self.perm[self.stored_valid]] = self.stored_val[self.stored_valid]
+            self._spmm_csr = sp.csr_matrix(
+                (original_val, self.indices, self.indptr), shape=(self.m, self.n)
+            )
+        return np.asarray(self._spmm_csr @ x)
+
+    def with_values(self, data: np.ndarray) -> "Csr5SpMV":
+        """A new engine with the same structure and new values.
+
+        ``data`` is aligned with the canonical CSR order of the original
+        matrix.  Tile permutation, bit flags and row maps are shared by
+        reference; only the value arrays are rebuilt — the
+        ``update_values`` fast path.
+        """
+        data = np.asarray(data, dtype=np.float64)
+        if data.shape != self.data.shape:
+            raise ValueError(f"expected {self.data.size} values, got {data.size}")
+        clone = copy.copy(self)
+        clone.data = data
+        clone.stored_val = np.zeros(self.stored_val.size)
+        clone.stored_val[self.stored_valid] = data[self.perm[self.stored_valid]]
+        clone._spmm_csr = None
+        return clone
 
     def descriptor_bytes(self) -> int:
         """Per-tile metadata: bit flags + tile_ptr + y/seg offsets."""

@@ -18,6 +18,7 @@ The pipeline mirrors the paper's §III:
    TileSpMV_DeferredCOO strategy from :mod:`repro.core.deferred`.
 """
 
+from repro.core.plancache import PlanCache, structural_fingerprint
 from repro.core.selection import SelectionConfig, select_formats
 from repro.core.serialize import load_tile_matrix, save_tile_matrix
 from repro.core.spgemm import tile_spgemm
@@ -33,6 +34,8 @@ __all__ = [
     "TileMatrix",
     "TileSpMV",
     "tile_spmv",
+    "PlanCache",
+    "structural_fingerprint",
     "tile_spgemm",
     "save_tile_matrix",
     "load_tile_matrix",

@@ -31,11 +31,20 @@ class DeferredSplit:
     ``tiled`` is the remaining TileMatrix (COO tiles gone, HYB tiles
     demoted to their ELL part); ``deferred`` is the extracted CSR matrix
     (empty when the matrix had no COO-resident data).
+
+    ``deferred_src`` / ``tiled_src`` map each value slot of the two
+    halves back to its position in the *original* tileset's view order:
+    ``deferred.data == view.val[deferred_src]`` and the remaining tiled
+    matrix's view values equal ``view.val[tiled_src]``.  They let a plan
+    refresh both halves from a new value array without re-running
+    selection or extraction (the ``update_values`` fast path).
     """
 
     tiled: TileMatrix | None
     deferred: sp.csr_matrix
     extracted_nnz: int
+    deferred_src: np.ndarray | None = None
+    tiled_src: np.ndarray | None = None
 
 
 def split_deferred_coo(
@@ -70,18 +79,32 @@ def split_deferred_coo(
 
     grow = tileset.global_rows()
     gcol = tileset.global_cols()
+    # Feed both halves to scipy pre-sorted by (row, col): COO->CSR is
+    # stable within rows, so the resulting ``data`` order equals the
+    # source order and the value-source maps below stay exact.
+    ext_ids = np.flatnonzero(extract)
+    deferred_src = ext_ids[np.lexsort((gcol[ext_ids], grow[ext_ids]))]
     deferred = sp.csr_matrix(
-        (view.val[extract], (grow[extract], gcol[extract])),
+        (view.val[deferred_src], (grow[deferred_src], gcol[deferred_src])),
         shape=(tileset.m, tileset.n),
     )
     deferred.sort_indices()
 
     keep = ~extract
     if not keep.any():
-        return DeferredSplit(tiled=None, deferred=deferred, extracted_nnz=int(extract.sum()))
+        return DeferredSplit(
+            tiled=None,
+            deferred=deferred,
+            extracted_nnz=int(extract.sum()),
+            deferred_src=deferred_src,
+            tiled_src=np.zeros(0, dtype=np.int64),
+        )
 
+    keep_ids = np.flatnonzero(keep)
+    remaining_src = keep_ids[np.lexsort((gcol[keep_ids], grow[keep_ids]))]
     remaining = sp.csr_matrix(
-        (view.val[keep], (grow[keep], gcol[keep])), shape=(tileset.m, tileset.n)
+        (view.val[remaining_src], (grow[remaining_src], gcol[remaining_src])),
+        shape=(tileset.m, tileset.n),
     )
     new_tileset = tile_decompose(remaining, tile=tileset.tile)
     # Carry the original per-tile decisions over by tile coordinate.
@@ -94,4 +117,10 @@ def split_deferred_coo(
     new_formats = formats[pos_in_old].copy()
     new_formats[new_formats == FormatID.HYB] = FormatID.ELL
     tiled = TileMatrix.build(new_tileset, new_formats)
-    return DeferredSplit(tiled=tiled, deferred=deferred, extracted_nnz=int(extract.sum()))
+    return DeferredSplit(
+        tiled=tiled,
+        deferred=deferred,
+        extracted_nnz=int(extract.sum()),
+        deferred_src=deferred_src,
+        tiled_src=remaining_src[new_tileset.entry_perm],
+    )

@@ -1,0 +1,209 @@
+"""Plan cache: amortise TileSpMV preprocessing across constructions.
+
+The paper's preprocessing (tiling, per-tile format selection, payload
+encoding, warp scheduling) is paid once and amortised over many SpMVs
+(§III, Fig 11).  Iterative workloads push the same idea one level up:
+a solver factors the *pattern* once and streams new values through it,
+and a serving system sees the same matrices over and over.  The
+:class:`PlanCache` is an LRU keyed by a **structural fingerprint** —
+``(indptr, indices, tile, selection thresholds, tbalance)`` — holding
+everything that depends on structure only:
+
+* the :class:`~repro.core.tiling.TileSet` (tile decomposition),
+* the ADPT format vector,
+* the built :class:`~repro.core.storage.TileMatrix` payloads and the
+  DeferredCOO split per strategy,
+* the :class:`~repro.core.scheduler.WarpSchedule`.
+
+A second ``TileSpMV`` construction with the same pattern is a cache hit
+and skips re-tiling entirely; if the *values* changed, the cached plan
+is refreshed through the ``with_values`` fast path (payload re-encode
+only — no sort, no selection, no extraction).  Hit/miss/eviction
+counters are exposed via :meth:`PlanCache.stats` / :meth:`describe` and
+surfaced by the CLI and ``TileSpMV.describe``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.csr5 import Csr5SpMV
+from repro.core.scheduler import WarpSchedule
+from repro.core.storage import TileMatrix
+from repro.core.tiling import TileSet
+
+__all__ = [
+    "PlanCache",
+    "CachedPlan",
+    "MethodPlan",
+    "canonical_csr",
+    "structural_fingerprint",
+    "value_digest",
+]
+
+
+def canonical_csr(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """CSR with merged duplicates and sorted indices.
+
+    The canonical form anchors both the structural fingerprint and the
+    value order that ``update_values`` / plan refreshes rely on.
+    """
+    csr = matrix.tocsr()
+    if not csr.has_sorted_indices:
+        csr = csr.sorted_indices()
+    return csr
+
+
+def structural_fingerprint(
+    csr: sp.csr_matrix, tile: int, selection, tbalance: int
+) -> str:
+    """Digest of everything the preprocessing depends on except values.
+
+    Two matrices with equal fingerprints produce byte-identical tile
+    structure, format vectors and schedules, so their plans are
+    interchangeable up to values.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(
+        np.array([csr.shape[0], csr.shape[1], tile, tbalance], dtype=np.int64).tobytes()
+    )
+    h.update(repr(selection).encode())
+    h.update(np.ascontiguousarray(csr.indptr, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(csr.indices, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+def value_digest(data: np.ndarray) -> str:
+    """Digest of the value array (decides artifact sharing vs refresh)."""
+    return hashlib.blake2b(
+        np.ascontiguousarray(data, dtype=np.float64).tobytes(), digest_size=16
+    ).hexdigest()
+
+
+@dataclass
+class MethodPlan:
+    """Built artifacts for one resolved strategy of a plan.
+
+    ``deferred_src`` / ``tiled_src`` (DeferredCOO only) map the two
+    halves' value slots back to the full tileset's view order so a
+    value refresh never re-runs selection or extraction.
+    """
+
+    method: str
+    tiled: TileMatrix | None
+    deferred: Csr5SpMV | None
+    schedule: WarpSchedule | None
+    deferred_src: np.ndarray | None = None
+    tiled_src: np.ndarray | None = None
+    build_seconds: float = 0.0
+
+    def with_values(self, new_view_val: np.ndarray) -> "MethodPlan":
+        """Same structure, new values (full-tileset view order)."""
+        if self.deferred_src is not None or self.tiled_src is not None:
+            tiled = (
+                self.tiled.with_values(new_view_val[self.tiled_src])
+                if self.tiled is not None
+                else None
+            )
+            deferred = (
+                self.deferred.with_values(new_view_val[self.deferred_src])
+                if self.deferred is not None
+                else None
+            )
+        else:
+            tiled = self.tiled.with_values(new_view_val) if self.tiled is not None else None
+            deferred = self.deferred
+        return replace(self, tiled=tiled, deferred=deferred)
+
+
+@dataclass
+class CachedPlan:
+    """Everything reusable across constructions sharing one pattern."""
+
+    key: str
+    tileset: TileSet
+    values_digest: str
+    formats: np.ndarray | None = None  # ADPT selection vector (lazy)
+    schedule: WarpSchedule | None = None  # full-tileset schedule (lazy)
+    methods: dict = field(default_factory=dict)  # build method -> MethodPlan
+    tilings_saved: int = 0  # constructions served without re-tiling
+
+    def refresh_values(self, csr_data: np.ndarray, digest: str) -> None:
+        """Swap in a new value array, keeping every structural artifact.
+
+        Existing method artifacts are *replaced*, never mutated —
+        engines holding the previous generation keep working on it.
+        """
+        if self.tileset.entry_perm is None:
+            raise ValueError("plan tileset lacks entry_perm; cannot refresh values")
+        new_view_val = np.asarray(csr_data, dtype=np.float64)[self.tileset.entry_perm]
+        self.tileset = self.tileset.with_values(new_view_val)
+        for name, mp in list(self.methods.items()):
+            self.methods[name] = mp.with_values(new_view_val)
+        self.values_digest = digest
+
+
+class PlanCache:
+    """LRU cache of :class:`CachedPlan` with hit/miss/eviction counters."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, CachedPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> CachedPlan | None:
+        """Look up a plan; counts a hit or a miss and refreshes LRU order."""
+        plan = self._entries.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        plan.tilings_saved += 1
+        return plan
+
+    def put(self, key: str, plan: CachedPlan) -> None:
+        """Insert (or replace) a plan, evicting the least recently used."""
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every plan; counters keep accumulating."""
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    def describe(self) -> str:
+        s = self.stats()
+        return (
+            f"PlanCache[{s['size']}/{s['capacity']} plans] "
+            f"hits={s['hits']} misses={s['misses']} evictions={s['evictions']} "
+            f"hit_rate={s['hit_rate']:.0%}"
+        )

@@ -52,16 +52,20 @@ class WarpSchedule:
         # least one tile so starts are strictly increasing — safe.
         return sums + warp_overhead
 
-    def cross_warp_atomics(self, eff_rows: int = 16) -> tuple[float, float]:
+    def cross_warp_atomics(self, eff_rows) -> tuple[float, float]:
         """(ops, rounds) of y-combining atomics from split tile rows.
 
-        Every warp beyond the first in a tile row merges its ``eff_rows``
-        partials atomically.  The adds from different warps to one
-        address arrive spread over the kernel, so rounds == ops (no
-        modelled excess serialisation).
+        Every warp beyond the first in a tile row merges its partial
+        ``y`` rows atomically.  ``eff_rows`` is the effective height of
+        each tile row — either a scalar (all rows full height) or an
+        array of per-tile-row heights (``TileSet.row_heights()``), so a
+        split *boundary* tile row is charged only for the rows it
+        actually owns rather than a full tile.  The adds from different
+        warps to one address arrive spread over the kernel, so
+        rounds == ops (no modelled excess serialisation).
         """
-        extra = np.maximum(self.warps_per_row - 1, 0).sum()
-        ops = float(extra * eff_rows)
+        extra = np.maximum(self.warps_per_row - 1, 0)
+        ops = float((extra * np.asarray(eff_rows)).sum())
         return ops, ops
 
 

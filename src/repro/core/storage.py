@@ -69,6 +69,9 @@ class TileMatrix:
     _y_idx: np.ndarray | None = field(default=None, repr=False)
     _x_idx: np.ndarray | None = field(default=None, repr=False)
     _vals: np.ndarray | None = field(default=None, repr=False)
+    # Inspector-executor product of the decoded entries, built lazily on
+    # the first spmm (a structural artifact: reused by every block).
+    _spmm_csr: sp.csr_matrix | None = field(default=None, repr=False)
 
     # -- construction ------------------------------------------------------
 
@@ -103,6 +106,18 @@ class TileMatrix:
         self = cls(tileset=tileset, formats=formats, payloads=payloads, tile_ids=tile_ids)
         self._build_gathers()
         return self
+
+    def with_values(self, new_view_val: np.ndarray) -> "TileMatrix":
+        """Re-encode the same structure with new entry values.
+
+        ``new_view_val`` is in the tile-sorted (tileset view) order.
+        The tile decomposition, format assignment and warp schedule are
+        all reused; only the payload value slots are refilled — the
+        ``update_values`` fast path for iterative workloads where the
+        sparsity pattern is fixed but the numbers change.  Returns a new
+        object (cached plans may share the old payloads).
+        """
+        return TileMatrix.build(self.tileset.with_values(new_view_val), self.formats)
 
     def _build_gathers(self) -> None:
         """Precompute global (row, col, val) gathers from the payloads.
@@ -177,10 +192,14 @@ class TileMatrix:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[0] != self.tileset.n:
             raise ValueError(f"X must have shape ({self.tileset.n}, k)")
-        contrib = self._vals[:, None] * x[self._x_idx]
-        out = np.zeros((self.tileset.m, x.shape[1]))
-        np.add.at(out, self._y_idx, contrib)
-        return out
+        if self._spmm_csr is None:
+            # Assembled from the *decoded* gathers, so the block product
+            # still exercises the format round-trip; padding slots carry
+            # explicit zeros and cannot change the sums.
+            self._spmm_csr = sp.csr_matrix(
+                (self._vals, (self._y_idx, self._x_idx)), shape=self.shape
+            )
+        return np.asarray(self._spmm_csr @ x)
 
     def to_csr(self) -> sp.csr_matrix:
         """Reconstruct a scipy CSR matrix from the encoded payloads."""
@@ -249,7 +268,9 @@ class TileMatrix:
             atomic_rounds += cost.atomic_rounds
         schedule = schedule or build_schedule(self.tileset.tile_ptr, tbalance)
         warp_cycles = schedule.warp_cycle_totals(per_tile_cycles, params.warp_overhead)
-        ops, rounds = schedule.cross_warp_atomics(self.tileset.tile)
+        # Boundary tile rows are shorter than ``tile``; charge split-row
+        # y-combining atomics for the rows that actually exist.
+        ops, rounds = schedule.cross_warp_atomics(self.tileset.row_heights())
         atomic_ops += ops
         atomic_rounds += rounds
         return RunCost(

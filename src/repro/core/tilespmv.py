@@ -18,6 +18,13 @@ reproduction's reduced matrix scale the crossover sits well below 1.8M,
 and the modelled costs locate it per matrix instead of per fleet.
 ``AUTO_DEFERRED_NNZ`` preserves the paper's constant for reference.
 
+Repeated-SpMV serving: pass a :class:`~repro.core.plancache.PlanCache`
+to amortise preprocessing across constructions with the same sparsity
+pattern, :meth:`TileSpMV.update_values` to stream new values through an
+existing plan, and :meth:`TileSpMV.spmm` for batched multi-vector
+products whose modelled cost (:meth:`TileSpMV.spmm_cost`) reflects the
+k-column amortisation of the matrix payload traffic.
+
 Example
 -------
 >>> import numpy as np, scipy.sparse as sp
@@ -40,7 +47,15 @@ import scipy.sparse as sp
 from repro.baselines.csr5 import Csr5SpMV
 from repro.core.deferred import split_deferred_coo
 from repro.core.kernels.params import KernelCostParams
-from repro.core.scheduler import DEFAULT_TBALANCE
+from repro.core.plancache import (
+    CachedPlan,
+    MethodPlan,
+    PlanCache,
+    canonical_csr,
+    structural_fingerprint,
+    value_digest,
+)
+from repro.core.scheduler import DEFAULT_TBALANCE, build_schedule
 from repro.core.selection import SelectionConfig, select_formats
 from repro.core.storage import TileMatrix
 from repro.core.tiling import tile_decompose
@@ -73,6 +88,17 @@ class TileSpMV:
         Kernel instruction-cost constants for the modelled timings.
     auto_device:
         Device whose cost model arbitrates ``method="auto"``.
+    plan_cache:
+        Optional :class:`~repro.core.plancache.PlanCache`.  When given,
+        construction looks the matrix's structural fingerprint up first:
+        a hit reuses the cached tile set, format vector, payloads and
+        warp schedule (re-encoding values only if they changed), a miss
+        stores the freshly built plan for the next construction.
+
+    Timing attributes: ``build_seconds`` covers tiling, selection and
+    the kept representation's encode; ``arbitration_seconds`` covers the
+    discarded ``auto`` candidate and the cost-model evaluations;
+    ``preprocessing_seconds`` is exactly their sum.
     """
 
     def __init__(
@@ -84,6 +110,7 @@ class TileSpMV:
         tbalance: int = DEFAULT_TBALANCE,
         params: KernelCostParams | None = None,
         auto_device: DeviceSpec | None = None,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         if method not in METHODS:
             raise ValueError(f"method must be one of {METHODS}, got {method!r}")
@@ -91,44 +118,149 @@ class TileSpMV:
         self.selection = selection or SelectionConfig()
         self.tbalance = tbalance
         self.params = params or KernelCostParams()
+        self.plan_cache = plan_cache
+        self.plan_key: str | None = None
         self.tiled: TileMatrix | None = None
         self.deferred_engine: Csr5SpMV | None = None
         self._deferred_transpose: Csr5SpMV | None = None
+        self._schedule = None
+        self._deferred_src: np.ndarray | None = None
+        self._tiled_src: np.ndarray | None = None
 
-        t0 = time.perf_counter()
-        tileset = tile_decompose(matrix, tile=tile)
-        self._shape = tileset.m, tileset.n
-        self._nnz = tileset.nnz
-        if method == "csr":
-            formats = np.full(tileset.n_tiles, FormatID.CSR, dtype=np.uint8)
-            self.tiled = TileMatrix.build(tileset, formats)
-        elif method == "adpt":
-            formats = select_formats(tileset, self.selection)
-            self.tiled = TileMatrix.build(tileset, formats)
-        elif method == "deferred_coo":
-            self._build_deferred(tileset)
-        else:  # auto: build both candidates, keep the modelled-faster one
+        csr = canonical_csr(matrix)
+        self._indptr = csr.indptr
+        self._indices = csr.indices
+        plan = None
+        if plan_cache is not None:
+            self.plan_key = structural_fingerprint(csr, tile, self.selection, tbalance)
+            plan = plan_cache.get(self.plan_key)
+
+        build_seconds = 0.0
+        if plan is None:
+            t1 = time.perf_counter()
+            tileset = tile_decompose(csr, tile=tile)
+            build_seconds += time.perf_counter() - t1
+            plan = CachedPlan(
+                key=self.plan_key or "",
+                tileset=tileset,
+                values_digest=value_digest(csr.data) if plan_cache is not None else "",
+            )
+            if plan_cache is not None:
+                plan_cache.put(self.plan_key, plan)
+        elif plan.values_digest != value_digest(csr.data):
+            # Same pattern, new numbers: refresh payload values in place
+            # of re-tiling/re-selecting (the update_values fast path).
+            t1 = time.perf_counter()
+            plan.refresh_values(csr.data, value_digest(csr.data))
+            build_seconds += time.perf_counter() - t1
+        self._plan = plan
+        self._shape = plan.tileset.m, plan.tileset.n
+        self._nnz = plan.tileset.nnz
+
+        arbitration_seconds = 0.0
+        if method == "auto":
             device = auto_device or A100
-            formats = select_formats(tileset, self.selection)
-            adpt = TileMatrix.build(tileset, formats)
-            self.tiled = adpt
-            t_adpt = self.run_cost().time(device)
-            self.tiled = None
-            self._build_deferred(tileset, formats=formats)
-            t_def = self.run_cost().time(device)
+            mp_adpt, s_adpt = self._ensure_method(plan, "adpt")
+            mp_def, s_def = self._ensure_method(plan, "deferred_coo")
+            t1 = time.perf_counter()
+            t_adpt = self._method_cost(mp_adpt).time(device)
+            t_def = self._method_cost(mp_def).time(device)
+            arbitration_eval = time.perf_counter() - t1
             if t_adpt <= t_def:
-                self.tiled = adpt
-                self.deferred_engine = None
+                kept, kept_seconds, discarded_seconds = mp_adpt, s_adpt, s_def
                 method = "adpt"
             else:
+                kept, kept_seconds, discarded_seconds = mp_def, s_def, s_adpt
                 method = "deferred_coo"
+            build_seconds += kept_seconds
+            arbitration_seconds = discarded_seconds + arbitration_eval
+        else:
+            kept, kept_seconds = self._ensure_method(plan, method)
+            build_seconds += kept_seconds
+        self._adopt(kept)
         self.method = method
-        self.preprocessing_seconds = time.perf_counter() - t0
+        self.build_seconds = build_seconds
+        self.arbitration_seconds = arbitration_seconds
+        self.preprocessing_seconds = build_seconds + arbitration_seconds
 
-    def _build_deferred(self, tileset, formats: np.ndarray | None = None) -> None:
-        split = split_deferred_coo(tileset, self.selection, formats=formats)
-        self.tiled = split.tiled
-        self.deferred_engine = Csr5SpMV(split.deferred) if split.deferred.nnz else None
+    # -- plan construction ---------------------------------------------------
+
+    def _plan_formats(self, plan: CachedPlan) -> np.ndarray:
+        """The ADPT format vector, selected once per plan."""
+        if plan.formats is None:
+            plan.formats = select_formats(plan.tileset, self.selection)
+        return plan.formats
+
+    def _plan_schedule(self, plan: CachedPlan):
+        """The full-tileset warp schedule, built once per plan."""
+        if plan.schedule is None:
+            plan.schedule = build_schedule(plan.tileset.tile_ptr, self.tbalance)
+        return plan.schedule
+
+    def _ensure_method(self, plan: CachedPlan, name: str) -> tuple[MethodPlan, float]:
+        """Fetch or build the artifacts for one strategy.
+
+        Returns ``(artifacts, seconds_spent_now)`` — zero when the plan
+        already held them (cache hit or the other ``auto`` candidate).
+        """
+        mp = plan.methods.get(name)
+        if mp is not None:
+            return mp, 0.0
+        t1 = time.perf_counter()
+        tileset = plan.tileset
+        if name == "csr":
+            formats = np.full(tileset.n_tiles, FormatID.CSR, dtype=np.uint8)
+            mp = MethodPlan(
+                method=name,
+                tiled=TileMatrix.build(tileset, formats),
+                deferred=None,
+                schedule=self._plan_schedule(plan),
+            )
+        elif name == "adpt":
+            mp = MethodPlan(
+                method=name,
+                tiled=TileMatrix.build(tileset, self._plan_formats(plan)),
+                deferred=None,
+                schedule=self._plan_schedule(plan),
+            )
+        else:  # deferred_coo: reuse the shared selection, never re-select
+            split = split_deferred_coo(tileset, self.selection, formats=self._plan_formats(plan))
+            mp = MethodPlan(
+                method=name,
+                tiled=split.tiled,
+                deferred=Csr5SpMV(split.deferred) if split.deferred.nnz else None,
+                schedule=(
+                    build_schedule(split.tiled.tileset.tile_ptr, self.tbalance)
+                    if split.tiled is not None
+                    else None
+                ),
+                deferred_src=split.deferred_src,
+                tiled_src=split.tiled_src,
+            )
+        mp.build_seconds = time.perf_counter() - t1
+        plan.methods[name] = mp
+        return mp, mp.build_seconds
+
+    def _method_cost(self, mp: MethodPlan) -> RunCost:
+        """Device-independent cost of one SpMV with these artifacts."""
+        parts: list[RunCost] = []
+        if mp.tiled is not None:
+            parts.append(mp.tiled.run_cost(self.params, self.tbalance, schedule=mp.schedule))
+        if mp.deferred is not None:
+            parts.append(mp.deferred.run_cost())
+        if not parts:
+            return RunCost(label="TileSpMV(empty)")
+        total = parts[0]
+        for p in parts[1:]:
+            total = total + p
+        return total
+
+    def _adopt(self, mp: MethodPlan) -> None:
+        self.tiled = mp.tiled
+        self.deferred_engine = mp.deferred
+        self._schedule = mp.schedule
+        self._deferred_src = mp.deferred_src
+        self._tiled_src = mp.tiled_src
 
     # -- numerics -----------------------------------------------------------
 
@@ -143,6 +275,8 @@ class TileSpMV:
     def spmv(self, x: np.ndarray) -> np.ndarray:
         """y = A @ x."""
         x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self._shape[1],):
+            raise ValueError(f"x must have shape ({self._shape[1]},)")
         y = np.zeros(self._shape[0])
         if self.tiled is not None:
             y += self.tiled.spmv(x)
@@ -176,7 +310,12 @@ class TileSpMV:
         return y
 
     def spmm(self, x: np.ndarray) -> np.ndarray:
-        """Y = A @ X for a dense block of vectors (block-Krylov SpMM)."""
+        """Y = A @ X for a dense block of vectors (batched multi-RHS SpMM).
+
+        Both halves run natively batched — the tiled gathers and the
+        CSR5 segmented sum each stream their index structure once for
+        all ``k`` columns; there is no per-column Python loop.
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[0] != self._shape[1]:
             raise ValueError(f"X must have shape ({self._shape[1]}, k)")
@@ -184,11 +323,48 @@ class TileSpMV:
         if self.tiled is not None:
             out += self.tiled.spmm(x)
         if self.deferred_engine is not None:
-            # Column-at-a-time through the CSR5 part (kept simple; the
-            # deferred matrix is the minority share by construction).
-            for j in range(x.shape[1]):
-                out[:, j] += self.deferred_engine.spmv(x[:, j])
+            out += self.deferred_engine.spmm(x)
         return out
+
+    def update_values(self, values) -> "TileSpMV":
+        """Fast path: new numbers, unchanged sparsity pattern.
+
+        ``values`` is either a sparse matrix with the *same* pattern or
+        the length-``nnz`` value array in canonical CSR order.  The tile
+        decomposition, format selection, DeferredCOO extraction and warp
+        schedule are all kept; only the payload value slots are
+        re-encoded.  Returns ``self`` (updated in place; the previous
+        payloads are left untouched for any cached plan sharing them).
+        """
+        if sp.issparse(values):
+            csr = canonical_csr(values)
+            if (
+                csr.shape != self._shape
+                or csr.nnz != self._nnz
+                or not np.array_equal(csr.indptr, self._indptr)
+                or not np.array_equal(csr.indices, self._indices)
+            ):
+                raise ValueError(
+                    "sparsity pattern differs from the prepared matrix; "
+                    "build a new TileSpMV instead of update_values"
+                )
+            data = csr.data
+        else:
+            data = np.asarray(values, dtype=np.float64)
+            if data.shape != (self._nnz,):
+                raise ValueError(f"expected {self._nnz} values, got {data.shape}")
+        new_view_val = data[self._plan.tileset.entry_perm]
+        if self._tiled_src is not None or self._deferred_src is not None:
+            if self.tiled is not None:
+                self.tiled = self.tiled.with_values(new_view_val[self._tiled_src])
+            if self.deferred_engine is not None:
+                self.deferred_engine = self.deferred_engine.with_values(
+                    new_view_val[self._deferred_src]
+                )
+        elif self.tiled is not None:
+            self.tiled = self.tiled.with_values(new_view_val)
+        self._deferred_transpose = None
+        return self
 
     # -- accounting -----------------------------------------------------------
 
@@ -211,7 +387,7 @@ class TileSpMV:
         """Device-independent cost of one SpMV (both kernels if split)."""
         parts: list[RunCost] = []
         if self.tiled is not None:
-            parts.append(self.tiled.run_cost(self.params, self.tbalance))
+            parts.append(self.tiled.run_cost(self.params, self.tbalance, schedule=self._schedule))
         if self.deferred_engine is not None:
             parts.append(self.deferred_engine.run_cost())
         if not parts:
@@ -221,6 +397,18 @@ class TileSpMV:
             total = total + p
         total.label = f"TileSpMV_{self.method}"
         return total
+
+    def spmm_cost(self, k: int) -> RunCost:
+        """Device-independent cost of one k-vector :meth:`spmm`.
+
+        The matrix payload streams once for all ``k`` columns (see
+        :meth:`RunCost.batched <repro.gpu.costmodel.RunCost.batched>`),
+        which is where batching beats ``k`` sequential :meth:`spmv`
+        calls on memory-bound matrices.
+        """
+        cost = self.run_cost().batched(k)
+        cost.label = f"TileSpMV_{self.method}[k={k}]"
+        return cost
 
     def describe(self) -> str:
         """Human-readable summary: method, format mix, modelled performance."""
@@ -250,6 +438,8 @@ class TileSpMV:
             f"{self.gflops(A100):.1f} GFlops (A100); "
             f"footprint {self.nbytes_model()} B"
         )
+        if self.plan_cache is not None:
+            lines.append(self.plan_cache.describe())
         return "\n".join(lines)
 
     def predicted_time(self, device: DeviceSpec) -> float:

@@ -43,6 +43,11 @@ class TileSet:
     view:
         All tiles' entries as a :class:`~repro.formats.base.TilesView`;
         ``view.offsets`` is the paper's ``tileNnz``.
+    entry_perm:
+        ``int64 (nnz,)``: permutation mapping canonical-CSR entry order
+        to the tile-sorted order (``view.val == csr.data[entry_perm]``).
+        This is what lets a plan with the same sparsity pattern take new
+        values without re-sorting (``None`` for hand-built tile sets).
     """
 
     m: int
@@ -52,6 +57,7 @@ class TileSet:
     tile_colidx: np.ndarray
     tile_rowidx: np.ndarray
     view: TilesView
+    entry_perm: np.ndarray | None = None
 
     @property
     def n_tiles(self) -> int:
@@ -85,6 +91,45 @@ class TileSet:
             + 4 * self.n_tiles
             + 4 * (self.n_tiles + 1)
             + self.n_tiles
+        )
+
+    def row_heights(self) -> np.ndarray:
+        """Effective height of every *tile row* (``tile`` except at the
+        bottom boundary, where the matrix may end mid-tile)."""
+        starts = np.arange(self.tile_rows, dtype=np.int64) * self.tile
+        return np.minimum(self.tile, self.m - starts)
+
+    def with_values(self, new_view_val: np.ndarray) -> "TileSet":
+        """A structurally identical tile set carrying new entry values.
+
+        ``new_view_val`` must be in the tile-sorted (view) order.  The
+        level-1 arrays and local coordinates are shared by reference —
+        only the value array is replaced — so this is the cheap half of
+        the ``update_values`` fast path: no sort, no tiling.
+        """
+        new_view_val = np.asarray(new_view_val, dtype=np.float64)
+        if new_view_val.shape != self.view.val.shape:
+            raise ValueError(
+                f"expected {self.view.val.size} values, got {new_view_val.size}"
+            )
+        view = TilesView(
+            lrow=self.view.lrow,
+            lcol=self.view.lcol,
+            val=new_view_val,
+            offsets=self.view.offsets,
+            eff_h=self.view.eff_h,
+            eff_w=self.view.eff_w,
+            tile=self.view.tile,
+        )
+        return TileSet(
+            m=self.m,
+            n=self.n,
+            tile=self.tile,
+            tile_ptr=self.tile_ptr,
+            tile_colidx=self.tile_colidx,
+            tile_rowidx=self.tile_rowidx,
+            view=view,
+            entry_perm=self.entry_perm,
         )
 
     def global_rows(self) -> np.ndarray:
@@ -160,4 +205,5 @@ def tile_decompose(matrix: sp.spmatrix, tile: int = 16) -> TileSet:
         tile_colidx=tile_colidx,
         tile_rowidx=tile_rowidx,
         view=view,
+        entry_perm=order,
     )

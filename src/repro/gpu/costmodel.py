@@ -210,6 +210,47 @@ class RunCost:
             label=self.label or other.label,
         )
 
+    def batched(self, k: int) -> "RunCost":
+        """Cost of one k-vector SpMM reusing this SpMV's structure.
+
+        The batching win the paper's preprocessing amortisation argument
+        extends to: the matrix payload (indices, values, descriptors,
+        level-1 arrays) streams from DRAM *once* per SpMM regardless of
+        ``k``, while the ``x`` gathers, ``y`` writes, flops and atomics
+        scale with ``k``.  Warp control flow (payload decode, loop
+        management) is likewise paid once per tile; each extra column
+        adds only the per-entry gather + FMA work (two warp-wide
+        instructions per 32 executed entries).  Launch count is
+        unchanged — the whole block runs in the same grid.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if k == 1:
+            return self
+        # Per extra column: one x gather + one FMA per executed entry,
+        # spread over the 32 lanes of a warp.
+        entries = self.executed_flops / 2.0
+        per_column_instructions = 2.0 * entries / 32.0
+        instructions = self.warp_instructions + (k - 1) * per_column_instructions
+        tail_scale = (
+            instructions / self.warp_instructions if self.warp_instructions > 0 else 1.0
+        )
+        return RunCost(
+            payload_bytes=self.payload_bytes,
+            x_gather_bytes=self.x_gather_bytes * k,
+            x_footprint_bytes=self.x_footprint_bytes * k,
+            y_write_bytes=self.y_write_bytes * k,
+            warp_instructions=instructions,
+            warp_cycles_max=self.warp_cycles_max * tail_scale,
+            n_warps=self.n_warps,
+            atomic_ops=self.atomic_ops * k,
+            atomic_rounds=self.atomic_rounds * k,
+            useful_flops=self.useful_flops * k,
+            executed_flops=self.executed_flops * k,
+            kernel_launches=self.kernel_launches,
+            label=f"{self.label}[k={k}]" if self.label else f"batched[k={k}]",
+        )
+
     def stats(self, device: DeviceSpec) -> KernelStats:
         """Finalise for a device: L2-adjust the x gather traffic."""
         x_bytes = l2_adjusted_bytes(

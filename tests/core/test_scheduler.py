@@ -84,3 +84,17 @@ class TestCrossWarpAtomics:
         ops, rounds = sched.cross_warp_atomics(16)
         assert ops == 2 * 16  # 3 warps -> 2 extra
         assert rounds == ops
+
+    def test_per_row_effective_heights(self):
+        # Row 0 splits into 3 warps (2 extra), row 1 stays whole, row 2
+        # splits into 2 warps (1 extra).
+        sched = build_schedule(lengths_to_offsets(np.array([17, 4, 9])), tbalance=8)
+        ops, rounds = sched.cross_warp_atomics(np.array([5, 16, 7]))
+        assert ops == 2 * 5 + 1 * 7  # each row charged its real height
+        assert rounds == ops
+
+    def test_scalar_and_array_forms_agree_on_full_rows(self):
+        sched = build_schedule(lengths_to_offsets(np.array([17, 9])), tbalance=8)
+        assert sched.cross_warp_atomics(16) == sched.cross_warp_atomics(
+            np.array([16, 16])
+        )

@@ -159,3 +159,85 @@ class TestSpmm:
         engine = TileSpMV(zoo_matrix)
         with pytest.raises(ValueError):
             engine.spmm(np.zeros((zoo_matrix.shape[1] + 1, 2)))
+
+
+class TestBlockSolvers:
+    def test_block_cg_matches_single_rhs(self):
+        from repro.apps import block_conjugate_gradient
+
+        a = spd_matrix()
+        engine = TileSpMV(a, method="adpt")
+        rng = np.random.default_rng(2)
+        b = rng.standard_normal((a.shape[0], 5))
+        res = block_conjugate_gradient(engine, b, tol=1e-11)
+        assert res.converged.all()
+        assert res.spmm_calls < 5 * res.iterations.max()  # batched, not k loops
+        for j in range(5):
+            single = conjugate_gradient(engine, b[:, j], tol=1e-11)
+            np.testing.assert_allclose(res.x[:, j], single.x, rtol=1e-8, atol=1e-10)
+            assert res.iterations[j] == single.iterations
+
+    def test_block_bicgstab_solves_all_columns(self):
+        from repro.apps import block_bicgstab
+
+        a = general_matrix()
+        engine = TileSpMV(a, method="adpt")
+        rng = np.random.default_rng(3)
+        b = rng.standard_normal((a.shape[0], 4))
+        res = block_bicgstab(engine, b, tol=1e-11, max_iter=500)
+        assert res.converged.all()
+        np.testing.assert_allclose(a @ res.x, b, rtol=1e-7, atol=1e-8)
+
+    def test_block_solvers_reject_1d_rhs(self):
+        from repro.apps import block_bicgstab, block_conjugate_gradient
+
+        a = spd_matrix()
+        op = ScipyOperator(a)
+        with pytest.raises(ValueError):
+            block_conjugate_gradient(op, np.ones(a.shape[0]))
+        with pytest.raises(ValueError):
+            block_bicgstab(op, np.ones(a.shape[0]))
+
+
+class TestPersonalizedPagerank:
+    def test_uniform_seeds_reproduce_global_pagerank(self):
+        from repro.apps import personalized_pagerank
+
+        adj = power_law(400, avg_degree=5, seed=4)
+        adj.data[:] = 1.0
+        transition, dangling = make_transition(adj)
+        engine = TileSpMV(transition, method="adpt")
+        n = transition.shape[0]
+        seeds = np.full((n, 3), 1.0 / n)
+        ranks, iters = personalized_pagerank(engine, dangling, seeds, tol=1e-12)
+        ref, _ = pagerank(engine, dangling, tol=1e-12)
+        for j in range(3):
+            np.testing.assert_allclose(ranks[:, j], ref, rtol=1e-8, atol=1e-12)
+
+    def test_one_hot_seeds_localise_mass(self):
+        from repro.apps import personalized_pagerank
+
+        adj = power_law(300, avg_degree=5, seed=5)
+        adj.data[:] = 1.0
+        transition, dangling = make_transition(adj)
+        engine = TileSpMV(transition, method="adpt")
+        n = transition.shape[0]
+        seeds = np.zeros((n, 2))
+        seeds[0, 0] = 1.0
+        seeds[7, 1] = 1.0
+        ranks, iters = personalized_pagerank(engine, dangling, seeds)
+        assert ranks.shape == (n, 2) and (iters >= 1).all()
+        # The restart node holds at least the teleport mass of its column.
+        assert ranks[0, 0] >= 0.15 - 1e-9
+        assert ranks[7, 1] >= 0.15 - 1e-9
+
+    def test_rejects_non_stochastic_seeds(self):
+        from repro.apps import personalized_pagerank
+
+        adj = power_law(100, avg_degree=4, seed=6)
+        transition, dangling = make_transition(adj)
+        op = ScipyOperator(transition)
+        with pytest.raises(ValueError):
+            personalized_pagerank(op, dangling, np.ones((100, 2)))
+        with pytest.raises(ValueError):
+            personalized_pagerank(op, dangling, np.ones(100))

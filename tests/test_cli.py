@@ -88,3 +88,22 @@ def test_experiment_csv_export(tmp_path, capsys):
     assert csv_file.exists()
     header = csv_file.read_text().splitlines()[0]
     assert "gflops_adpt" in header and "speedup_adpt_over_csr" in header
+
+
+def test_batch_command(capsys, mtx_file):
+    assert main(["batch", mtx_file, "--k", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "spmm(k=8) matches scipy: True" in out
+    assert "batching speedup" in out
+    assert "PlanCache" in out and "hits=1" in out
+
+
+def test_tile_spmv_propagates_shape_error():
+    import numpy as np
+
+    from repro.core.tilespmv import tile_spmv
+    from repro.matrices import random_uniform
+
+    a = random_uniform(60, 90, 4, seed=1)
+    with pytest.raises(ValueError, match=r"\(90,\)"):
+        tile_spmv(a, np.ones(60))
