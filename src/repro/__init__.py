@@ -25,8 +25,16 @@ True
 from repro.core import PlanCache, SelectionConfig, TileMatrix, TileSpMV, tile_spmv
 from repro.formats import FormatID
 from repro.gpu import A100, TITAN_RTX, CostModel, DeviceSpec, KernelStats, RunCost
+from repro.reliability import (
+    FaultPlan,
+    MatrixValidationError,
+    ValidationPolicy,
+    canonicalize_csr,
+    fault_injection,
+)
+from repro.reliability.reliable import ReliableSpMV
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TileSpMV",
@@ -41,5 +49,11 @@ __all__ = [
     "CostModel",
     "KernelStats",
     "RunCost",
+    "ReliableSpMV",
+    "ValidationPolicy",
+    "MatrixValidationError",
+    "canonicalize_csr",
+    "FaultPlan",
+    "fault_injection",
     "__version__",
 ]

@@ -24,11 +24,16 @@ class BsrSpMV:
 
     name = "BSR"
 
-    def __init__(self, matrix: sp.spmatrix, block: int = 4) -> None:
+    def __init__(
+        self, matrix: sp.spmatrix, block: int = 4, validation: str = "repair"
+    ) -> None:
         if block < 1:
             raise ValueError("block size must be positive")
         self.block = block
-        coo = matrix.tocsr().tocoo()
+        from repro.reliability.validation import canonicalize_csr
+
+        csr, self.validation_report = canonicalize_csr(matrix, validation)
+        coo = csr.tocoo()
         self.m, self.n = coo.shape
         self._nnz = coo.nnz
         b = block

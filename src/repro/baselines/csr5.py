@@ -23,6 +23,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.baselines.common import csr_payload_bytes
+from repro.gpu import faults
 from repro.gpu.costmodel import RunCost
 
 __all__ = ["Csr5SpMV"]
@@ -50,9 +51,15 @@ class Csr5SpMV:
 
     name = "CSR5"
 
-    def __init__(self, matrix: sp.spmatrix, sigma: int | None = None) -> None:
-        csr = matrix.tocsr()
-        csr.sort_indices()
+    def __init__(
+        self,
+        matrix: sp.spmatrix,
+        sigma: int | None = None,
+        validation: str = "repair",
+    ) -> None:
+        from repro.reliability.validation import canonicalize_csr
+
+        csr, self.validation_report = canonicalize_csr(matrix, validation)
         self.indptr = csr.indptr.astype(np.int64)
         self.indices = csr.indices.astype(np.int64)
         self.data = csr.data.astype(np.float64)
@@ -132,6 +139,9 @@ class Csr5SpMV:
         # permutation to stay payload-driven.
         original_products = np.zeros(self.nnz)
         original_products[self.perm[self.stored_valid]] = products[self.stored_valid]
+        inj = faults.active_injector()
+        if inj is not None:
+            original_products = inj.corrupt_payload(original_products, kind="csr5_payload")
         return np.bincount(self.entry_rows, weights=original_products, minlength=self.m)
 
     def spmm(self, x: np.ndarray) -> np.ndarray:
@@ -156,6 +166,15 @@ class Csr5SpMV:
             self._spmm_csr = sp.csr_matrix(
                 (original_val, self.indices, self.indptr), shape=(self.m, self.n)
             )
+        inj = faults.active_injector()
+        if inj is not None:
+            # Throwaway product: injected values never enter the cache.
+            vals = inj.corrupt_payload(self._spmm_csr.data, kind="csr5_payload")
+            if vals is not self._spmm_csr.data:
+                return np.asarray(
+                    sp.csr_matrix((vals, self._spmm_csr.indices, self._spmm_csr.indptr),
+                                  shape=(self.m, self.n)) @ x
+                )
         return np.asarray(self._spmm_csr @ x)
 
     def with_values(self, data: np.ndarray) -> "Csr5SpMV":

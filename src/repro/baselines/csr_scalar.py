@@ -14,6 +14,7 @@ import scipy.sparse as sp
 from repro.baselines.common import csr_payload_bytes, row_gather_sectors
 from repro.gpu.costmodel import RunCost
 from repro.gpu.warp import WARP_SIZE
+from repro.reliability.validation import canonicalize_csr
 
 __all__ = ["reference_spmv", "CsrScalarSpMV"]
 
@@ -28,9 +29,8 @@ class CsrScalarSpMV:
 
     name = "CSR-scalar"
 
-    def __init__(self, matrix: sp.spmatrix) -> None:
-        csr = matrix.tocsr()
-        csr.sort_indices()
+    def __init__(self, matrix: sp.spmatrix, validation: str = "repair") -> None:
+        csr, self.validation_report = canonicalize_csr(matrix, validation)
         self.indptr = csr.indptr.astype(np.int64)
         self.indices = csr.indices.astype(np.int64)
         self.data = csr.data.astype(np.float64)

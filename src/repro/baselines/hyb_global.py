@@ -72,9 +72,10 @@ class EllGlobalSpMV:
 
     name = "ELL-global"
 
-    def __init__(self, matrix: sp.spmatrix) -> None:
-        csr = matrix.tocsr()
-        csr.sort_indices()
+    def __init__(self, matrix: sp.spmatrix, validation: str = "repair") -> None:
+        from repro.reliability.validation import canonicalize_csr
+
+        csr, self.validation_report = canonicalize_csr(matrix, validation)
         self.csr = csr
         self.m, self.n = csr.shape
         self.k = int(np.diff(csr.indptr).max(initial=0))
@@ -113,9 +114,12 @@ class HybGlobalSpMV:
 
     name = "HYB-global"
 
-    def __init__(self, matrix: sp.spmatrix, k: int | None = None) -> None:
-        csr = matrix.tocsr()
-        csr.sort_indices()
+    def __init__(
+        self, matrix: sp.spmatrix, k: int | None = None, validation: str = "repair"
+    ) -> None:
+        from repro.reliability.validation import canonicalize_csr
+
+        csr, self.validation_report = canonicalize_csr(matrix, validation)
         self.csr = csr
         self.m, self.n = csr.shape
         lens = np.diff(csr.indptr)

@@ -15,6 +15,7 @@ import scipy.sparse as sp
 
 from repro.baselines.common import csr_payload_bytes, row_gather_sectors
 from repro.gpu.costmodel import RunCost
+from repro.reliability.validation import canonicalize_csr
 
 __all__ = ["MergeSpMV", "merge_path_partition"]
 
@@ -50,9 +51,13 @@ class MergeSpMV:
 
     name = "Merge-SpMV"
 
-    def __init__(self, matrix: sp.spmatrix, items_per_warp: int = DEFAULT_ITEMS_PER_WARP) -> None:
-        csr = matrix.tocsr()
-        csr.sort_indices()
+    def __init__(
+        self,
+        matrix: sp.spmatrix,
+        items_per_warp: int = DEFAULT_ITEMS_PER_WARP,
+        validation: str = "repair",
+    ) -> None:
+        csr, self.validation_report = canonicalize_csr(matrix, validation)
         self.indptr = csr.indptr.astype(np.int64)
         self.indices = csr.indices.astype(np.int64)
         self.data = csr.data.astype(np.float64)

@@ -66,12 +66,16 @@ def structural_fingerprint(
 
     Two matrices with equal fingerprints produce byte-identical tile
     structure, format vectors and schedules, so their plans are
-    interchangeable up to values.
+    interchangeable up to values.  The value *dtype* is part of the key:
+    a float32 matrix must not silently reuse payloads cached for a
+    float64 twin of the same pattern (their value digests are computed
+    after a float64 cast and can collide).
     """
     h = hashlib.blake2b(digest_size=16)
     h.update(
         np.array([csr.shape[0], csr.shape[1], tile, tbalance], dtype=np.int64).tobytes()
     )
+    h.update(str(np.dtype(csr.dtype)).encode())
     h.update(repr(selection).encode())
     h.update(np.ascontiguousarray(csr.indptr, dtype=np.int64).tobytes())
     h.update(np.ascontiguousarray(csr.indices, dtype=np.int64).tobytes())
@@ -159,6 +163,7 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -185,6 +190,19 @@ class PlanCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def invalidate(self, key: str) -> bool:
+        """Drop one plan — e.g. artifacts a checksum failure implicated.
+
+        Returns whether the key was present.  The reliability layer's
+        retry path calls this before re-preparing, so a corrupted cached
+        payload cannot poison the fresh plan.
+        """
+        if key not in self._entries:
+            return False
+        del self._entries[key]
+        self.invalidations += 1
+        return True
+
     def clear(self) -> None:
         """Drop every plan; counters keep accumulating."""
         self._entries.clear()
@@ -195,6 +213,7 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "size": len(self._entries),
             "capacity": self.capacity,
             "hit_rate": self.hits / total if total else 0.0,

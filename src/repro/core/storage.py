@@ -31,6 +31,7 @@ from repro.formats import (
     encode_ell,
     encode_hyb,
 )
+from repro.gpu import faults
 from repro.gpu.costmodel import RunCost
 from repro.util.segments import repeat_offsets
 
@@ -164,8 +165,12 @@ class TileMatrix:
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.tileset.n,):
             raise ValueError(f"x must have shape ({self.tileset.n},)")
+        vals = self._vals
+        inj = faults.active_injector()
+        if inj is not None:
+            vals = inj.corrupt_payload(vals, kind="tile_payload")
         return np.bincount(
-            self._y_idx, weights=self._vals * x[self._x_idx], minlength=self.tileset.m
+            self._y_idx, weights=vals * x[self._x_idx], minlength=self.tileset.m
         )
 
     def spmv_transpose(self, x: np.ndarray) -> np.ndarray:
@@ -192,6 +197,15 @@ class TileMatrix:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[0] != self.tileset.n:
             raise ValueError(f"X must have shape ({self.tileset.n}, k)")
+        inj = faults.active_injector()
+        if inj is not None:
+            # Route the corrupted payload through a throwaway product so
+            # the cached inspector matrix never holds injected values.
+            vals = inj.corrupt_payload(self._vals, kind="tile_payload")
+            if vals is not self._vals:
+                return np.asarray(
+                    sp.csr_matrix((vals, (self._y_idx, self._x_idx)), shape=self.shape) @ x
+                )
         if self._spmm_csr is None:
             # Assembled from the *decoded* gathers, so the block product
             # still exercises the format round-trip; padding slots carry
@@ -333,5 +347,6 @@ class TileMatrix:
             assert val.size == expected, (
                 f"{FormatID(fmt).name}: decoded {val.size} != level-1 {expected}"
             )
-        assert self._y_idx.min(initial=0) >= 0 and self._y_idx.max(initial=0) < ts.m
-        assert self._x_idx.min(initial=0) >= 0 and self._x_idx.max(initial=0) < ts.n
+        if self._y_idx.size:  # vacuous for 0-row/0-col/0-nnz matrices
+            assert self._y_idx.min() >= 0 and self._y_idx.max() < ts.m
+            assert self._x_idx.min() >= 0 and self._x_idx.max() < ts.n

@@ -55,6 +55,7 @@ from repro.core.plancache import (
     structural_fingerprint,
     value_digest,
 )
+from repro.reliability.validation import ValidationPolicy, canonicalize_csr
 from repro.core.scheduler import DEFAULT_TBALANCE, build_schedule
 from repro.core.selection import SelectionConfig, select_formats
 from repro.core.storage import TileMatrix
@@ -94,6 +95,12 @@ class TileSpMV:
         a hit reuses the cached tile set, format vector, payloads and
         warp schedule (re-encoding values only if they changed), a miss
         stores the freshly built plan for the next construction.
+    validation:
+        :class:`~repro.reliability.validation.ValidationPolicy` for the
+        input gate (default ``repair``: sort/merge/drop defects and
+        record them in ``validation_report``; ``strict`` raises
+        :class:`~repro.reliability.validation.MatrixValidationError`;
+        ``trust`` skips inspection for known-canonical inputs).
 
     Timing attributes: ``build_seconds`` covers tiling, selection and
     the kept representation's encode; ``arbitration_seconds`` covers the
@@ -111,6 +118,7 @@ class TileSpMV:
         params: KernelCostParams | None = None,
         auto_device: DeviceSpec | None = None,
         plan_cache: PlanCache | None = None,
+        validation: ValidationPolicy | str = ValidationPolicy.REPAIR,
     ) -> None:
         if method not in METHODS:
             raise ValueError(f"method must be one of {METHODS}, got {method!r}")
@@ -127,7 +135,7 @@ class TileSpMV:
         self._deferred_src: np.ndarray | None = None
         self._tiled_src: np.ndarray | None = None
 
-        csr = canonical_csr(matrix)
+        csr, self.validation_report = canonicalize_csr(matrix, validation)
         self._indptr = csr.indptr
         self._indices = csr.indices
         plan = None
@@ -138,7 +146,7 @@ class TileSpMV:
         build_seconds = 0.0
         if plan is None:
             t1 = time.perf_counter()
-            tileset = tile_decompose(csr, tile=tile)
+            tileset = tile_decompose(csr, tile=tile, validation="trust")
             build_seconds += time.perf_counter() - t1
             plan = CachedPlan(
                 key=self.plan_key or "",
@@ -228,7 +236,11 @@ class TileSpMV:
             mp = MethodPlan(
                 method=name,
                 tiled=split.tiled,
-                deferred=Csr5SpMV(split.deferred) if split.deferred.nnz else None,
+                deferred=(
+                    Csr5SpMV(split.deferred, validation="trust")
+                    if split.deferred.nnz
+                    else None
+                ),
                 schedule=(
                     build_schedule(split.tiled.tileset.tile_ptr, self.tbalance)
                     if split.tiled is not None
@@ -305,7 +317,7 @@ class TileSpMV:
                      self.deferred_engine.indptr),
                     shape=(self._shape[0], self._shape[1]),
                 ).T.tocsr()
-                self._deferred_transpose = Csr5SpMV(t)
+                self._deferred_transpose = Csr5SpMV(t, validation="trust")
             y += self._deferred_transpose.spmv(x)
         return y
 

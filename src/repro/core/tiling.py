@@ -143,7 +143,9 @@ class TileSet:
         return self.tile_colidx[t] * self.tile + self.view.lcol.astype(np.int64)
 
 
-def tile_decompose(matrix: sp.spmatrix, tile: int = 16) -> TileSet:
+def tile_decompose(
+    matrix: sp.spmatrix, tile: int = 16, validation: str = "repair"
+) -> TileSet:
     """Decompose a sparse matrix into the TileSpMV level-1 structure.
 
     Parameters
@@ -153,6 +155,10 @@ def tile_decompose(matrix: sp.spmatrix, tile: int = 16) -> TileSet:
     tile:
         Tile edge length.  The paper fixes 16; 4/8/16 are supported (the
         4-bit index packing requires <= 16).
+    validation:
+        Input-gate policy (see
+        :func:`repro.reliability.validation.canonicalize_csr`).  Callers
+        holding an already-canonical matrix pass ``"trust"``.
 
     Returns
     -------
@@ -162,8 +168,10 @@ def tile_decompose(matrix: sp.spmatrix, tile: int = 16) -> TileSet:
     """
     if tile < 2 or tile > 16:
         raise ValueError("tile size must be in [2, 16] (4-bit packed indices)")
-    # Round-trip through CSR so duplicate coordinates are merged first.
-    coo = matrix.tocsr().tocoo()
+    from repro.reliability.validation import canonicalize_csr
+
+    csr, _ = canonicalize_csr(matrix, validation)
+    coo = csr.tocoo()
     m, n = coo.shape
     rows = coo.row.astype(np.int64)
     cols = coo.col.astype(np.int64)

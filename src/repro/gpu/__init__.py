@@ -24,10 +24,15 @@ quantities the substrate counts exactly rather than approximates.
 from repro.gpu.costmodel import CostModel, KernelStats, RunCost, l2_adjusted_bytes
 from repro.gpu.device import A100, TITAN_RTX, DeviceSpec
 from repro.gpu.executor import lane_accurate_spmv
+from repro.gpu.faults import FaultInjector, FaultPlan, active_injector, fault_injection
 from repro.gpu.memory import SharedMemory, coalesced_sectors, coalesced_bytes
 from repro.gpu.warp import FULL_MASK, HALF_MASK, Warp
 
 __all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "fault_injection",
+    "active_injector",
     "DeviceSpec",
     "A100",
     "TITAN_RTX",

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.kernels import lane_accurate as lak
+from repro.gpu import faults
 from repro.core.scheduler import WarpSchedule, build_schedule
 from repro.formats import FormatID
 
@@ -87,6 +88,9 @@ def lane_accurate_spmv(
             col = int(ts.tile_colidx[t])
             x_slice = x_pad[col * tile : (col + 1) * tile]
             y_partial += _tile_kernel(fmt, tile_matrix.payloads[fmt], int(local_idx[t]), x_slice, tile)
+        inj = faults.active_injector()
+        if inj is not None:
+            y_partial = inj.maybe_drop_lane(y_partial)
         base = row * tile
         rows = min(tile, ts.m - base)
         # atomicAdd of the warp's partial into global y (split tile rows

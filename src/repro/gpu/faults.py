@@ -1,0 +1,222 @@
+"""Deterministic fault injection for the simulated GPU substrate.
+
+A :class:`FaultPlan` describes *what* can go wrong (payload value
+corruption in the vectorised kernels, bit flips on shared-memory loads,
+dropped atomic contributions, lane drop-out in the lane-accurate
+executor) and *how much* of it (a total injection budget).  Installing a
+plan with :func:`fault_injection` arms a seeded :class:`FaultInjector`;
+the hooks in :mod:`repro.gpu.memory`, :mod:`repro.gpu.warp`,
+:mod:`repro.gpu.executor`, :mod:`repro.core.storage` and
+:mod:`repro.baselines.csr5` consult it on every run.
+
+Design rules the reliability layer depends on:
+
+* **Deterministic** — all randomness comes from one ``default_rng(seed)``
+  consumed in execution order, so a test run is exactly reproducible.
+* **Budgeted** — ``max_faults`` bounds the total number of injections.
+  With the default budget of 1, the first protected kernel run is
+  corrupted and the retry is clean, which is how
+  :class:`~repro.reliability.reliable.ReliableSpMV` proves its
+  detect-then-retry ladder.  An exhausted (or suppressed) injector is a
+  no-op.
+* **Detectable by construction** — every injected value perturbation has
+  magnitude at least ``min_magnitude`` above the entry's own scale, far
+  beyond the ABFT verifier's roundoff tolerance, so a caught fault is
+  a true positive and a missed one is a real bug.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "fault_injection",
+    "active_injector",
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Configuration of a deterministic fault-injection campaign.
+
+    Attributes
+    ----------
+    seed:
+        Seed of the injector's RNG stream.
+    payload_corruptions:
+        Entries corrupted per protected vectorised kernel call
+        (``TileMatrix.spmv/spmm``, ``Csr5SpMV.spmv/spmm``), budget
+        permitting.
+    bitflip_prob:
+        Per-call probability that a :class:`~repro.gpu.memory.SharedMemory`
+        load returns one word with a flipped high-order mantissa bit.
+    drop_atomic_prob:
+        Per-call probability that an ``atomicAdd`` silently loses one
+        active lane's contribution.
+    lane_dropout_prob:
+        Per-warp probability that the lane-accurate executor drops one
+        lane's partial result.
+    max_faults:
+        Total injection budget across all hooks; ``None`` is unbounded.
+        The default of 1 corrupts exactly one run, so a retry succeeds.
+    min_magnitude:
+        Lower bound on the absolute size of any injected value
+        perturbation (guarantees ABFT detectability).
+    """
+
+    seed: int = 0
+    payload_corruptions: int = 1
+    bitflip_prob: float = 0.0
+    drop_atomic_prob: float = 0.0
+    lane_dropout_prob: float = 0.0
+    max_faults: int | None = 1
+    min_magnitude: float = 1e3
+
+
+@dataclass
+class FaultInjector:
+    """Runtime state of an armed :class:`FaultPlan`."""
+
+    plan: FaultPlan
+    rng: np.random.Generator = field(init=False)
+    injected: int = 0
+    by_kind: dict = field(default_factory=dict)
+    _suppressed: int = 0
+
+    def __post_init__(self) -> None:
+        self.rng = np.random.default_rng(self.plan.seed)
+
+    # -- budget ----------------------------------------------------------
+
+    def _take(self, kind: str, n: int = 1) -> int:
+        """Consume up to ``n`` units of budget; returns what was granted."""
+        if self._suppressed:
+            return 0
+        if self.plan.max_faults is not None:
+            n = min(n, self.plan.max_faults - self.injected)
+        if n <= 0:
+            return 0
+        self.injected += n
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + n
+        return n
+
+    @property
+    def exhausted(self) -> bool:
+        return (
+            self.plan.max_faults is not None
+            and self.injected >= self.plan.max_faults
+        )
+
+    @contextmanager
+    def suppressed(self):
+        """No faults fire inside this context (the trusted fallback path)."""
+        self._suppressed += 1
+        try:
+            yield
+        finally:
+            self._suppressed -= 1
+
+    # -- hooks -----------------------------------------------------------
+
+    def corrupt_payload(self, values: np.ndarray, kind: str = "payload") -> np.ndarray:
+        """Return ``values`` with up to ``payload_corruptions`` entries hit.
+
+        The perturbation is additive with magnitude
+        ``max(min_magnitude, 8|v|)`` and a random sign — large enough
+        that the ABFT column-checksum residual always exceeds its
+        roundoff tolerance.  The input array is never mutated.
+        """
+        if values.size == 0 or self.plan.payload_corruptions <= 0:
+            return values
+        n = self._take(kind, min(self.plan.payload_corruptions, values.size))
+        if n == 0:
+            return values
+        out = values.copy()
+        idx = self.rng.choice(values.size, size=n, replace=False)
+        sign = self.rng.choice((-1.0, 1.0), size=n)
+        bump = np.maximum(self.plan.min_magnitude, 8.0 * np.abs(out[idx]))
+        out[idx] = out[idx] + sign * bump
+        return out
+
+    def maybe_bitflip(self, words: np.ndarray) -> np.ndarray:
+        """Shared-memory load corruption: flip one high mantissa bit.
+
+        Only float64 payloads are targeted; the flipped bit is drawn from
+        the top of the mantissa / the exponent (bits 44-62) so the value
+        change is macroscopic, never a silent last-ulp wiggle.
+        """
+        if (
+            words.size == 0
+            or self.plan.bitflip_prob <= 0.0
+            or words.dtype != np.float64
+            or self.rng.random() >= self.plan.bitflip_prob
+            or self._take("bitflip") == 0
+        ):
+            return words
+        out = words.copy()
+        i = int(self.rng.integers(out.size))
+        bit = int(self.rng.integers(44, 63))
+        raw = out.view(np.uint64)
+        raw[i] ^= np.uint64(1) << np.uint64(bit)
+        return out
+
+    def drop_atomic_lane(self, active: np.ndarray) -> np.ndarray:
+        """Dropped atomic: silently deactivate one participating lane."""
+        if (
+            self.plan.drop_atomic_prob <= 0.0
+            or not active.any()
+            or self.rng.random() >= self.plan.drop_atomic_prob
+            or self._take("drop_atomic") == 0
+        ):
+            return active
+        out = active.copy()
+        victims = np.flatnonzero(out)
+        out[victims[int(self.rng.integers(victims.size))]] = False
+        return out
+
+    def maybe_drop_lane(self, y_partial: np.ndarray) -> np.ndarray:
+        """Executor lane drop-out: one slot of a warp's partial y lost."""
+        if (
+            y_partial.size == 0
+            or self.plan.lane_dropout_prob <= 0.0
+            or self.rng.random() >= self.plan.lane_dropout_prob
+            or self._take("lane_dropout") == 0
+        ):
+            return y_partial
+        out = y_partial.copy()
+        out[int(self.rng.integers(out.size))] = 0.0
+        return out
+
+    def stats(self) -> dict:
+        return {"injected": self.injected, "by_kind": dict(self.by_kind)}
+
+
+_ACTIVE: FaultInjector | None = None
+
+
+def active_injector() -> FaultInjector | None:
+    """The currently armed injector, or ``None`` (the common fast path)."""
+    return _ACTIVE
+
+
+@contextmanager
+def fault_injection(plan: FaultPlan):
+    """Arm ``plan`` for the duration of the context; yields the injector.
+
+    Nesting is rejected — overlapping campaigns would interleave RNG
+    streams and break determinism.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("fault injection is already active; nesting is not supported")
+    injector = FaultInjector(plan)
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = None

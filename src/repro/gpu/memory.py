@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.gpu import faults
+
 __all__ = ["SECTOR_BYTES", "coalesced_sectors", "coalesced_bytes", "SharedMemory"]
 
 SECTOR_BYTES = 32
@@ -67,7 +69,12 @@ class SharedMemory:
 
     def load(self, index: np.ndarray) -> np.ndarray:
         self.loads += 1
-        return self.data[np.asarray(index)]
+        out = self.data[np.asarray(index)]
+        inj = faults.active_injector()
+        if inj is not None and inj.plan.bitflip_prob > 0.0:
+            flipped = inj.maybe_bitflip(np.atleast_1d(out))
+            out = flipped if np.ndim(out) else flipped[0]
+        return out
 
     def store(self, index: np.ndarray, values: np.ndarray) -> None:
         self.stores += 1
@@ -80,6 +87,11 @@ class SharedMemory:
         if active is not None:
             idx = idx[active]
             vals = vals[active]
+        inj = faults.active_injector()
+        if inj is not None and idx.size:
+            kept = inj.drop_atomic_lane(np.ones(idx.size, dtype=bool))
+            idx = idx[kept]
+            vals = vals[kept]
         np.add.at(self.data, idx, vals)
         if idx.size == 0:
             return 0

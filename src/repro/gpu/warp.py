@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.gpu import faults
+
 __all__ = ["Warp", "FULL_MASK", "HALF_MASK", "WARP_SIZE"]
 
 WARP_SIZE = 32
@@ -135,6 +137,9 @@ class Warp:
         self.atomics += 1
         if active is None:
             active = np.ones(WARP_SIZE, dtype=bool)
+        inj = faults.active_injector()
+        if inj is not None:
+            active = inj.drop_atomic_lane(np.asarray(active, dtype=bool))
         idx = np.asarray(index)[active]
         vals = np.asarray(values)[active]
         np.add.at(target, idx, vals)

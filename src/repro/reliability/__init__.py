@@ -1,0 +1,52 @@
+"""Reliability layer: canonicalization, ABFT verification, fault injection.
+
+A serving system must *check* its inputs, *detect* when execution goes
+wrong, and *degrade gracefully* instead of failing.  The pieces:
+
+* :mod:`repro.reliability.validation` — the ``canonicalize_csr`` input
+  gate with ``strict`` / ``repair`` / ``trust`` policies and structured
+  :class:`MatrixValidationError` diagnostics.
+* :mod:`repro.reliability.abft` — Huang-Abraham column-checksum
+  verification of every SpMV/SpMM in O(n + m) extra work per product.
+* :mod:`repro.gpu.faults` (re-exported here) — deterministic, seeded
+  fault injection in the simulated GPU substrate, used by the test
+  suite to prove the ABFT layer catches real corruption.
+* :mod:`repro.reliability.reliable` — :class:`ReliableSpMV`, the
+  detect → retry (fresh plan) → reference-fallback execution wrapper
+  with per-stage counters.
+"""
+
+from repro.gpu.faults import FaultInjector, FaultPlan, active_injector, fault_injection
+from repro.reliability.abft import AbftChecksum
+from repro.reliability.validation import (
+    MAX_DIM,
+    CanonicalReport,
+    MatrixValidationError,
+    ValidationPolicy,
+    canonicalize_csr,
+)
+
+__all__ = [
+    "ValidationPolicy",
+    "MatrixValidationError",
+    "CanonicalReport",
+    "canonicalize_csr",
+    "MAX_DIM",
+    "AbftChecksum",
+    "FaultPlan",
+    "FaultInjector",
+    "fault_injection",
+    "active_injector",
+    "ReliableSpMV",
+    "ReliabilityError",
+]
+
+
+def __getattr__(name: str):
+    # ReliableSpMV pulls in the full core engine; importing it lazily
+    # keeps `repro.core -> repro.reliability.validation` cycle-free.
+    if name in ("ReliableSpMV", "ReliabilityError"):
+        from repro.reliability import reliable
+
+        return getattr(reliable, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

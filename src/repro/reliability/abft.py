@@ -1,0 +1,140 @@
+"""Algorithm-based fault tolerance (ABFT) for SpMV/SpMM.
+
+The classical Huang-Abraham column-checksum argument: augment ``A`` with
+the checksum row ``c = 1^T A`` (``c_j`` is the sum of column ``j``).
+Linearity then gives an end-to-end invariant on every product
+
+    sum(y) = 1^T (A x) = (1^T A) x = c . x
+
+that a corrupted value, a dropped atomic, a lost lane or a bit-flipped
+partial sum breaks with overwhelming probability.  The check costs
+O(nnz) *once* (building ``c``) and O(n + m) *per product* — two dot
+products — against the O(nnz) of the SpMV itself, so protection is
+cheap exactly where it matters (repeated products over one prepared
+matrix, the serving workload).
+
+Roundoff makes the invariant approximate: the two sides are different
+summation orders of the same ~nnz-term sum.  :class:`AbftChecksum`
+therefore compares the residual against a scale- and size-aware bound
+built from the *absolute* checksum ``r = 1^T |A|`` — the magnitude of
+the terms actually summed — not against the result's own magnitude,
+which cancellation can drive to zero.
+
+The modeled cost of the verification (checksum vector traffic + the two
+reductions) is exposed as a :class:`~repro.gpu.costmodel.RunCost` so
+protected engines report it honestly instead of hiding it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.gpu.costmodel import RunCost
+
+__all__ = ["AbftChecksum", "CHECK_SLACK"]
+
+# Safety factor over the roundoff bound.  Summing N float64 terms in any
+# order keeps the error under ~N * eps * sum|terms|; the slack covers
+# the constant without letting real corruption (orders of magnitude
+# larger by the FaultPlan's min_magnitude contract) slip through.
+CHECK_SLACK = 64.0
+
+
+@dataclass
+class AbftChecksum:
+    """Column checksums of one prepared matrix.
+
+    Attributes
+    ----------
+    col_sum:
+        ``c = 1^T A`` (length ``n``) — the verification vector.
+    col_abs_sum:
+        ``r = 1^T |A|`` (length ``n``) — the roundoff scale.
+    m, n, nnz:
+        Dimensions of the protected matrix.
+    """
+
+    col_sum: np.ndarray
+    col_abs_sum: np.ndarray
+    m: int
+    n: int
+    nnz: int
+
+    @classmethod
+    def from_csr(cls, csr: sp.csr_matrix) -> "AbftChecksum":
+        """Build checksums in O(nnz) from a canonical CSR matrix."""
+        m, n = csr.shape
+        indices = np.asarray(csr.indices, dtype=np.int64)
+        data = np.asarray(csr.data, dtype=np.float64)
+        col_sum = np.bincount(indices, weights=data, minlength=n)
+        col_abs_sum = np.bincount(indices, weights=np.abs(data), minlength=n)
+        return cls(
+            col_sum=col_sum[:n],
+            col_abs_sum=col_abs_sum[:n],
+            m=m,
+            n=n,
+            nnz=int(csr.nnz),
+        )
+
+    def tolerance(self, x: np.ndarray) -> np.ndarray:
+        """Roundoff bound on the residual for input ``x`` (per column).
+
+        ``CHECK_SLACK * (nnz + m) * eps * (r . |x|)``: the number of
+        terms in the doubly-summed comparison times machine epsilon
+        times the magnitude of what was summed.
+        """
+        scale = np.abs(x).T @ self.col_abs_sum  # scalar or (k,) for 2-D x
+        terms = max(self.nnz + self.m, 1)
+        eps = np.finfo(np.float64).eps
+        return CHECK_SLACK * terms * eps * np.maximum(scale, 1e-300)
+
+    def residual(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """``|sum(y) - c . x|`` per column (scalar for a vector product)."""
+        return np.abs(np.sum(y, axis=0) - self.col_sum @ x)
+
+    def verify(self, x: np.ndarray, y: np.ndarray) -> bool:
+        """Does ``y`` satisfy the checksum invariant for ``A @ x``?
+
+        Works for both SpMV (1-D ``x``/``y``) and SpMM (2-D, checked
+        per column).  Non-finite ``y`` always fails — an Inf/NaN that
+        cancelled through the sums is still a corruption.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if not np.isfinite(y).all():
+            return False
+        return bool(np.all(self.residual(x, y) <= self.tolerance(x)))
+
+    # -- accounting -------------------------------------------------------
+
+    def nbytes_model(self) -> int:
+        """Device footprint of the two checksum vectors."""
+        return 2 * 8 * self.n
+
+    def verify_cost(self, k: int = 1) -> RunCost:
+        """Modeled cost of one verification of a k-column product.
+
+        Streams the checksum vector once (it is k-independent) plus
+        ``y`` and ``x`` once per column, and executes the two
+        reductions' flops.  Pure overhead: ``useful_flops`` stays zero
+        so protected GFlops honestly reflect the paper's 2*nnz
+        convention on the *product* alone.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        flops = float(k * (2 * self.n + self.m))
+        return RunCost(
+            payload_bytes=float(8 * self.n),
+            x_gather_bytes=float(8 * self.n * k + 8 * self.m * k),
+            x_footprint_bytes=float(8 * self.n + 8 * self.m),
+            y_write_bytes=float(8 * k),
+            warp_instructions=flops / 32.0,
+            n_warps=max(1, -(-max(self.m, self.n) // 32)),
+            useful_flops=0.0,
+            executed_flops=flops,
+            kernel_launches=1,
+            label=f"ABFT-verify[k={k}]",
+        )

@@ -1,0 +1,269 @@
+"""Verified fallback execution: detect → retry → reference.
+
+:class:`ReliableSpMV` wraps the tiled engine with the full reliability
+ladder a serving deployment needs:
+
+1. **Canonicalize** the input matrix through
+   :func:`~repro.reliability.validation.canonicalize_csr` (policy-
+   controlled; repairs are counted).
+2. **Verify** every product with the ABFT column checksum
+   (:class:`~repro.reliability.abft.AbftChecksum`).
+3. On a checksum violation, **retry** with a fresh plan — the suspect
+   :class:`~repro.core.plancache.PlanCache` entry is invalidated first,
+   so a corrupted cached payload cannot poison the retry.
+4. If the retry still fails, **fall back** to the scalar CSR reference
+   engine — the trusted host-side path, outside the simulated GPU fault
+   domain — and verify *that* before returning.
+
+Per-stage counters (``verified_ok``, ``detected``, ``retries``,
+``fallbacks``, ``repairs``) expose the ladder's behaviour through
+:meth:`ReliableSpMV.describe` and the ``repro check`` CLI subcommand.
+The checksum overhead is charged in :meth:`ReliableSpMV.run_cost`, so
+the cost model prices the protection instead of pretending it is free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.baselines.csr_scalar import CsrScalarSpMV
+from repro.core.tilespmv import TileSpMV
+from repro.gpu import faults
+from repro.gpu.costmodel import RunCost
+from repro.reliability.abft import AbftChecksum
+from repro.reliability.validation import (
+    MatrixValidationError,
+    ValidationPolicy,
+    canonicalize_csr,
+)
+
+__all__ = ["ReliableSpMV", "ReliabilityError"]
+
+
+class ReliabilityError(RuntimeError):
+    """Even the reference fallback failed checksum verification.
+
+    This cannot happen for finite inputs — it indicates the protected
+    matrix or the verifier itself was corrupted in host memory.
+    """
+
+
+class ReliableSpMV:
+    """A :class:`~repro.core.tilespmv.TileSpMV` with the reliability ladder.
+
+    Parameters
+    ----------
+    matrix:
+        Any scipy sparse matrix; canonicalized per ``policy`` first.
+    policy:
+        :class:`~repro.reliability.validation.ValidationPolicy` for the
+        canonicalization gate (default ``repair``).
+    abft:
+        Enable checksum verification of every product.  With ``False``
+        the wrapper degrades to canonicalization + pass-through (no
+        verification, no retries).
+    max_retries:
+        Fresh-plan re-executions attempted after a detection before
+        falling back to the reference engine.
+    method, plan_cache, **tile_kwargs:
+        Forwarded to :class:`~repro.core.tilespmv.TileSpMV`.
+    """
+
+    def __init__(
+        self,
+        matrix: sp.spmatrix,
+        method: str = "adpt",
+        policy: ValidationPolicy | str = ValidationPolicy.REPAIR,
+        abft: bool = True,
+        max_retries: int = 1,
+        plan_cache=None,
+        **tile_kwargs,
+    ) -> None:
+        self.policy = ValidationPolicy.coerce(policy)
+        self.max_retries = int(max_retries)
+        self._method = method
+        self._tile_kwargs = dict(tile_kwargs)
+        self.plan_cache = plan_cache
+        self.counters = {
+            "verified_ok": 0,
+            "detected": 0,
+            "retries": 0,
+            "fallbacks": 0,
+            "repairs": 0,
+        }
+        csr, self.validation_report = canonicalize_csr(matrix, self.policy)
+        self.counters["repairs"] += self.validation_report.n_repairs
+        self._csr = csr
+        self.engine = TileSpMV(
+            csr, method=method, plan_cache=plan_cache, validation="trust", **tile_kwargs
+        )
+        self.checksum = AbftChecksum.from_csr(csr) if abft else None
+        self._reference: CsrScalarSpMV | None = None
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.engine.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.engine.nnz
+
+    @property
+    def method(self) -> str:
+        return self.engine.method
+
+    # -- the ladder --------------------------------------------------------
+
+    def _check_x(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if self.policy is not ValidationPolicy.TRUST and not np.isfinite(x).all():
+            bad = np.flatnonzero(~np.isfinite(x).reshape(x.shape[0], -1).all(axis=1))
+            raise MatrixValidationError(
+                "nonfinite",
+                f"input vector contains NaN/Inf at {bad.size} positions",
+                rows=bad,
+            )
+        return x
+
+    def _rebuild_engine(self) -> None:
+        """Fresh plan: drop the (suspect) cached entry, re-prepare."""
+        if self.plan_cache is not None and self.engine.plan_key is not None:
+            self.plan_cache.invalidate(self.engine.plan_key)
+        self.engine = TileSpMV(
+            self._csr,
+            method=self._method,
+            plan_cache=self.plan_cache,
+            validation="trust",
+            **self._tile_kwargs,
+        )
+
+    def _reference_engine(self) -> CsrScalarSpMV:
+        if self._reference is None:
+            self._reference = CsrScalarSpMV(self._csr, validation="trust")
+        return self._reference
+
+    def _fallback(self, x: np.ndarray, k: int | None) -> np.ndarray:
+        """The trusted host-side path, outside the fault domain."""
+        ref = self._reference_engine()
+        inj = faults.active_injector()
+
+        def run() -> np.ndarray:
+            if k is None:
+                return ref.spmv(x)
+            cols = [ref.spmv(x[:, j]) for j in range(k)]
+            return np.stack(cols, axis=1) if cols else np.zeros((self.shape[0], 0))
+
+        if inj is not None:
+            with inj.suppressed():
+                return run()
+        return run()
+
+    def _protected(self, x: np.ndarray, k: int | None) -> np.ndarray:
+        run = (lambda: self.engine.spmv(x)) if k is None else (lambda: self.engine.spmm(x))
+        y = run()
+        if self.checksum is None:
+            return y
+        if self.checksum.verify(x, y):
+            self.counters["verified_ok"] += 1
+            return y
+        self.counters["detected"] += 1
+        for _ in range(self.max_retries):
+            self._rebuild_engine()
+            self.counters["retries"] += 1
+            y = run()
+            if self.checksum.verify(x, y):
+                self.counters["verified_ok"] += 1
+                return y
+            self.counters["detected"] += 1
+        self.counters["fallbacks"] += 1
+        y = self._fallback(x, k)
+        if not self.checksum.verify(x, y):
+            raise ReliabilityError(
+                "reference fallback failed ABFT verification; "
+                "the matrix or checksum state is corrupted in host memory"
+            )
+        self.counters["verified_ok"] += 1
+        return y
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """y = A @ x, verified; retries and falls back as needed."""
+        x = self._check_x(x)
+        if x.shape != (self.shape[1],):
+            raise ValueError(f"x must have shape ({self.shape[1]},)")
+        return self._protected(x, None)
+
+    __matmul__ = spmv
+
+    def spmm(self, x: np.ndarray) -> np.ndarray:
+        """Y = A @ X for a dense block, verified per column."""
+        x = self._check_x(x)
+        if x.ndim != 2 or x.shape[0] != self.shape[1]:
+            raise ValueError(f"X must have shape ({self.shape[1]}, k)")
+        return self._protected(x, x.shape[1])
+
+    def update_values(self, values) -> "ReliableSpMV":
+        """Stream new values through the prepared plan, re-arming ABFT.
+
+        Accepts a same-pattern sparse matrix (canonicalized per the
+        wrapper's policy) or the length-``nnz`` value array in canonical
+        CSR order.  The checksums are rebuilt — they protect values, so
+        they must follow them.
+        """
+        if sp.issparse(values):
+            csr, report = canonicalize_csr(values, self.policy)
+            self.counters["repairs"] += report.n_repairs
+            self.engine.update_values(csr)
+            self._csr = csr
+        else:
+            data = np.asarray(values, dtype=np.float64)
+            if self.policy is not ValidationPolicy.TRUST and not np.isfinite(data).all():
+                raise MatrixValidationError(
+                    "nonfinite", "replacement values contain NaN/Inf"
+                )
+            self.engine.update_values(data)
+            self._csr = sp.csr_matrix(
+                (data, self._csr.indices, self._csr.indptr), shape=self._csr.shape
+            )
+        if self.checksum is not None:
+            self.checksum = AbftChecksum.from_csr(self._csr)
+        self._reference = None
+        return self
+
+    # -- accounting --------------------------------------------------------
+
+    def run_cost(self) -> RunCost:
+        """Engine cost plus the checksum verification overhead."""
+        cost = self.engine.run_cost()
+        if self.checksum is not None:
+            cost = cost + self.checksum.verify_cost(1)
+        cost.label = f"ReliableSpMV_{self.engine.method}"
+        return cost
+
+    def spmm_cost(self, k: int) -> RunCost:
+        cost = self.engine.spmm_cost(k)
+        if self.checksum is not None:
+            cost = cost + self.checksum.verify_cost(k)
+        cost.label = f"ReliableSpMV_{self.engine.method}[k={k}]"
+        return cost
+
+    def nbytes_model(self) -> int:
+        total = self.engine.nbytes_model()
+        if self.checksum is not None:
+            total += self.checksum.nbytes_model()
+        return total
+
+    def describe(self) -> str:
+        c = self.counters
+        lines = [self.engine.describe()]
+        lines.append(self.validation_report.describe())
+        lines.append(
+            "reliability: "
+            + ("ABFT on" if self.checksum is not None else "ABFT off")
+            + f", policy={self.policy.value}; "
+            f"verified_ok={c['verified_ok']} detected={c['detected']} "
+            f"retries={c['retries']} fallbacks={c['fallbacks']} repairs={c['repairs']}"
+        )
+        return "\n".join(lines)

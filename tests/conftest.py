@@ -64,3 +64,77 @@ def random_tile_entries(rng: np.random.Generator, tile: int = 16, nnz: int | Non
     lcol = (flat % tile).astype(np.uint8)
     val = rng.uniform(0.5, 1.5, size=nnz)
     return lrow, lcol, val
+
+
+# -- hostile matrices (reliability suite) ---------------------------------
+
+
+def hostile_matrices() -> list[tuple[str, sp.spmatrix]]:
+    """Adversarial inputs every public entry point must repair or reject.
+
+    Built with ``check_format`` disabled / raw array constructors so the
+    defects actually reach our gate instead of being caught by scipy.
+    """
+    cases: list[tuple[str, sp.spmatrix]] = []
+
+    unsorted = sp.csr_matrix(
+        (np.array([1.0, 2.0, 3.0, 4.0]), np.array([5, 1, 8, 0]), np.array([0, 2, 4])),
+        shape=(2, 10),
+    )
+    cases.append(("unsorted_indices", unsorted))
+
+    dup = sp.csr_matrix(
+        (np.array([1.0, 2.0, 3.0]), np.array([4, 4, 7]), np.array([0, 2, 3])),
+        shape=(2, 10),
+    )
+    cases.append(("duplicate_indices", dup))
+
+    nan_vals = sp.csr_matrix(
+        (np.array([np.nan, 2.0, 5.0]), np.array([0, 3, 6]), np.array([0, 1, 3])),
+        shape=(2, 10),
+    )
+    cases.append(("nan_values", nan_vals))
+
+    inf_vals = sp.csr_matrix(
+        (np.array([1.0, np.inf, -np.inf]), np.array([0, 3, 6]), np.array([0, 1, 3])),
+        shape=(2, 10),
+    )
+    cases.append(("inf_values", inf_vals))
+
+    oob = sp.csr_matrix((2, 10))
+    oob.indptr = np.array([0, 1, 2], dtype=np.int32)
+    oob.indices = np.array([3, 12], dtype=np.int32)  # 12 >= n
+    oob.data = np.array([1.0, 2.0])
+    cases.append(("out_of_range_column", oob))
+
+    negative = sp.csr_matrix((2, 10))
+    negative.indptr = np.array([0, 1, 2], dtype=np.int32)
+    negative.indices = np.array([-1, 4], dtype=np.int32)
+    negative.data = np.array([1.0, 2.0])
+    cases.append(("negative_column", negative))
+
+    everything = sp.csr_matrix((3, 10))
+    everything.indptr = np.array([0, 3, 5, 6], dtype=np.int32)
+    everything.indices = np.array([7, 2, 2, 11, 0, 5], dtype=np.int32)
+    everything.data = np.array([1.0, 2.0, 3.0, np.nan, 4.0, np.inf])
+    cases.append(("combined_defects", everything))
+
+    return cases
+
+
+def overflow_matrix() -> sp.spmatrix:
+    """Dimensions beyond the 32-bit device index limit (never repairable).
+
+    Kept COO so nothing allocates the multi-GiB indptr a CSR conversion
+    would require — the gate must reject it from the shape alone.
+    """
+    return sp.coo_matrix(
+        (np.array([1.0]), (np.array([5], dtype=np.int64), np.array([3], dtype=np.int64))),
+        shape=(2**31 + 7, 10),
+    )
+
+
+@pytest.fixture(params=hostile_matrices(), ids=[n for n, _ in hostile_matrices()])
+def hostile_matrix(request) -> tuple[str, sp.spmatrix]:
+    """(defect-name, matrix) pairs of adversarial inputs."""
+    return request.param
