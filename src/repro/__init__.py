@@ -33,8 +33,20 @@ from repro.reliability import (
     fault_injection,
 )
 from repro.reliability.reliable import ReliableSpMV
+from repro.serving import (
+    BreakerConfig,
+    CheckpointConfig,
+    CircuitBreaker,
+    RuntimeConfig,
+    ServingRuntime,
+    VerifiedOperator,
+    checkpointed_bicgstab,
+    checkpointed_cg,
+    checkpointed_pagerank,
+    synthetic_trace,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "TileSpMV",
@@ -55,5 +67,15 @@ __all__ = [
     "canonicalize_csr",
     "FaultPlan",
     "fault_injection",
+    "ServingRuntime",
+    "RuntimeConfig",
+    "CircuitBreaker",
+    "BreakerConfig",
+    "VerifiedOperator",
+    "CheckpointConfig",
+    "checkpointed_cg",
+    "checkpointed_bicgstab",
+    "checkpointed_pagerank",
+    "synthetic_trace",
     "__version__",
 ]

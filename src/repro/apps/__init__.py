@@ -11,6 +11,7 @@ from repro.apps.graph import (
     connected_component_sizes,
     make_transition,
     pagerank,
+    pagerank_step,
     personalized_pagerank,
 )
 from repro.apps.partition import NVLINK, PCIE4, Interconnect, PartitionedSpMV, row_block_partition
@@ -19,6 +20,7 @@ from repro.apps.solvers import (
     ScipyOperator,
     SolveResult,
     bicgstab,
+    denominator_breakdown,
     block_bicgstab,
     block_conjugate_gradient,
     conjugate_gradient,
@@ -36,7 +38,9 @@ __all__ = [
     "block_bicgstab",
     "jacobi",
     "power_iteration",
+    "denominator_breakdown",
     "pagerank",
+    "pagerank_step",
     "personalized_pagerank",
     "make_transition",
     "connected_component_sizes",

@@ -9,10 +9,24 @@ import scipy.sparse as sp
 
 __all__ = [
     "pagerank",
+    "pagerank_step",
     "personalized_pagerank",
     "make_transition",
     "connected_component_sizes",
 ]
+
+
+def pagerank_step(
+    engine, rank: np.ndarray, dangling: np.ndarray, seeds: np.ndarray, damping: float
+) -> np.ndarray:
+    """One damped power-iteration step: ``d·(P r + mass/n) + (1-d)·s``.
+
+    Shared by :func:`pagerank` and the checkpointed fault-tolerant
+    variant in :mod:`repro.serving.checkpoint`, so the two cannot drift.
+    ``seeds`` is the restart distribution (uniform for global PageRank).
+    """
+    spread = engine.spmv(rank) + rank[dangling].sum() / dangling.size
+    return damping * spread + (1.0 - damping) * seeds
 
 
 def pagerank(
@@ -30,9 +44,9 @@ def pagerank(
     """
     n = dangling.size
     rank = np.full(n, 1.0 / n)
+    uniform = np.full(n, 1.0 / n)
     for it in range(1, max_iter + 1):
-        spread = engine.spmv(rank) + rank[dangling].sum() / n
-        new = damping * spread + (1.0 - damping) / n
+        new = pagerank_step(engine, rank, dangling, uniform, damping)
         if np.abs(new - rank).sum() <= tol:
             return new, it
         rank = new

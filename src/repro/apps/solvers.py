@@ -30,7 +30,26 @@ __all__ = [
     "block_bicgstab",
     "jacobi",
     "power_iteration",
+    "denominator_breakdown",
 ]
+
+# Relative threshold under which a solver denominator counts as a
+# breakdown: |d| at or below this fraction of its factors' magnitudes is
+# numerically indistinguishable from zero, and dividing by it emits the
+# NaN/Inf iterates the reliability layer must never see.
+BREAKDOWN_RTOL = 64.0 * np.finfo(np.float64).eps
+
+
+def denominator_breakdown(value: float, scale: float) -> bool:
+    """Is ``value`` (a solver denominator) effectively zero at ``scale``?
+
+    ``scale`` is the product of the norms of the vectors whose inner
+    product produced ``value`` (the natural magnitude of its terms).
+    Non-finite denominators always count as broken.
+    """
+    if not np.isfinite(value):
+        return True
+    return abs(value) <= BREAKDOWN_RTOL * scale
 
 
 class ScipyOperator:
@@ -59,13 +78,21 @@ def _spmm(engine, x: np.ndarray) -> np.ndarray:
 
 @dataclass
 class SolveResult:
-    """Outcome of an iterative solve."""
+    """Outcome of an iterative solve.
+
+    ``breakdown`` flags the structured failure mode: a near-zero solver
+    denominator (CG's ``p·Ap``, BiCGSTAB's ``rho``/``r_hat·v``/``omega``)
+    was caught *before* it divided into NaN iterates; ``x`` holds the
+    last finite iterate and ``breakdown_reason`` names the denominator.
+    """
 
     x: np.ndarray
     iterations: int
     residual_norm: float
     converged: bool
     spmv_calls: int
+    breakdown: bool = False
+    breakdown_reason: str = ""
 
 
 def _bnorm(b: np.ndarray) -> float:
@@ -87,12 +114,21 @@ def conjugate_gradient(
         ap = engine.spmv(p)
         calls += 1
         denom = float(p @ ap)
-        if denom == 0.0:
-            return SolveResult(x, it, np.sqrt(rs), False, calls)
+        if denominator_breakdown(denom, float(np.linalg.norm(p) * np.linalg.norm(ap))):
+            return SolveResult(
+                x, it, np.sqrt(rs), False, calls,
+                breakdown=True, breakdown_reason="pAp",
+            )
         alpha = rs / denom
-        x = x + alpha * p
-        r = r - alpha * ap
-        rs_new = float(r @ r)
+        x_new = x + alpha * p
+        r_new = r - alpha * ap
+        rs_new = float(r_new @ r_new)
+        if not np.isfinite(rs_new):
+            return SolveResult(
+                x, it, np.sqrt(rs), False, calls,
+                breakdown=True, breakdown_reason="nonfinite_residual",
+            )
+        x, r = x_new, r_new
         if np.sqrt(rs_new) <= tol * bn:
             return SolveResult(x, it, np.sqrt(rs_new), True, calls)
         p = r + (rs_new / rs) * p
@@ -112,15 +148,25 @@ def bicgstab(
     v = np.zeros_like(b)
     p = np.zeros_like(b)
     bn = _bnorm(b)
+    rhat_norm = float(np.linalg.norm(r_hat))
     for it in range(1, max_iter + 1):
         rho_new = float(r_hat @ r)
-        if rho_new == 0.0:
-            return SolveResult(x, it, float(np.linalg.norm(r)), False, calls)
+        if denominator_breakdown(rho_new, rhat_norm * float(np.linalg.norm(r))):
+            return SolveResult(
+                x, it, float(np.linalg.norm(r)), False, calls,
+                breakdown=True, breakdown_reason="rho",
+            )
         beta = (rho_new / rho) * (alpha / omega) if it > 1 else 0.0
         p = r + beta * (p - omega * v) if it > 1 else r.copy()
         v = engine.spmv(p)
         calls += 1
-        alpha = rho_new / float(r_hat @ v)
+        rv = float(r_hat @ v)
+        if denominator_breakdown(rv, rhat_norm * float(np.linalg.norm(v))):
+            return SolveResult(
+                x, it, float(np.linalg.norm(r)), False, calls,
+                breakdown=True, breakdown_reason="rhat_v",
+            )
+        alpha = rho_new / rv
         s = r - alpha * v
         if np.linalg.norm(s) <= tol * bn:
             x = x + alpha * p
@@ -131,8 +177,21 @@ def bicgstab(
         omega = float(t @ s) / tt if tt > 0 else 0.0
         x = x + alpha * p + omega * s
         r = s - omega * t
-        if np.linalg.norm(r) <= tol * bn:
-            return SolveResult(x, it, float(np.linalg.norm(r)), True, calls)
+        res = float(np.linalg.norm(r))
+        if not np.isfinite(res):
+            return SolveResult(
+                x - alpha * p - omega * s, it, float(np.linalg.norm(s)), False,
+                calls, breakdown=True, breakdown_reason="nonfinite_residual",
+            )
+        if res <= tol * bn:
+            return SolveResult(x, it, res, True, calls)
+        if denominator_breakdown(omega, 1.0):
+            # omega ~ 0 leaves the next iteration's beta = rho'/rho *
+            # alpha/omega dividing by zero; stop with the state intact.
+            return SolveResult(
+                x, it, res, False, calls,
+                breakdown=True, breakdown_reason="omega",
+            )
         rho = rho_new
     return SolveResult(x, max_iter, float(np.linalg.norm(r)), False, calls)
 
@@ -146,6 +205,7 @@ class BlockSolveResult:
     residual_norms: np.ndarray  # (k,) final residual norms
     converged: np.ndarray  # (k,) bool
     spmm_calls: int
+    breakdown: np.ndarray | None = None  # (k,) bool: frozen on a near-zero denominator
 
 
 def _bnorms(b: np.ndarray) -> np.ndarray:
@@ -181,19 +241,28 @@ def block_conjugate_gradient(
     converged = np.sqrt(rs) <= tol * bn
     active &= ~converged
     iterations = np.zeros(k, dtype=np.int64)
+    breakdown = np.zeros(k, dtype=bool)
     for it in range(1, max_iter + 1):
         if not active.any():
             break
         ap = _spmm(engine, p)
         calls += 1
         denom = np.einsum("ij,ij->j", p, ap)
-        broken = active & (denom == 0.0)
+        scale = np.linalg.norm(p, axis=0) * np.linalg.norm(ap, axis=0)
+        broken = active & (~np.isfinite(denom) | (np.abs(denom) <= BREAKDOWN_RTOL * scale))
+        breakdown |= broken
         active &= ~broken
         iterations[broken] = it
-        alpha = np.where(active, rs / np.where(denom == 0.0, 1.0, denom), 0.0)
+        safe = np.where(broken | (denom == 0.0), 1.0, denom)
+        alpha = np.where(active, rs / safe, 0.0)
         x += alpha * p
         r -= alpha * ap
         rs_new = np.einsum("ij,ij->j", r, r)
+        blown = active & ~np.isfinite(rs_new)
+        breakdown |= blown
+        active &= ~blown
+        iterations[blown] = it
+        rs_new = np.where(blown, rs, rs_new)
         done = active & (np.sqrt(rs_new) <= tol * bn)
         converged |= done
         iterations[done] = it
@@ -202,7 +271,7 @@ def block_conjugate_gradient(
         beta = np.where(active, rs_new / np.where(rs == 0.0, 1.0, rs), 0.0)
         p = r + beta * p
         rs = rs_new
-    return BlockSolveResult(x, iterations, np.sqrt(rs), converged, calls)
+    return BlockSolveResult(x, iterations, np.sqrt(rs), converged, calls, breakdown)
 
 
 def block_bicgstab(
@@ -231,11 +300,17 @@ def block_bicgstab(
     converged = res <= tol * bn
     active = ~converged
     iterations = np.zeros(k, dtype=np.int64)
+    breakdown = np.zeros(k, dtype=bool)
+    rhat_norm = np.linalg.norm(r_hat, axis=0)
     for it in range(1, max_iter + 1):
         if not active.any():
             break
         rho_new = np.einsum("ij,ij->j", r_hat, r)
-        broken = active & (rho_new == 0.0)
+        rho_scale = rhat_norm * np.linalg.norm(r, axis=0)
+        broken = active & (
+            ~np.isfinite(rho_new) | (np.abs(rho_new) <= BREAKDOWN_RTOL * rho_scale)
+        )
+        breakdown |= broken
         active &= ~broken
         iterations[broken] = it
         if it > 1:
@@ -249,6 +324,12 @@ def block_bicgstab(
         calls += 1
         v = np.where(active, v_new, v)
         rv = np.einsum("ij,ij->j", r_hat, v)
+        rv_broken = active & (
+            ~np.isfinite(rv) | (np.abs(rv) <= BREAKDOWN_RTOL * rhat_norm * np.linalg.norm(v, axis=0))
+        )
+        breakdown |= rv_broken
+        active &= ~rv_broken
+        iterations[rv_broken] = it
         alpha = np.where(active, rho_new / _nz(rv), 0.0)
         s = r - alpha * v
         s_norm = np.linalg.norm(s, axis=0)
@@ -272,8 +353,14 @@ def block_bicgstab(
         iterations[done] = it
         active &= ~done
         iterations[active] = it
+        # omega ~ 0 poisons the next beta (alpha/omega); freeze the column.
+        om_broken = active & (
+            ~np.isfinite(res_new) | (np.abs(omega) <= BREAKDOWN_RTOL)
+        )
+        breakdown |= om_broken
+        active &= ~om_broken
         rho = rho_new
-    return BlockSolveResult(x, iterations, res, converged, calls)
+    return BlockSolveResult(x, iterations, res, converged, calls, breakdown)
 
 
 def _nz(a: np.ndarray) -> np.ndarray:

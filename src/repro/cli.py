@@ -10,6 +10,10 @@ Working with your own matrices (Matrix Market files):
     python -m repro batch matrix.mtx [--k 32] [--device a100]
     python -m repro inspect matrix.mtx
     python -m repro check matrix.mtx [--policy strict] [--faults --seed 7]
+
+Serving simulation (synthetic trace through the self-healing runtime):
+
+    python -m repro serve-sim [--requests 120] [--overload] [--faults 6]
 """
 
 from __future__ import annotations
@@ -185,6 +189,86 @@ def _cmd_check(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve_sim(args) -> int:
+    """Replay a synthetic request trace through the serving runtime."""
+    from repro.gpu.faults import FaultPlan, fault_injection
+    from repro.matrices import banded, power_law, random_uniform, stencil_2d
+    from repro.serving import BreakerConfig, RuntimeConfig, ServingRuntime, synthetic_trace
+
+    rt = ServingRuntime(
+        RuntimeConfig(
+            queue_limit=args.queue_limit,
+            device=_DEVICES[args.device],
+            plan_cache_capacity=max(2, args.matrices // 2),
+            breaker=BreakerConfig(failure_threshold=2, cooldown_seconds=1e-4),
+        )
+    )
+    gens = [stencil_2d, power_law, banded, random_uniform]
+    n = 96 + 32 * (args.seed % 3)
+    for i in range(args.matrices):
+        gen = gens[i % len(gens)]
+        if gen is stencil_2d:
+            m = gen(12 + 2 * i, seed=args.seed + i)
+        elif gen is banded:
+            m = gen(n + 16 * i, 6, seed=args.seed + i)
+        elif gen is random_uniform:
+            m = gen(n + 16 * i, n + 16 * i, 5.0, seed=args.seed + i)
+        else:
+            m = gen(n + 16 * i, seed=args.seed + i)
+        rt.register(f"m{i}", m)
+    ids = [f"m{i}" for i in range(args.matrices)]
+    est = rt.estimate(ids[0])
+    base = est["no_arbitration"] if est["no_arbitration"] is not None else est["full"]
+    mean_gap = base * (0.2 if args.overload else 2.0)
+    trace = synthetic_trace(
+        ids,
+        n_requests=args.requests,
+        seed=args.seed,
+        mean_interarrival=mean_gap,
+        burst_prob=0.25 if args.overload else 0.1,
+        deadline_range=(0.8 * base, 8.0 * base),
+    )
+    if args.faults:
+        plan = FaultPlan(
+            seed=args.fault_seed, payload_corruptions=2, max_faults=args.faults
+        )
+        with fault_injection(plan) as injector:
+            outcomes = rt.run_trace(trace)
+        print(f"fault campaign: injected={injector.injected} (budget {args.faults})")
+    else:
+        outcomes = rt.run_trace(trace)
+
+    print(rt.describe())
+    served = [o for o in outcomes if o.status == "served"]
+    unverified = [o for o in served if not o.verified]
+    lat = sorted(o.latency for o in served)
+    if lat:
+        p50 = lat[len(lat) // 2]
+        p99 = lat[min(len(lat) - 1, int(0.99 * len(lat)))]
+        print(f"latency (modelled): p50={p50 * 1e6:.2f} us  p99={p99 * 1e6:.2f} us")
+    print(f"unverified results returned: {len(unverified)}")
+
+    if args.json:
+        import json
+        from pathlib import Path
+
+        stats = rt.stats()
+        stats.pop("breakers", None)
+        payload = {
+            "requests": args.requests,
+            "seed": args.seed,
+            "overload": args.overload,
+            "faults": args.faults,
+            "stats": stats,
+            "p50_latency": lat[len(lat) // 2] if lat else None,
+            "p99_latency": lat[min(len(lat) - 1, int(0.99 * len(lat)))] if lat else None,
+            "unverified": len(unverified),
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[json written to {args.json}]")
+    return 0 if not unverified else 1
+
+
 def _cmd_verify(args) -> int:
     from repro.experiments.verify import run_verification
     from repro.analysis.tables import format_table
@@ -277,6 +361,24 @@ def main(argv: list[str] | None = None) -> int:
                          help="also run one fault-injected product and show the recovery")
     p_check.add_argument("--seed", type=int, default=7, help="fault-injection seed")
     p_check.set_defaults(func=_cmd_check)
+
+    p_serve = sub.add_parser(
+        "serve-sim",
+        help="replay a synthetic request trace through the self-healing serving runtime",
+    )
+    p_serve.add_argument("--requests", type=int, default=120, help="trace length")
+    p_serve.add_argument("--matrices", type=int, default=4, help="fleet size")
+    p_serve.add_argument("--seed", type=int, default=0, help="trace/matrix seed")
+    p_serve.add_argument("--queue-limit", type=int, default=16)
+    p_serve.add_argument("--device", default="a100", choices=sorted(_DEVICES))
+    p_serve.add_argument("--overload", action="store_true",
+                         help="push arrivals past capacity to exercise shedding")
+    p_serve.add_argument("--faults", type=int, default=0, metavar="N",
+                         help="arm a fault campaign with budget N during the trace")
+    p_serve.add_argument("--fault-seed", type=int, default=7)
+    p_serve.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the summary as JSON")
+    p_serve.set_defaults(func=_cmd_serve_sim)
 
     p_verify = sub.add_parser("verify", help="run the end-to-end cross-validation sweep")
     p_verify.set_defaults(func=_cmd_verify)

@@ -182,6 +182,16 @@ class PlanCache:
         plan.tilings_saved += 1
         return plan
 
+    def peek(self, key: str) -> CachedPlan | None:
+        """Look up a plan without touching counters or the LRU order.
+
+        The serving runtime's degradation ladder uses this to ask "could
+        this request be served from an already-built plan?" while
+        deciding a tier — an admission probe, not a service, so it must
+        not inflate the hit rate or refresh recency.
+        """
+        return self._entries.get(key)
+
     def put(self, key: str, plan: CachedPlan) -> None:
         """Insert (or replace) a plan, evicting the least recently used."""
         self._entries[key] = plan

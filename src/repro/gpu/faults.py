@@ -67,6 +67,13 @@ class FaultPlan:
     min_magnitude:
         Lower bound on the absolute size of any injected value
         perturbation (guarantees ABFT detectability).
+    solver_state_corruptions:
+        Entries corrupted per solver iterate offered to
+        :meth:`FaultInjector.corrupt_solver_state` — host-memory faults
+        in the solver's own vectors (x, r, the PageRank rank), which no
+        per-product checksum can see.  Only the checkpointed solvers'
+        watchdogs and consistency checks catch these; the default of 0
+        keeps every per-kernel campaign byte-identical to before.
     """
 
     seed: int = 0
@@ -76,6 +83,7 @@ class FaultPlan:
     lane_dropout_prob: float = 0.0
     max_faults: int | None = 1
     min_magnitude: float = 1e3
+    solver_state_corruptions: int = 0
 
 
 @dataclass
@@ -138,6 +146,29 @@ class FaultInjector:
             return values
         out = values.copy()
         idx = self.rng.choice(values.size, size=n, replace=False)
+        sign = self.rng.choice((-1.0, 1.0), size=n)
+        bump = np.maximum(self.plan.min_magnitude, 8.0 * np.abs(out[idx]))
+        out[idx] = out[idx] + sign * bump
+        return out
+
+    def corrupt_solver_state(self, vec: np.ndarray) -> np.ndarray:
+        """Host-memory corruption of a solver iterate between iterations.
+
+        The fault class that escapes per-product ABFT entirely: the
+        product was correct, but the vector holding it rots afterwards.
+        Same additive-magnitude contract as :meth:`corrupt_payload`, so
+        the checkpointed solvers' divergence watchdog and checkpoint
+        consistency checks are guaranteed to see a macroscopic change.
+        Disarmed (``solver_state_corruptions == 0``) this touches no RNG
+        state, keeping pre-existing campaign streams reproducible.
+        """
+        if vec.size == 0 or self.plan.solver_state_corruptions <= 0:
+            return vec
+        n = self._take("solver_state", min(self.plan.solver_state_corruptions, vec.size))
+        if n == 0:
+            return vec
+        out = vec.copy()
+        idx = self.rng.choice(vec.size, size=n, replace=False)
         sign = self.rng.choice((-1.0, 1.0), size=n)
         bump = np.maximum(self.plan.min_magnitude, 8.0 * np.abs(out[idx]))
         out[idx] = out[idx] + sign * bump

@@ -115,6 +115,16 @@ class ReliableSpMV:
     def method(self) -> str:
         return self.engine.method
 
+    @property
+    def plan_key(self) -> str | None:
+        """The engine's structural fingerprint (``None`` without a cache).
+
+        The serving layer keys its circuit breakers on this, so repeated
+        failures against one cached plan trip the breaker for exactly
+        the matrices sharing that plan and no others.
+        """
+        return self.engine.plan_key
+
     # -- the ladder --------------------------------------------------------
 
     def _check_x(self, x: np.ndarray) -> np.ndarray:

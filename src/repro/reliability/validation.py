@@ -265,6 +265,24 @@ def canonicalize_csr(
         out = coo.tocsr()  # sums duplicates, sorts indices
         out.sort_indices()
         report.merged_duplicates = int(nnz_before_merge - out.nnz)
+        # Summing duplicates can itself create non-finite values (two
+        # huge finite entries overflowing to Inf, or +Inf/-Inf pairs
+        # collapsing to NaN) *after* the pre-merge inspection above, so
+        # the merged payload must be re-checked or it silently poisons
+        # the ABFT checksums downstream.  Strict never reaches this
+        # branch (it raised on the duplicates already), so drop & count.
+        merged_bad = ~np.isfinite(out.data)
+        if merged_bad.any():
+            out_coo = out.tocoo()
+            keep2 = ~merged_bad
+            rows = out_coo.row[merged_bad].astype(np.int64)
+            out = sp.csr_matrix(
+                (out_coo.data[keep2], (out_coo.row[keep2], out_coo.col[keep2])),
+                shape=(m, n),
+            )
+            out.sort_indices()
+            report.dropped_nonfinite += int(merged_bad.sum())
+            bad_rows.append(rows)
     else:
         out = sp.csr_matrix((data, indices, indptr), shape=(m, n))
         if not out.has_sorted_indices:

@@ -1,0 +1,377 @@
+"""Self-healing serving runtime: deadlines, admission control, degradation.
+
+:class:`ServingRuntime` turns the per-product reliability ladder of
+:class:`~repro.reliability.reliable.ReliableSpMV` into a *service*: a
+single-server queue on a *virtual clock* whose time comes from the cost
+model (:meth:`RunCost.time` on the configured device) plus deterministic
+plan-build surcharges — never wall time, so every trace replays
+byte-identically.
+
+Per request, in order:
+
+1. **Admission** — arrivals find the queue; ``queue_limit`` waiting
+   requests is a hard bound, beyond it the request is shed
+   (``queue_full``) rather than accepted into a queue it cannot clear.
+2. **Circuit breaker** — one :class:`~repro.serving.breaker.CircuitBreaker`
+   per *plan* (structural fingerprint).  An open breaker denies the
+   tiled fast path and routes to the verified scalar fallback; after a
+   cooldown, half-open probes earn the fast path back.
+3. **Degradation ladder** — the cheapest-quality level that fits the
+   remaining deadline budget wins, preferring quality:
+
+   ====  ================  ==================================================
+   lvl   name              modelled service time
+   ====  ================  ==================================================
+   0     full              per-request arbitration (+ build if plan absent)
+                           + fast product
+   1     no_arbitration    build without arbitration + fast — only *needed*
+                           when the plan is absent
+   2     cached_plan       fast only — admissible iff the plan is in cache
+   3     scalar            verified scalar reference (no plan needed)
+   ====  ================  ==================================================
+
+   Full quality re-validates the method choice against the cost model
+   on every request; the first downgrade serves on the previously
+   arbitrated choice, the second trusts the cached plan outright, and
+   the last abandons the tiled path.  Levels 1 and 2 are complementary:
+   a cold plan makes ``cached_plan`` inadmissible, a warm plan makes
+   ``no_arbitration`` pointless (nothing to build).  The scalar rung is
+   *slower* than the fast path but needs no plan and lives outside the
+   simulated fault domain — it is the trust rung, not the speed rung.
+   If nothing fits the budget the request is shed (``deadline``): the
+   runtime never serves a request it already knows will blow its
+   deadline, and it **never returns an unverified result** at any rung.
+4. **Execution + accounting** — fast rungs run through
+   ``ReliableSpMV`` (every product ABFT-verified; detections retried
+   against a fresh plan, then referenced).  Detections and recovery
+   work are read off the wrapper's counters and charged to the virtual
+   clock, so a fault storm shows up as deadline misses — which is
+   exactly what trips the breaker.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.csr_scalar import CsrScalarSpMV
+from repro.core.plancache import PlanCache
+from repro.gpu import faults
+from repro.gpu.device import A100, TITAN_RTX, DeviceSpec
+from repro.reliability.reliable import ReliabilityError, ReliableSpMV
+from repro.reliability.validation import ValidationPolicy
+from repro.serving.breaker import BreakerConfig, BreakerState, CircuitBreaker
+from repro.serving.trace import Request
+
+__all__ = ["RuntimeConfig", "RequestOutcome", "ServingRuntime", "LEVEL_NAMES"]
+
+LEVEL_NAMES = ("full", "no_arbitration", "cached_plan", "scalar")
+
+_DEVICES: dict[str, DeviceSpec] = {"A100": A100, "TITAN_RTX": TITAN_RTX}
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Serving knobs (all times in modelled seconds).
+
+    ``build_base_seconds`` / ``build_seconds_per_nnz`` price a plan
+    build deterministically (wall time would break replay);
+    ``arbitration_factor`` scales that for level 0, which additionally
+    cost-models every candidate method before building one.
+    """
+
+    queue_limit: int = 32
+    device: str = "A100"
+    build_base_seconds: float = 2e-5
+    build_seconds_per_nnz: float = 2e-9
+    arbitration_factor: float = 2.0
+    plan_cache_capacity: int = 16
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if self.device not in _DEVICES:
+            raise ValueError(f"unknown device {self.device!r}; choose from {sorted(_DEVICES)}")
+        if self.arbitration_factor < 1.0:
+            raise ValueError("arbitration_factor must be >= 1")
+
+
+@dataclass
+class RequestOutcome:
+    """What happened to one request, on the virtual clock."""
+
+    rid: int
+    matrix_id: str
+    status: str                # "served" | "shed"
+    level: int = -1            # ladder rung served at; -1 when shed
+    level_name: str = ""
+    shed_reason: str = ""      # "queue_full" | "deadline"
+    arrival: float = 0.0
+    start: float = 0.0
+    completion: float = 0.0
+    deadline: float = math.inf
+    deadline_met: bool = False
+    queue_depth: int = 0
+    detected: int = 0          # ABFT detections during service
+    recovered: int = 0         # retries + reference fallbacks that fixed them
+    breaker_forced: bool = False  # scalar because the breaker denied fast
+    verified: bool = False
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.arrival
+
+
+class _Served:
+    """Registration record: engine, scalar twin, costs, breaker key."""
+
+    def __init__(self, matrix_id: str, engine: ReliableSpMV, device: DeviceSpec,
+                 config: RuntimeConfig) -> None:
+        self.matrix_id = matrix_id
+        self.engine = engine
+        self.scalar = CsrScalarSpMV(engine._csr, validation="trust")
+        self.plan_key = engine.plan_key or matrix_id
+        self.t_fast = engine.run_cost().time(device)
+        scalar_cost = self.scalar.run_cost() + engine.checksum.verify_cost(1)
+        self.t_scalar = scalar_cost.time(device)
+        self.build_surcharge = (
+            config.build_base_seconds + config.build_seconds_per_nnz * engine.nnz
+        )
+        self.arb_surcharge = config.arbitration_factor * self.build_surcharge
+
+
+class ServingRuntime:
+    """Single-server virtual-clock SpMV service over registered matrices."""
+
+    def __init__(self, config: RuntimeConfig | None = None,
+                 plan_cache: PlanCache | None = None) -> None:
+        self.config = config or RuntimeConfig()
+        self.device = _DEVICES[self.config.device]
+        self.plan_cache = plan_cache or PlanCache(self.config.plan_cache_capacity)
+        self._matrices: dict[str, _Served] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self.now = 0.0
+        self.busy_until = 0.0
+        self._in_flight: deque[float] = deque()  # completion times of queued work
+        self.counters = {
+            "submitted": 0,
+            "served": 0,
+            "shed_queue_full": 0,
+            "shed_deadline": 0,
+            "deadline_misses": 0,   # served, but late (recovery work blew the budget)
+            "downgrades": 0,        # ladder rungs dropped across all served requests
+            "faults_detected": 0,
+            "recoveries": 0,
+        }
+        self.level_counts = [0, 0, 0, 0]
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self,
+        matrix_id: str,
+        matrix,
+        method: str = "adpt",
+        policy: ValidationPolicy | str = ValidationPolicy.REPAIR,
+        **tile_kwargs,
+    ) -> None:
+        """Admit a matrix: canonicalize, build its plan, price its rungs.
+
+        Matrices sharing a structural fingerprint share a plan *and* a
+        breaker — a poisoned plan is quarantined for exactly the
+        requests that would hit it.
+        """
+        if matrix_id in self._matrices:
+            raise ValueError(f"matrix id {matrix_id!r} already registered")
+        engine = ReliableSpMV(
+            matrix, method=method, policy=policy, abft=True,
+            plan_cache=self.plan_cache, **tile_kwargs,
+        )
+        sm = _Served(matrix_id, engine, self.device, self.config)
+        self._matrices[matrix_id] = sm
+        self._breakers.setdefault(
+            sm.plan_key, CircuitBreaker(self.config.breaker, sm.plan_key)
+        )
+
+    def estimate(self, matrix_id: str) -> dict:
+        """Modelled service times per rung (for deadline calibration)."""
+        sm = self._served(matrix_id)
+        plan_ready = self.plan_cache.peek(sm.plan_key) is not None
+        return {
+            "plan_ready": plan_ready,
+            "full": sm.arb_surcharge
+            + (0.0 if plan_ready else sm.build_surcharge)
+            + sm.t_fast,
+            "no_arbitration": None if plan_ready else sm.build_surcharge + sm.t_fast,
+            "cached_plan": sm.t_fast if plan_ready else None,
+            "scalar": sm.t_scalar,
+        }
+
+    def _served(self, matrix_id: str) -> _Served:
+        try:
+            return self._matrices[matrix_id]
+        except KeyError:
+            raise KeyError(
+                f"matrix id {matrix_id!r} is not registered with this runtime"
+            ) from None
+
+    # -- the request path --------------------------------------------------
+
+    def submit(self, req: Request) -> RequestOutcome:
+        """Admit, place on the ladder, execute, and account one request."""
+        sm = self._served(req.matrix_id)
+        self.counters["submitted"] += 1
+        t = max(self.now, req.arrival)
+        self.now = t
+        while self._in_flight and self._in_flight[0] <= t:
+            self._in_flight.popleft()
+        depth = len(self._in_flight)
+        out = RequestOutcome(
+            rid=req.rid, matrix_id=req.matrix_id, status="shed",
+            arrival=req.arrival, deadline=req.deadline, queue_depth=depth,
+        )
+        if depth >= self.config.queue_limit:
+            self.counters["shed_queue_full"] += 1
+            out.shed_reason = "queue_full"
+            return out
+
+        start = max(t, self.busy_until)
+        budget = req.deadline - (start - req.arrival)
+        breaker = self._breakers[sm.plan_key]
+        fast_ok = breaker.allow_fast(start)
+        plan_ready = self.plan_cache.peek(sm.plan_key) is not None
+        preds: list[float | None] = [
+            sm.arb_surcharge + (0.0 if plan_ready else sm.build_surcharge) + sm.t_fast,
+            None if plan_ready else sm.build_surcharge + sm.t_fast,
+            sm.t_fast if plan_ready else None,
+            sm.t_scalar,
+        ]
+        level: int | None = None
+        if fast_ok:
+            for lv in (0, 1, 2):
+                p = preds[lv]
+                if p is not None and p <= budget:
+                    level = lv
+                    break
+        if level is None and preds[3] <= budget:
+            level = 3
+            out.breaker_forced = not fast_ok
+        if level is None:
+            self.counters["shed_deadline"] += 1
+            out.shed_reason = "deadline"
+            out.start = start
+            return out
+
+        x = np.random.default_rng(req.x_seed).standard_normal(sm.engine.shape[1])
+        detected = recovered = 0
+        if level <= 2:
+            before = dict(sm.engine.counters)
+            sm.engine.spmv(x)
+            detected = sm.engine.counters["detected"] - before["detected"]
+            retries = sm.engine.counters["retries"] - before["retries"]
+            fallbacks = sm.engine.counters["fallbacks"] - before["fallbacks"]
+            recovered = retries + fallbacks
+            service = (
+                preds[level]
+                + retries * (sm.build_surcharge + sm.t_fast)
+                + fallbacks * sm.t_scalar
+            )
+        else:
+            self._scalar_verified(sm, x)
+            service = preds[3]
+
+        completion = start + service
+        self.busy_until = completion
+        self._in_flight.append(completion)
+        met = completion <= req.arrival + req.deadline
+        if level <= 2:
+            # Report the fast path's behaviour to its breaker.
+            if detected:
+                breaker.record_failure(completion, "abft")
+            elif not met:
+                breaker.record_failure(completion, "deadline")
+            else:
+                breaker.record_success(completion)
+
+        self.counters["served"] += 1
+        self.counters["downgrades"] += level
+        self.counters["deadline_misses"] += 0 if met else 1
+        self.counters["faults_detected"] += detected
+        self.counters["recoveries"] += recovered
+        self.level_counts[level] += 1
+        out.status = "served"
+        out.level = level
+        out.level_name = LEVEL_NAMES[level]
+        out.start = start
+        out.completion = completion
+        out.deadline_met = met
+        out.detected = detected
+        out.recovered = recovered
+        out.verified = True
+        return out
+
+    def _scalar_verified(self, sm: _Served, x: np.ndarray) -> np.ndarray:
+        """The trust rung: scalar reference outside the fault domain."""
+        inj = faults.active_injector()
+        if inj is not None:
+            with inj.suppressed():
+                y = sm.scalar.spmv(x)
+        else:
+            y = sm.scalar.spmv(x)
+        if not sm.engine.checksum.verify(x, y):
+            raise ReliabilityError(
+                "scalar fallback failed ABFT verification; "
+                "host memory is corrupted"
+            )
+        return y
+
+    def run_trace(self, requests: list[Request]) -> list[RequestOutcome]:
+        """Replay a trace in arrival order; returns per-request outcomes."""
+        ordered = sorted(requests, key=lambda r: (r.arrival, r.rid))
+        return [self.submit(r) for r in ordered]
+
+    # -- accounting --------------------------------------------------------
+
+    def stats(self) -> dict:
+        c = dict(self.counters)
+        shed = c["shed_queue_full"] + c["shed_deadline"]
+        breakers = {k: b.stats() for k, b in self._breakers.items()}
+        return {
+            **c,
+            "shed": shed,
+            "shed_rate": shed / c["submitted"] if c["submitted"] else 0.0,
+            "levels": dict(zip(LEVEL_NAMES, self.level_counts)),
+            "breaker_trips": sum(b["trips"] for b in breakers.values()),
+            "breaker_reopens": sum(b["reopens"] for b in breakers.values()),
+            "breaker_closes": sum(b["closes"] for b in breakers.values()),
+            "breaker_fast_denied": sum(b["fast_denied"] for b in breakers.values()),
+            "breakers": breakers,
+            "plan_cache": self.plan_cache.stats(),
+            "virtual_time": self.now,
+        }
+
+    def describe(self) -> str:
+        s = self.stats()
+        lines = [
+            f"ServingRuntime[{self.config.device}] matrices={len(self._matrices)} "
+            f"queue_limit={self.config.queue_limit}",
+            f"requests: submitted={s['submitted']} served={s['served']} "
+            f"shed={s['shed']} ({s['shed_rate']:.0%}: "
+            f"queue_full={s['shed_queue_full']} deadline={s['shed_deadline']}) "
+            f"deadline_misses={s['deadline_misses']}",
+            "ladder: "
+            + " ".join(f"{name}={n}" for name, n in s["levels"].items())
+            + f" downgrades={s['downgrades']}",
+            f"faults: detected={s['faults_detected']} recoveries={s['recoveries']}; "
+            f"breakers: trips={s['breaker_trips']} reopens={s['breaker_reopens']} "
+            f"closes={s['breaker_closes']} fast_denied={s['breaker_fast_denied']}",
+            self.plan_cache.describe(),
+        ]
+        for b in self._breakers.values():
+            if b.counters["failures"] or b.state is not BreakerState.CLOSED:
+                lines.append(b.describe())
+        return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Circuit-breaker state machine: every transition and its counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import BreakerConfig, BreakerState, CircuitBreaker
+
+
+def make(threshold=3, cooldown=1.0, probes=2):
+    return CircuitBreaker(
+        BreakerConfig(
+            failure_threshold=threshold,
+            cooldown_seconds=cooldown,
+            probe_successes=probes,
+        ),
+        key="k",
+    )
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        b = make()
+        assert b.state is BreakerState.CLOSED
+        assert b.allow_fast(0.0)
+
+    def test_consecutive_failures_trip(self):
+        b = make(threshold=3)
+        b.record_failure(0.0, "abft")
+        b.record_failure(0.1, "abft")
+        assert b.state is BreakerState.CLOSED
+        b.record_failure(0.2, "abft")
+        assert b.state is BreakerState.OPEN
+        assert b.counters["trips"] == 1
+        assert b.counters["failures"] == 3
+        assert b.failure_reasons == {"abft": 3}
+
+    def test_success_resets_the_streak(self):
+        b = make(threshold=2)
+        b.record_failure(0.0)
+        b.record_success(0.1)
+        b.record_failure(0.2)
+        assert b.state is BreakerState.CLOSED, "non-consecutive failures must not trip"
+        b.record_failure(0.3)
+        assert b.state is BreakerState.OPEN
+
+
+class TestOpen:
+    def test_denies_fast_during_cooldown(self):
+        b = make(threshold=1, cooldown=1.0)
+        b.record_failure(0.0)
+        assert not b.allow_fast(0.5)
+        assert not b.allow_fast(0.99)
+        assert b.counters["fast_denied"] == 2
+
+    def test_cooldown_elapse_moves_to_half_open(self):
+        b = make(threshold=1, cooldown=1.0)
+        b.record_failure(0.0)
+        assert b.allow_fast(1.0)
+        assert b.state is BreakerState.HALF_OPEN
+        assert b.counters["probes"] == 1
+
+
+class TestHalfOpen:
+    def trip_and_probe(self, probes=2):
+        b = make(threshold=1, cooldown=1.0, probes=probes)
+        b.record_failure(0.0)
+        assert b.allow_fast(1.0)
+        return b
+
+    def test_clean_probes_close(self):
+        b = self.trip_and_probe(probes=2)
+        b.record_success(1.0)
+        assert b.state is BreakerState.HALF_OPEN, "needs probe_successes clean probes"
+        assert b.allow_fast(1.1)
+        b.record_success(1.1)
+        assert b.state is BreakerState.CLOSED
+        assert b.counters["closes"] == 1
+        assert b.counters["probes"] == 2
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        b = self.trip_and_probe()
+        b.record_failure(1.0, "abft")
+        assert b.state is BreakerState.OPEN
+        assert b.counters["reopens"] == 1
+        assert b.counters["probe_failures"] == 1
+        assert not b.allow_fast(1.5), "cooldown restarts from the reopen"
+        assert b.allow_fast(2.0)
+        assert b.state is BreakerState.HALF_OPEN
+
+    def test_full_cycle_closed_open_half_closed(self):
+        b = make(threshold=2, cooldown=1.0, probes=1)
+        b.record_failure(0.0)
+        b.record_failure(0.1)
+        assert b.state is BreakerState.OPEN
+        assert not b.allow_fast(0.5)
+        assert b.allow_fast(1.2)
+        b.record_success(1.2)
+        assert b.state is BreakerState.CLOSED
+        # after closing, the failure streak is fresh
+        b.record_failure(1.3)
+        assert b.state is BreakerState.CLOSED
+
+    def test_reopened_breaker_needs_full_probe_streak_again(self):
+        b = self.trip_and_probe(probes=2)
+        b.record_success(1.0)     # one clean probe
+        b.record_failure(1.1)     # reopen: streak is void
+        assert b.allow_fast(2.2)
+        b.record_success(2.2)
+        assert b.state is BreakerState.HALF_OPEN
+        assert b.allow_fast(2.3)
+        b.record_success(2.3)
+        assert b.state is BreakerState.CLOSED
+
+
+class TestAccounting:
+    def test_stats_payload(self):
+        b = make(threshold=1)
+        b.record_failure(0.0, "deadline")
+        s = b.stats()
+        assert s["state"] == "open"
+        assert s["trips"] == 1
+        assert s["failure_reasons"] == {"deadline": 1}
+        assert "breaker[" in b.describe()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"cooldown_seconds": -1.0},
+            {"probe_successes": 0},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerConfig(**kwargs)

@@ -1,0 +1,266 @@
+"""Serving runtime: admission, deadlines, degradation ladder, breakers.
+
+Everything runs on the virtual clock, so every scenario is scripted
+with explicit arrivals and deadlines and asserts exact counters.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.gpu.faults import FaultPlan, fault_injection
+from repro.matrices import random_uniform, stencil_2d
+from repro.serving import (
+    BreakerConfig,
+    BreakerState,
+    Request,
+    RuntimeConfig,
+    ServingRuntime,
+    synthetic_trace,
+)
+
+FAULT_SEED = int(os.environ.get("FAULT_SEED", "0"))
+
+
+def make_runtime(**kwargs) -> ServingRuntime:
+    defaults = dict(queue_limit=8, plan_cache_capacity=4)
+    defaults.update(kwargs)
+    return ServingRuntime(RuntimeConfig(**defaults))
+
+
+def register_default(rt: ServingRuntime, n: int = 2) -> list[str]:
+    ids = []
+    for i in range(n):
+        rt.register(f"m{i}", stencil_2d(14 + 2 * i, seed=i))
+        ids.append(f"m{i}")
+    return ids
+
+
+class TestRegistration:
+    def test_register_and_estimate(self):
+        rt = make_runtime()
+        register_default(rt, 1)
+        est = rt.estimate("m0")
+        assert est["plan_ready"] is True
+        assert est["no_arbitration"] is None  # nothing to build when warm
+        assert est["cached_plan"] is not None
+        assert est["full"] > est["cached_plan"], "arbitration is charged per request"
+        assert est["scalar"] > 0
+
+    def test_duplicate_id_rejected(self):
+        rt = make_runtime()
+        register_default(rt, 1)
+        with pytest.raises(ValueError, match="already registered"):
+            rt.register("m0", stencil_2d(10))
+
+    def test_unknown_id_rejected(self):
+        rt = make_runtime()
+        with pytest.raises(KeyError, match="not registered"):
+            rt.submit(Request(0, 0.0, "nope"))
+
+    def test_structural_twins_share_plan_and_breaker(self):
+        a = random_uniform(200, 200, 4.0, seed=3)
+        b = a.copy()
+        b.data = b.data * 2.0 + 1.0  # same pattern, different values
+        rt = make_runtime()
+        rt.register("a", a)
+        rt.register("b", b)
+        assert len(rt._breakers) == 1
+
+
+class TestHappyPath:
+    def test_loose_deadlines_all_full_quality(self):
+        rt = make_runtime()
+        ids = register_default(rt)
+        trace = synthetic_trace(ids, n_requests=25, seed=2, mean_interarrival=1e-3)
+        outs = rt.run_trace(trace)
+        assert all(o.status == "served" for o in outs)
+        assert all(o.level_name == "full" for o in outs)
+        assert all(o.verified and o.deadline_met for o in outs)
+        s = rt.stats()
+        assert s["served"] == 25
+        assert s["shed"] == 0 and s["downgrades"] == 0
+        assert s["levels"]["full"] == 25
+
+    def test_virtual_clock_is_monotone_and_latency_positive(self):
+        rt = make_runtime()
+        ids = register_default(rt)
+        outs = rt.run_trace(synthetic_trace(ids, n_requests=20, seed=5,
+                                            mean_interarrival=1e-5))
+        served = [o for o in outs if o.status == "served"]
+        assert served
+        for o in served:
+            assert o.completion >= o.start >= o.arrival
+            assert o.latency > 0
+        comps = [o.completion for o in served]
+        assert comps == sorted(comps), "single server completes in service order"
+
+
+class TestAdmission:
+    def test_queue_full_sheds(self):
+        rt = make_runtime(queue_limit=4)
+        register_default(rt, 1)
+        reqs = [Request(i, 0.0, "m0", deadline=math.inf, x_seed=i) for i in range(10)]
+        outs = rt.run_trace(reqs)
+        shed = [o for o in outs if o.shed_reason == "queue_full"]
+        assert rt.counters["shed_queue_full"] == len(shed) == 6
+        assert rt.counters["served"] == 4
+        assert all(o.status == "shed" and o.level == -1 for o in shed)
+
+    def test_unreachable_deadline_sheds_instead_of_serving_late(self):
+        rt = make_runtime()
+        register_default(rt, 1)
+        est = rt.estimate("m0")
+        tiny = min(est["cached_plan"], est["scalar"]) * 0.5
+        out = rt.submit(Request(0, 0.0, "m0", deadline=tiny))
+        assert out.status == "shed"
+        assert out.shed_reason == "deadline"
+        assert rt.counters["shed_deadline"] == 1
+        assert rt.counters["served"] == 0
+
+
+class TestDegradationLadder:
+    def test_warm_plan_downgrades_to_cached_plan(self):
+        rt = make_runtime()
+        register_default(rt, 1)
+        est = rt.estimate("m0")
+        assert est["plan_ready"]
+        budget = (est["cached_plan"] + est["full"]) / 2
+        out = rt.submit(Request(0, 0.0, "m0", deadline=budget))
+        assert out.status == "served"
+        assert out.level_name == "cached_plan"
+        assert out.deadline_met
+        assert rt.counters["downgrades"] == 2
+
+    def test_cold_plan_downgrades_to_no_arbitration(self):
+        # capacity 1 with two registrations evicts m0's plan
+        rt = make_runtime(plan_cache_capacity=1)
+        register_default(rt, 2)
+        est = rt.estimate("m0")
+        assert not est["plan_ready"]
+        assert est["cached_plan"] is None
+        budget = (est["no_arbitration"] + est["full"]) / 2
+        out = rt.submit(Request(0, 0.0, "m0", deadline=budget))
+        assert out.status == "served"
+        assert out.level_name == "no_arbitration"
+        assert rt.counters["downgrades"] == 1
+
+    def test_cold_plan_tight_budget_falls_to_scalar(self):
+        rt = make_runtime(plan_cache_capacity=1)
+        register_default(rt, 2)
+        est = rt.estimate("m0")
+        assert est["scalar"] < est["no_arbitration"], (
+            "scenario needs the scalar rung cheaper than a plan build"
+        )
+        budget = (est["scalar"] + est["no_arbitration"]) / 2
+        out = rt.submit(Request(0, 0.0, "m0", deadline=budget))
+        assert out.status == "served"
+        assert out.level_name == "scalar"
+        assert out.verified and not out.breaker_forced
+        assert rt.counters["downgrades"] == 3
+
+    def test_downgrades_equal_weighted_level_counts(self):
+        rt = make_runtime(plan_cache_capacity=1)
+        ids = register_default(rt, 3)
+        trace = synthetic_trace(ids, n_requests=40, seed=9, mean_interarrival=2e-4,
+                                deadline_range=(1e-6, 3e-4))
+        rt.run_trace(trace)
+        s = rt.stats()
+        weighted = sum(lv * n for lv, n in enumerate(rt.level_counts))
+        assert s["downgrades"] == weighted
+        assert s["served"] == sum(rt.level_counts)
+        assert s["served"] + s["shed"] == s["submitted"]
+
+
+@pytest.mark.faults
+class TestBreakerIntegration:
+    def breaker_of(self, rt, mid="m0"):
+        return rt._breakers[rt._matrices[mid].plan_key]
+
+    def test_fault_storm_trips_then_probes_then_closes(self):
+        rt = make_runtime(
+            breaker=BreakerConfig(failure_threshold=2, cooldown_seconds=5e-3,
+                                  probe_successes=2),
+        )
+        register_default(rt, 1)
+        gap = 1e-3  # < cooldown: some requests arrive while the breaker is open
+        reqs = [Request(i, (i + 1) * gap, "m0", x_seed=FAULT_SEED + i)
+                for i in range(16)]
+        plan = FaultPlan(seed=FAULT_SEED, payload_corruptions=2, max_faults=100)
+        with fault_injection(plan) as injector:
+            # exhaust the budget only after the breaker trips: the
+            # unbounded campaign keeps corrupting the fast path, so
+            # every fast attempt fails until the breaker gives up on it.
+            outs = rt.run_trace(reqs[:6])
+        assert injector.injected > 0
+        b = self.breaker_of(rt)
+        assert b.counters["trips"] == 1
+        assert rt.counters["faults_detected"] > 0
+        forced = [o for o in outs if o.breaker_forced]
+        assert forced, "open breaker must route requests to the scalar rung"
+        assert all(o.level_name == "scalar" and o.verified for o in forced)
+
+        # campaign over: probes run clean and the breaker closes again
+        outs2 = rt.run_trace(
+            [Request(100 + i, rt.now + (i + 1) * 6e-3, "m0", x_seed=i) for i in range(4)]
+        )
+        assert b.state is BreakerState.CLOSED
+        assert b.counters["closes"] == 1
+        assert all(o.status == "served" and o.verified for o in outs2)
+        assert outs2[-1].level_name == "full"
+
+    def test_every_served_result_is_verified_under_faults(self):
+        rt = make_runtime()
+        ids = register_default(rt, 2)
+        trace = synthetic_trace(ids, n_requests=30, seed=FAULT_SEED + 1,
+                                mean_interarrival=1e-4,
+                                deadline_range=(5e-6, 5e-4))
+        plan = FaultPlan(seed=FAULT_SEED, payload_corruptions=1, max_faults=6)
+        with fault_injection(plan):
+            outs = rt.run_trace(trace)
+        served = [o for o in outs if o.status == "served"]
+        assert served
+        assert all(o.verified for o in served)
+        s = rt.stats()
+        assert s["recoveries"] >= s["faults_detected"] > 0
+
+    def test_recovery_work_is_charged_to_the_clock(self):
+        rt = make_runtime()
+        register_default(rt, 1)
+        clean = rt.submit(Request(0, 0.0, "m0", x_seed=1))
+        with fault_injection(FaultPlan(seed=FAULT_SEED, payload_corruptions=1,
+                                       max_faults=1)):
+            faulty = rt.submit(Request(1, rt.now + 1.0, "m0", x_seed=1))
+        assert faulty.detected >= 1
+        assert faulty.recovered >= 1
+        assert (faulty.completion - faulty.start) > (clean.completion - clean.start), (
+            "retry/fallback time must show up in the modelled service time"
+        )
+
+
+class TestStats:
+    def test_stats_and_describe_cover_all_counters(self):
+        rt = make_runtime()
+        ids = register_default(rt)
+        rt.run_trace(synthetic_trace(ids, n_requests=10, seed=3,
+                                     mean_interarrival=1e-4))
+        s = rt.stats()
+        for key in ("submitted", "served", "shed", "shed_rate", "deadline_misses",
+                    "downgrades", "faults_detected", "recoveries", "levels",
+                    "breaker_trips", "breaker_fast_denied", "plan_cache",
+                    "virtual_time"):
+            assert key in s
+        text = rt.describe()
+        assert "ladder:" in text and "breakers:" in text
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(queue_limit=0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(device="H100")
+        with pytest.raises(ValueError):
+            RuntimeConfig(arbitration_factor=0.5)

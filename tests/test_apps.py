@@ -241,3 +241,89 @@ class TestPersonalizedPagerank:
             personalized_pagerank(op, dangling, np.ones((100, 2)))
         with pytest.raises(ValueError):
             personalized_pagerank(op, dangling, np.ones(100))
+
+
+class TestBreakdownGuards:
+    """Near-zero denominators return structured breakdowns, never NaN."""
+
+    def test_cg_pap_breakdown_on_indefinite_operator(self):
+        # p.Ap = 0 on the very first iteration: diag(1,-1) with b=[1,1]
+        a = sp.csr_matrix(sp.diags([1.0, -1.0]))
+        res = conjugate_gradient(ScipyOperator(a), np.array([1.0, 1.0]))
+        assert res.breakdown
+        assert res.breakdown_reason == "pAp"
+        assert not res.converged
+        assert np.isfinite(res.x).all()
+
+    def test_cg_clean_solve_reports_no_breakdown(self):
+        a = spd_matrix(grid=12)
+        b = np.random.default_rng(0).standard_normal(a.shape[0])
+        res = conjugate_gradient(ScipyOperator(a), b, tol=1e-10)
+        assert res.converged and not res.breakdown
+        assert res.breakdown_reason == ""
+
+    def test_bicgstab_rhat_v_breakdown(self):
+        # rotation operator: v = A r0 is orthogonal to r_hat = r0
+        a = sp.csr_matrix(np.array([[0.0, 1.0], [-1.0, 0.0]]))
+        res = bicgstab(ScipyOperator(a), np.array([1.0, 0.0]))
+        assert res.breakdown
+        assert res.breakdown_reason == "rhat_v"
+        assert np.isfinite(res.x).all()
+
+    def test_bicgstab_singular_diagonal(self):
+        a = sp.csr_matrix(sp.diags([1.0, 0.0]))
+        res = bicgstab(ScipyOperator(a), np.array([0.0, 1.0]))
+        assert res.breakdown
+        assert np.isfinite(res.x).all()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_singular_operators_never_produce_nan(self, seed):
+        # rank-deficient PSD (CG) and zero-row (BiCGSTAB) operators
+        rng = np.random.default_rng(seed)
+        n, k = 24, 6
+        low = rng.standard_normal((n, k))
+        psd = sp.csr_matrix(low @ low.T)
+        b = rng.standard_normal(n)
+        res = conjugate_gradient(ScipyOperator(psd), b, max_iter=200)
+        assert np.isfinite(res.x).all()
+        assert res.converged or res.breakdown or res.iterations == 200
+
+        dense = rng.standard_normal((n, n))
+        dense[rng.integers(n)] = 0.0
+        res2 = bicgstab(ScipyOperator(sp.csr_matrix(dense)), b, max_iter=200)
+        assert np.isfinite(res2.x).all()
+        assert res2.converged or res2.breakdown or res2.iterations == 200
+
+    def test_block_cg_flags_broken_columns_individually(self):
+        from repro.apps import block_conjugate_gradient
+
+        # column 0 solves an SPD system; column 1 would break down alone,
+        # but lives in the same block solve
+        a = sp.csr_matrix(sp.diags([1.0, -1.0, 2.0, 3.0]))
+        b = np.zeros((4, 2))
+        b[:, 0] = [1.0, 0.0, 1.0, 1.0]
+        b[:, 1] = [1.0, 1.0, 0.0, 0.0]
+        res = block_conjugate_gradient(ScipyOperator(a), b, max_iter=50)
+        assert res.breakdown is not None
+        assert np.isfinite(res.x).all()
+
+    def test_block_bicgstab_breakdown_array(self):
+        from repro.apps import block_bicgstab
+
+        a = sp.csr_matrix(sp.diags([1.0, 0.0, 2.0]))
+        b = np.zeros((3, 2))
+        b[:, 0] = [1.0, 0.0, 1.0]  # solvable
+        b[:, 1] = [0.0, 1.0, 0.0]  # hits the singular mode
+        res = block_bicgstab(ScipyOperator(a), b, max_iter=50)
+        assert res.breakdown is not None
+        assert np.isfinite(res.x).all()
+
+    def test_denominator_breakdown_helper(self):
+        from repro.apps import denominator_breakdown
+
+        assert denominator_breakdown(0.0, 1.0)
+        assert denominator_breakdown(np.nan, 1.0)
+        assert denominator_breakdown(np.inf, 1.0)
+        assert denominator_breakdown(1e-18, 1.0)
+        assert not denominator_breakdown(1e-3, 1.0)
+        assert not denominator_breakdown(-5.0, 1.0)

@@ -107,3 +107,26 @@ def test_tile_spmv_propagates_shape_error():
     a = random_uniform(60, 90, 4, seed=1)
     with pytest.raises(ValueError, match=r"\(90,\)"):
         tile_spmv(a, np.ones(60))
+
+
+def test_serve_sim_smoke(capsys):
+    assert main(["serve-sim", "--requests", "20", "--matrices", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "ServingRuntime" in out
+    assert "unverified results returned: 0" in out
+
+
+def test_serve_sim_overload_with_faults_and_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "serve.json"
+    assert main([
+        "serve-sim", "--requests", "40", "--matrices", "3", "--overload",
+        "--faults", "4", "--json", str(path),
+    ]) == 0
+    payload = json.loads(path.read_text())
+    assert payload["unverified"] == 0
+    assert payload["stats"]["submitted"] == 40
+    assert payload["stats"]["served"] + payload["stats"]["shed"] == 40
+    out = capsys.readouterr().out
+    assert "fault campaign" in out

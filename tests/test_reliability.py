@@ -559,3 +559,45 @@ class TestPlanCacheReliability:
         assert key not in cache
         assert cache.invalidate(key) is False  # already gone
         assert cache.stats()["invalidations"] == 1
+
+
+class TestMergeCreatedNonfinite:
+    """Duplicate merging can overflow finite inputs into Inf; the repair
+    path must re-screen the merged payload instead of trusting it."""
+
+    def overflow_duplicates(self):
+        # raw CSR arrays with two finite ~1.7e308 duplicates at (0, 0):
+        # scipy's COO conversion would pre-merge them, so the duplicate
+        # must reach the canonicalizer's own merge to overflow there
+        big = np.finfo(np.float64).max * 0.95
+        return sp.csr_matrix(
+            (
+                np.array([big, big, 2.0, 1.0]),
+                np.array([0, 0, 0, 1]),
+                np.array([0, 2, 4]),
+            ),
+            shape=(2, 2),
+        )
+
+    def test_repair_drops_the_overflowed_entry(self):
+        out, report = canonicalize_csr(self.overflow_duplicates(), "repair")
+        assert np.isfinite(out.data).all(), "merge-created Inf must not survive"
+        assert report.dropped_nonfinite >= 1
+        assert report.merged_duplicates == 1
+        # untouched entries survive the rebuild
+        assert out[1, 1] == 1.0
+        assert out[1, 0] == 2.0
+        assert out[0, 0] == 0.0
+
+    def test_strict_rejects_on_the_duplicates_first(self):
+        with pytest.raises(MatrixValidationError) as exc:
+            canonicalize_csr(self.overflow_duplicates(), "strict")
+        assert exc.value.reason == "duplicates"
+
+    def test_result_is_abft_safe(self):
+        # the repaired matrix must be usable by the full verified ladder
+        out, _ = canonicalize_csr(self.overflow_duplicates(), "repair")
+        engine = ReliableSpMV(out, policy="trust")
+        x = np.ones(2)
+        assert np.isfinite(engine.spmv(x)).all()
+        assert engine.counters["verified_ok"] == 1
