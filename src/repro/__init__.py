@@ -22,6 +22,7 @@ True
 True
 """
 
+from repro import telemetry
 from repro.core import PlanCache, SelectionConfig, TileMatrix, TileSpMV, tile_spmv
 from repro.formats import FormatID
 from repro.gpu import A100, TITAN_RTX, CostModel, DeviceSpec, KernelStats, RunCost
@@ -46,7 +47,7 @@ from repro.serving import (
     synthetic_trace,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "TileSpMV",
@@ -77,5 +78,6 @@ __all__ = [
     "checkpointed_bicgstab",
     "checkpointed_pagerank",
     "synthetic_trace",
+    "telemetry",
     "__version__",
 ]

@@ -189,34 +189,44 @@ def _cmd_check(args) -> int:
     return 0 if ok else 1
 
 
-def _cmd_serve_sim(args) -> int:
-    """Replay a synthetic request trace through the serving runtime."""
-    from repro.gpu.faults import FaultPlan, fault_injection
+def _build_serving_fleet(matrices: int, seed: int, queue_limit: int, device: str,
+                         method: str = "adpt"):
+    """The deterministic serve-sim fleet: runtime + registered matrix ids."""
     from repro.matrices import banded, power_law, random_uniform, stencil_2d
-    from repro.serving import BreakerConfig, RuntimeConfig, ServingRuntime, synthetic_trace
+    from repro.serving import BreakerConfig, RuntimeConfig, ServingRuntime
 
     rt = ServingRuntime(
         RuntimeConfig(
-            queue_limit=args.queue_limit,
-            device=_DEVICES[args.device],
-            plan_cache_capacity=max(2, args.matrices // 2),
+            queue_limit=queue_limit,
+            device=_DEVICES[device],
+            plan_cache_capacity=max(2, matrices // 2),
             breaker=BreakerConfig(failure_threshold=2, cooldown_seconds=1e-4),
         )
     )
     gens = [stencil_2d, power_law, banded, random_uniform]
-    n = 96 + 32 * (args.seed % 3)
-    for i in range(args.matrices):
+    n = 96 + 32 * (seed % 3)
+    for i in range(matrices):
         gen = gens[i % len(gens)]
         if gen is stencil_2d:
-            m = gen(12 + 2 * i, seed=args.seed + i)
+            m = gen(12 + 2 * i, seed=seed + i)
         elif gen is banded:
-            m = gen(n + 16 * i, 6, seed=args.seed + i)
+            m = gen(n + 16 * i, 6, seed=seed + i)
         elif gen is random_uniform:
-            m = gen(n + 16 * i, n + 16 * i, 5.0, seed=args.seed + i)
+            m = gen(n + 16 * i, n + 16 * i, 5.0, seed=seed + i)
         else:
-            m = gen(n + 16 * i, seed=args.seed + i)
-        rt.register(f"m{i}", m)
-    ids = [f"m{i}" for i in range(args.matrices)]
+            m = gen(n + 16 * i, seed=seed + i)
+        rt.register(f"m{i}", m, method=method)
+    return rt, [f"m{i}" for i in range(matrices)]
+
+
+def _cmd_serve_sim(args) -> int:
+    """Replay a synthetic request trace through the serving runtime."""
+    from repro.gpu.faults import FaultPlan, fault_injection
+    from repro.serving import synthetic_trace
+
+    rt, ids = _build_serving_fleet(
+        args.matrices, args.seed, args.queue_limit, args.device
+    )
     est = rt.estimate(ids[0])
     base = est["no_arbitration"] if est["no_arbitration"] is not None else est["full"]
     mean_gap = base * (0.2 if args.overload else 2.0)
@@ -267,6 +277,85 @@ def _cmd_serve_sim(args) -> int:
         Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"[json written to {args.json}]")
     return 0 if not unverified else 1
+
+
+def _cmd_trace(args) -> int:
+    """Record a deterministic telemetry trace of a serving workload.
+
+    Runs the serve-sim fleet with telemetry armed, then one
+    lane-accurate pass over the first matrix for per-warp profile
+    records.  Every timestamp comes from the virtual clock, so the same
+    seed always writes byte-identical trace and metrics JSON.
+    """
+    from pathlib import Path
+
+    from repro import telemetry
+    from repro.gpu.faults import FaultPlan, fault_injection
+    from repro.serving import synthetic_trace
+
+    with telemetry.session(profile=True) as (tracer, registry):
+        rt, ids = _build_serving_fleet(
+            args.matrices, args.seed, args.queue_limit, args.device, method="auto"
+        )
+        est = rt.estimate(ids[0])
+        base = est["no_arbitration"] if est["no_arbitration"] is not None else est["full"]
+        trace = synthetic_trace(
+            ids,
+            n_requests=args.requests,
+            seed=args.seed,
+            mean_interarrival=base * (0.2 if args.overload else 2.0),
+            burst_prob=0.25 if args.overload else 0.1,
+            deadline_range=(0.8 * base, 8.0 * base),
+        )
+        if args.faults:
+            plan = FaultPlan(
+                seed=args.fault_seed, payload_corruptions=2, max_faults=args.faults
+            )
+            with fault_injection(plan) as injector:
+                rt.run_trace(trace)
+            print(f"fault campaign: injected={injector.injected} (budget {args.faults})")
+        else:
+            rt.run_trace(trace)
+
+        # One lane-accurate pass: per-warp records + a kernel_execute span.
+        from repro.gpu.executor import lane_accurate_spmv
+
+        sm = rt._served(ids[0])
+        first = sm.engine.engine
+        if first.tiled is not None:
+            lane_accurate_spmv(first.tiled, np.ones(first.shape[1]))
+
+        # One warm rebuild through the runtime's plan cache (the hit path).
+        from repro.core.tilespmv import TileSpMV
+
+        TileSpMV(sm.engine._csr, plan_cache=rt.plan_cache, validation="trust")
+
+        out = Path(args.out)
+        tracer.export(out)
+        metrics_out = out.with_suffix(".metrics.json")
+        registry.export(metrics_out)
+
+        print(f"trace: {len(tracer.events)} events -> {out}")
+        print(f"metrics: {metrics_out}")
+        print("\nper-stage span totals (virtual us):")
+        totals = tracer.span_totals()
+        for name in sorted(totals, key=lambda n: -totals[n]["total_us"]):
+            agg = totals[name]
+            print(f"  {name:16s} count={agg['count']:5d} total={agg['total_us']:12.3f}")
+        if args.hotspots:
+            device = _get_device(args.device)
+            print()
+            print(first.profile(device=device))
+            prof = telemetry.profiler()
+            if prof is not None and prof.warps:
+                bal = prof.warp_balance()
+                print(
+                    f"warp balance: {bal['warps']} warps, "
+                    f"max {bal['max_entries']} / mean {bal['mean_entries']:.1f} "
+                    f"entries (imbalance {bal['imbalance']:.2f}x)"
+                )
+    print("\nopen the trace in chrome://tracing or https://ui.perfetto.dev")
+    return 0
 
 
 def _cmd_verify(args) -> int:
@@ -379,6 +468,26 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--json", default=None, metavar="PATH",
                          help="also write the summary as JSON")
     p_serve.set_defaults(func=_cmd_serve_sim)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="record a deterministic telemetry trace (Chrome trace-event JSON)",
+    )
+    p_trace.add_argument("--requests", type=int, default=24, help="trace length")
+    p_trace.add_argument("--matrices", type=int, default=3, help="fleet size")
+    p_trace.add_argument("--seed", type=int, default=0, help="trace/matrix seed")
+    p_trace.add_argument("--queue-limit", type=int, default=16)
+    p_trace.add_argument("--device", default="a100", choices=sorted(_DEVICES))
+    p_trace.add_argument("--overload", action="store_true",
+                         help="push arrivals past capacity to exercise shedding")
+    p_trace.add_argument("--faults", type=int, default=0, metavar="N",
+                         help="arm a fault campaign with budget N during the trace")
+    p_trace.add_argument("--fault-seed", type=int, default=7)
+    p_trace.add_argument("--out", default="trace.json", metavar="PATH",
+                         help="trace output (metrics land next to it as *.metrics.json)")
+    p_trace.add_argument("--hotspots", action="store_true",
+                         help="also print the roofline-annotated hotspot report")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_verify = sub.add_parser("verify", help="run the end-to-end cross-validation sweep")
     p_verify.set_defaults(func=_cmd_verify)

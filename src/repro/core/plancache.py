@@ -32,6 +32,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 import scipy.sparse as sp
 
+from repro import telemetry as tele
 from repro.baselines.csr5 import Csr5SpMV
 from repro.core.scheduler import WarpSchedule
 from repro.core.storage import TileMatrix
@@ -176,10 +177,14 @@ class PlanCache:
         plan = self._entries.get(key)
         if plan is None:
             self.misses += 1
+            if tele.ENABLED:
+                tele.count("plan_cache_misses_total")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
         plan.tilings_saved += 1
+        if tele.ENABLED:
+            tele.count("plan_cache_hits_total")
         return plan
 
     def peek(self, key: str) -> CachedPlan | None:
@@ -199,6 +204,10 @@ class PlanCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            if tele.ENABLED:
+                tele.count("plan_cache_evictions_total")
+        if tele.ENABLED:
+            tele.set_gauge("plan_cache_size", len(self._entries))
 
     def invalidate(self, key: str) -> bool:
         """Drop one plan — e.g. artifacts a checksum failure implicated.
@@ -211,6 +220,9 @@ class PlanCache:
             return False
         del self._entries[key]
         self.invalidations += 1
+        if tele.ENABLED:
+            tele.count("plan_cache_invalidations_total")
+            tele.set_gauge("plan_cache_size", len(self._entries))
         return True
 
     def clear(self) -> None:

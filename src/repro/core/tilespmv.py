@@ -44,6 +44,7 @@ import time
 import numpy as np
 import scipy.sparse as sp
 
+from repro import telemetry as tele
 from repro.baselines.csr5 import Csr5SpMV
 from repro.core.deferred import split_deferred_coo
 from repro.core.kernels.params import KernelCostParams
@@ -135,7 +136,8 @@ class TileSpMV:
         self._deferred_src: np.ndarray | None = None
         self._tiled_src: np.ndarray | None = None
 
-        csr, self.validation_report = canonicalize_csr(matrix, validation)
+        with tele.span("canonicalize", cat="build", policy=str(validation)):
+            csr, self.validation_report = canonicalize_csr(matrix, validation)
         self._indptr = csr.indptr
         self._indices = csr.indices
         plan = None
@@ -144,52 +146,57 @@ class TileSpMV:
             plan = plan_cache.get(self.plan_key)
 
         build_seconds = 0.0
-        if plan is None:
-            t1 = time.perf_counter()
-            tileset = tile_decompose(csr, tile=tile, validation="trust")
-            build_seconds += time.perf_counter() - t1
-            plan = CachedPlan(
-                key=self.plan_key or "",
-                tileset=tileset,
-                values_digest=value_digest(csr.data) if plan_cache is not None else "",
-            )
-            if plan_cache is not None:
-                plan_cache.put(self.plan_key, plan)
-        elif plan.values_digest != value_digest(csr.data):
-            # Same pattern, new numbers: refresh payload values in place
-            # of re-tiling/re-selecting (the update_values fast path).
-            t1 = time.perf_counter()
-            plan.refresh_values(csr.data, value_digest(csr.data))
-            build_seconds += time.perf_counter() - t1
-        self._plan = plan
-        self._shape = plan.tileset.m, plan.tileset.n
-        self._nnz = plan.tileset.nnz
+        with tele.span("tile_build", cat="build", nnz=int(csr.nnz),
+                       cached=plan is not None):
+            if plan is None:
+                t1 = time.perf_counter()
+                tileset = tile_decompose(csr, tile=tile, validation="trust")
+                build_seconds += time.perf_counter() - t1
+                plan = CachedPlan(
+                    key=self.plan_key or "",
+                    tileset=tileset,
+                    values_digest=value_digest(csr.data) if plan_cache is not None else "",
+                )
+                if plan_cache is not None:
+                    plan_cache.put(self.plan_key, plan)
+            elif plan.values_digest != value_digest(csr.data):
+                # Same pattern, new numbers: refresh payload values in place
+                # of re-tiling/re-selecting (the update_values fast path).
+                t1 = time.perf_counter()
+                plan.refresh_values(csr.data, value_digest(csr.data))
+                build_seconds += time.perf_counter() - t1
+            self._plan = plan
+            self._shape = plan.tileset.m, plan.tileset.n
+            self._nnz = plan.tileset.nnz
 
-        arbitration_seconds = 0.0
-        if method == "auto":
-            device = auto_device or A100
-            mp_adpt, s_adpt = self._ensure_method(plan, "adpt")
-            mp_def, s_def = self._ensure_method(plan, "deferred_coo")
-            t1 = time.perf_counter()
-            t_adpt = self._method_cost(mp_adpt).time(device)
-            t_def = self._method_cost(mp_def).time(device)
-            arbitration_eval = time.perf_counter() - t1
-            if t_adpt <= t_def:
-                kept, kept_seconds, discarded_seconds = mp_adpt, s_adpt, s_def
-                method = "adpt"
+            arbitration_seconds = 0.0
+            if method == "auto":
+                with tele.span("arbitration", cat="build", nnz=int(csr.nnz)):
+                    device = auto_device or A100
+                    mp_adpt, s_adpt = self._ensure_method(plan, "adpt")
+                    mp_def, s_def = self._ensure_method(plan, "deferred_coo")
+                    t1 = time.perf_counter()
+                    t_adpt = self._method_cost(mp_adpt).time(device)
+                    t_def = self._method_cost(mp_def).time(device)
+                    arbitration_eval = time.perf_counter() - t1
+                    if t_adpt <= t_def:
+                        kept, kept_seconds, discarded_seconds = mp_adpt, s_adpt, s_def
+                        method = "adpt"
+                    else:
+                        kept, kept_seconds, discarded_seconds = mp_def, s_def, s_adpt
+                        method = "deferred_coo"
+                    build_seconds += kept_seconds
+                    arbitration_seconds = discarded_seconds + arbitration_eval
             else:
-                kept, kept_seconds, discarded_seconds = mp_def, s_def, s_adpt
-                method = "deferred_coo"
-            build_seconds += kept_seconds
-            arbitration_seconds = discarded_seconds + arbitration_eval
-        else:
-            kept, kept_seconds = self._ensure_method(plan, method)
-            build_seconds += kept_seconds
+                kept, kept_seconds = self._ensure_method(plan, method)
+                build_seconds += kept_seconds
         self._adopt(kept)
         self.method = method
         self.build_seconds = build_seconds
         self.arbitration_seconds = arbitration_seconds
         self.preprocessing_seconds = build_seconds + arbitration_seconds
+        if tele.ENABLED:
+            tele.count("tilespmv_builds_total", method=method)
 
     # -- plan construction ---------------------------------------------------
 
@@ -289,11 +296,15 @@ class TileSpMV:
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self._shape[1],):
             raise ValueError(f"x must have shape ({self._shape[1]},)")
-        y = np.zeros(self._shape[0])
-        if self.tiled is not None:
-            y += self.tiled.spmv(x)
-        if self.deferred_engine is not None:
-            y += self.deferred_engine.spmv(x)
+        with tele.span("kernel_execute", cat="kernel", method=self.method,
+                       nnz=self._nnz):
+            y = np.zeros(self._shape[0])
+            if self.tiled is not None:
+                y += self.tiled.spmv(x)
+            if self.deferred_engine is not None:
+                y += self.deferred_engine.spmv(x)
+        if tele.ENABLED:
+            tele.count("tilespmv_spmv_total", method=self.method)
         return y
 
     __matmul__ = spmv
@@ -331,11 +342,15 @@ class TileSpMV:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[0] != self._shape[1]:
             raise ValueError(f"X must have shape ({self._shape[1]}, k)")
-        out = np.zeros((self._shape[0], x.shape[1]))
-        if self.tiled is not None:
-            out += self.tiled.spmm(x)
-        if self.deferred_engine is not None:
-            out += self.deferred_engine.spmm(x)
+        with tele.span("kernel_execute", cat="kernel", method=self.method,
+                       nnz=self._nnz, k=x.shape[1]):
+            out = np.zeros((self._shape[0], x.shape[1]))
+            if self.tiled is not None:
+                out += self.tiled.spmm(x)
+            if self.deferred_engine is not None:
+                out += self.deferred_engine.spmm(x)
+        if tele.ENABLED:
+            tele.count("tilespmv_spmv_total", method=self.method)
         return out
 
     def update_values(self, values) -> "TileSpMV":
@@ -453,6 +468,26 @@ class TileSpMV:
         if self.plan_cache is not None:
             lines.append(self.plan_cache.describe())
         return "\n".join(lines)
+
+    def profile(self, device: DeviceSpec = A100, top: int = 8) -> str:
+        """Per-tile hotspot report against ``device``'s roofline ceilings.
+
+        Delegates to :func:`repro.telemetry.profile.hotspot_report` on the
+        tiled half of the representation (the DeferredCOO extraction, if
+        any, runs in the CSR5 kernel and is not tile-resolved).
+        """
+        from repro.telemetry.profile import hotspot_report
+
+        if self.tiled is None:
+            return "profile: no tiled half (fully deferred to CSR5)"
+        return hotspot_report(
+            self.tiled,
+            device=device,
+            params=self.params,
+            tbalance=self.tbalance,
+            schedule=self._schedule,
+            top=top,
+        )
 
     def predicted_time(self, device: DeviceSpec) -> float:
         """Modelled kernel seconds on ``device``."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry as tele
 from repro.core.kernels import lane_accurate as lak
 from repro.gpu import faults
 from repro.core.scheduler import WarpSchedule, build_schedule
@@ -77,23 +78,34 @@ def lane_accurate_spmv(
     for fmt, ids in tile_matrix.tile_ids.items():
         local_idx[ids] = np.arange(ids.size)
     schedule = schedule or build_schedule(ts.tile_ptr, tbalance)
+    profiler = tele.profiler() if tele.ENABLED else None
+    tile_nnz = ts.view.counts() if profiler is not None else None
     y = np.zeros(ts.m)
-    for w in range(schedule.n_warps):
-        start = int(schedule.warp_tile_start[w])
-        count = int(schedule.warp_tile_count[w])
-        row = int(schedule.warp_row[w])
-        y_partial = np.zeros(tile)
-        for t in range(start, start + count):
-            fmt = FormatID(fmt_of[t])
-            col = int(ts.tile_colidx[t])
-            x_slice = x_pad[col * tile : (col + 1) * tile]
-            y_partial += _tile_kernel(fmt, tile_matrix.payloads[fmt], int(local_idx[t]), x_slice, tile)
-        inj = faults.active_injector()
-        if inj is not None:
-            y_partial = inj.maybe_drop_lane(y_partial)
-        base = row * tile
-        rows = min(tile, ts.m - base)
-        # atomicAdd of the warp's partial into global y (split tile rows
-        # from several warps accumulate here).
-        y[base : base + rows] += y_partial[:rows]
+    with tele.span("kernel_execute", cat="executor", warps=schedule.n_warps,
+                   tiles=ts.n_tiles, nnz=ts.nnz):
+        for w in range(schedule.n_warps):
+            start = int(schedule.warp_tile_start[w])
+            count = int(schedule.warp_tile_count[w])
+            row = int(schedule.warp_row[w])
+            y_partial = np.zeros(tile)
+            for t in range(start, start + count):
+                fmt = FormatID(fmt_of[t])
+                col = int(ts.tile_colidx[t])
+                x_slice = x_pad[col * tile : (col + 1) * tile]
+                y_partial += _tile_kernel(fmt, tile_matrix.payloads[fmt], int(local_idx[t]), x_slice, tile)
+            inj = faults.active_injector()
+            if inj is not None:
+                y_partial = inj.maybe_drop_lane(y_partial)
+            if profiler is not None:
+                profiler.record_warp(
+                    w, row, count, int(tile_nnz[start : start + count].sum())
+                )
+            base = row * tile
+            rows = min(tile, ts.m - base)
+            # atomicAdd of the warp's partial into global y (split tile rows
+            # from several warps accumulate here).
+            y[base : base + rows] += y_partial[:rows]
+    if tele.ENABLED:
+        tele.count("executor_runs_total")
+        tele.count("executor_warps_total", n=schedule.n_warps)
     return y

@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry as tele
+
 __all__ = [
     "FaultPlan",
     "FaultInjector",
@@ -111,6 +113,8 @@ class FaultInjector:
             return 0
         self.injected += n
         self.by_kind[kind] = self.by_kind.get(kind, 0) + n
+        if tele.ENABLED:
+            tele.count("faults_injected_total", n=n, kind=kind)
         return n
 
     @property

@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro import telemetry as tele
 from repro.baselines.csr_scalar import CsrScalarSpMV
 from repro.core.tilespmv import TileSpMV
 from repro.gpu import faults
@@ -94,6 +95,8 @@ class ReliableSpMV:
         }
         csr, self.validation_report = canonicalize_csr(matrix, self.policy)
         self.counters["repairs"] += self.validation_report.n_repairs
+        if tele.ENABLED and self.validation_report.n_repairs:
+            tele.count("reliability_repairs_total", n=self.validation_report.n_repairs)
         self._csr = csr
         self.engine = TileSpMV(
             csr, method=method, plan_cache=plan_cache, validation="trust", **tile_kwargs
@@ -171,26 +174,43 @@ class ReliableSpMV:
                 return run()
         return run()
 
+    def _verify(self, x: np.ndarray, y: np.ndarray) -> bool:
+        """One checksum check, traced as an ``abft_verify`` span."""
+        if not tele.ENABLED:
+            return self.checksum.verify(x, y)
+        with tele.span("abft_verify", cat="reliability", nnz=self.nnz):
+            ok = self.checksum.verify(x, y)
+        tele.count("abft_verifications_total", outcome="ok" if ok else "detected")
+        return ok
+
     def _protected(self, x: np.ndarray, k: int | None) -> np.ndarray:
         run = (lambda: self.engine.spmv(x)) if k is None else (lambda: self.engine.spmm(x))
         y = run()
         if self.checksum is None:
             return y
-        if self.checksum.verify(x, y):
+        if self._verify(x, y):
             self.counters["verified_ok"] += 1
             return y
         self.counters["detected"] += 1
+        if tele.ENABLED:
+            tele.count("reliability_detected_total")
         for _ in range(self.max_retries):
             self._rebuild_engine()
             self.counters["retries"] += 1
+            if tele.ENABLED:
+                tele.count("reliability_retries_total")
             y = run()
-            if self.checksum.verify(x, y):
+            if self._verify(x, y):
                 self.counters["verified_ok"] += 1
                 return y
             self.counters["detected"] += 1
+            if tele.ENABLED:
+                tele.count("reliability_detected_total")
         self.counters["fallbacks"] += 1
+        if tele.ENABLED:
+            tele.count("reliability_fallbacks_total")
         y = self._fallback(x, k)
-        if not self.checksum.verify(x, y):
+        if not self._verify(x, y):
             raise ReliabilityError(
                 "reference fallback failed ABFT verification; "
                 "the matrix or checksum state is corrupted in host memory"

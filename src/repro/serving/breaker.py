@@ -32,6 +32,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro import telemetry as tele
+
 __all__ = ["BreakerState", "BreakerConfig", "CircuitBreaker"]
 
 
@@ -103,8 +105,12 @@ class CircuitBreaker:
             if now - self._opened_at >= self.config.cooldown_seconds:
                 self.state = BreakerState.HALF_OPEN
                 self._probe_streak = 0
+                if tele.ENABLED:
+                    tele.count("breaker_transitions_total", transition="half_open")
             else:
                 self.counters["fast_denied"] += 1
+                if tele.ENABLED:
+                    tele.count("breaker_fast_denied_total")
                 return False
         if self.state is BreakerState.HALF_OPEN:
             self.counters["probes"] += 1
@@ -120,6 +126,8 @@ class CircuitBreaker:
                 self.state = BreakerState.CLOSED
                 self.counters["closes"] += 1
                 self._consecutive_failures = 0
+                if tele.ENABLED:
+                    tele.count("breaker_transitions_total", transition="close")
         elif self.state is BreakerState.CLOSED:
             self._consecutive_failures = 0
 
@@ -128,18 +136,24 @@ class CircuitBreaker:
         self.counters["failures"] += 1
         if reason:
             self.failure_reasons[reason] = self.failure_reasons.get(reason, 0) + 1
+        if tele.ENABLED:
+            tele.count("breaker_failures_total", reason=reason or "unspecified")
         if self.state is BreakerState.HALF_OPEN:
             self.state = BreakerState.OPEN
             self._opened_at = now
             self._probe_streak = 0
             self.counters["reopens"] += 1
             self.counters["probe_failures"] += 1
+            if tele.ENABLED:
+                tele.count("breaker_transitions_total", transition="reopen")
         elif self.state is BreakerState.CLOSED:
             self._consecutive_failures += 1
             if self._consecutive_failures >= self.config.failure_threshold:
                 self.state = BreakerState.OPEN
                 self._opened_at = now
                 self.counters["trips"] += 1
+                if tele.ENABLED:
+                    tele.count("breaker_transitions_total", transition="trip")
 
     # -- accounting --------------------------------------------------------
 

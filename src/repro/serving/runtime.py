@@ -57,6 +57,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry as tele
 from repro.baselines.csr_scalar import CsrScalarSpMV
 from repro.core.plancache import PlanCache
 from repro.gpu import faults
@@ -234,9 +235,13 @@ class ServingRuntime:
             rid=req.rid, matrix_id=req.matrix_id, status="shed",
             arrival=req.arrival, deadline=req.deadline, queue_depth=depth,
         )
+        if tele.ENABLED:
+            tele.set_gauge("serving_queue_depth", depth)
         if depth >= self.config.queue_limit:
             self.counters["shed_queue_full"] += 1
             out.shed_reason = "queue_full"
+            if tele.ENABLED:
+                self._publish_shed(out, t)
             return out
 
         start = max(t, self.busy_until)
@@ -264,6 +269,8 @@ class ServingRuntime:
             self.counters["shed_deadline"] += 1
             out.shed_reason = "deadline"
             out.start = start
+            if tele.ENABLED:
+                self._publish_shed(out, start)
             return out
 
         x = np.random.default_rng(req.x_seed).standard_normal(sm.engine.shape[1])
@@ -312,7 +319,42 @@ class ServingRuntime:
         out.detected = detected
         out.recovered = recovered
         out.verified = True
+        if tele.ENABLED:
+            self._publish_served(out, service)
         return out
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _publish_shed(self, out: RequestOutcome, now: float) -> None:
+        """One shed request: counter plus an instant trace marker."""
+        tele.count("serving_requests_total", status=f"shed_{out.shed_reason}")
+        tracer = tele.tracer()
+        if tracer is not None:
+            tracer.clock.set_at_least(now)
+            tracer.instant(
+                "shed", cat="serve",
+                rid=out.rid, matrix=out.matrix_id, reason=out.shed_reason,
+            )
+
+    def _publish_served(self, out: RequestOutcome, service: float) -> None:
+        """One served request: ladder counters plus a ``serve`` span."""
+        tele.count("serving_requests_total", status="served")
+        tele.count("serving_level_total", level=out.level_name)
+        if not out.deadline_met:
+            tele.count("serving_deadline_misses_total")
+        if out.detected:
+            tele.count("serving_faults_detected_total", n=out.detected)
+        if out.recovered:
+            tele.count("serving_recoveries_total", n=out.recovered)
+        tele.observe("serving_latency_seconds", out.latency)
+        tracer = tele.tracer()
+        if tracer is not None:
+            tracer.add_complete(
+                "serve", start=out.start, duration=service, cat="serve",
+                rid=out.rid, matrix=out.matrix_id, level=out.level_name,
+                deadline_met=out.deadline_met, detected=out.detected,
+                queue_depth=out.queue_depth,
+            )
 
     def _scalar_verified(self, sm: _Served, x: np.ndarray) -> np.ndarray:
         """The trust rung: scalar reference outside the fault domain."""

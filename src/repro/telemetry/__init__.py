@@ -1,0 +1,182 @@
+"""Deterministic observability: tracing, metrics, profiling.
+
+One cross-cutting layer gives the whole pipeline eyes:
+
+* :mod:`repro.telemetry.tracer` — nestable spans
+  (``canonicalize → tile_build → arbitration → kernel_execute →
+  abft_verify → serve``) on a deterministic virtual clock, exported as
+  Chrome trace-event JSON for ``chrome://tracing`` / Perfetto;
+* :mod:`repro.telemetry.metrics` — a counter/gauge/histogram registry
+  the plan cache, circuit breakers, serving ladder, reliability ladder
+  and fault injector publish through under stable names;
+* :mod:`repro.telemetry.profile` — per-tile / per-warp records and a
+  roofline-annotated hotspot report.
+
+Telemetry is **disabled by default** and the instrumented hot paths pay
+a single module-attribute branch (``if telemetry.ENABLED:``) when it is
+off — nothing is allocated, formatted or counted.  Enable it per run:
+
+>>> from repro import telemetry
+>>> with telemetry.session() as (tracer, registry):
+...     pass  # instrumented work here
+>>> telemetry.ENABLED
+False
+
+Because every timestamp comes from the virtual clock and every counter
+from deterministic code paths, an identical seed and matrix produce a
+**byte-identical** trace and metrics export — which is what lets the
+golden-trace regression tests diff whole runs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.telemetry.clock import VirtualClock
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.tracer import SpanEvent, Tracer
+
+__all__ = [
+    "ENABLED",
+    "enable",
+    "disable",
+    "session",
+    "tracer",
+    "registry",
+    "profiler",
+    "count",
+    "observe",
+    "set_gauge",
+    "span",
+    "VirtualClock",
+    "Tracer",
+    "SpanEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+]
+
+# The single branch instrumented hot paths check. Everything else in
+# this module is only reached when telemetry is on.
+ENABLED = False
+
+_tracer: Tracer | None = None
+_registry: MetricsRegistry | None = None
+_profiler = None  # ProfileCollector | None (lazy import)
+
+
+def enable(trace: Tracer | bool | None = None,
+           metrics: MetricsRegistry | bool | None = None,
+           profile=None):
+    """Arm telemetry; returns ``(tracer, registry)``.
+
+    ``trace`` / ``metrics`` accept an existing collector, or ``True`` /
+    ``None`` for a fresh one.  ``profile`` accepts a
+    :class:`~repro.telemetry.profile.ProfileCollector` the lane-accurate
+    executor will emit per-warp records to, or ``True`` for a fresh one
+    (default off: per-warp records cost a dict append per warp).
+    """
+    global ENABLED, _tracer, _registry, _profiler
+    _tracer = trace if isinstance(trace, Tracer) else Tracer()
+    _registry = metrics if isinstance(metrics, MetricsRegistry) else MetricsRegistry()
+    if profile is True:
+        from repro.telemetry.profile import ProfileCollector
+
+        profile = ProfileCollector()
+    _profiler = profile or None
+    ENABLED = True
+    return _tracer, _registry
+
+
+def disable() -> None:
+    """Disarm telemetry and drop the active collectors."""
+    global ENABLED, _tracer, _registry, _profiler
+    ENABLED = False
+    _tracer = None
+    _registry = None
+    _profiler = None
+
+
+@contextmanager
+def session(trace: Tracer | None = None, metrics: MetricsRegistry | None = None,
+            profile=None):
+    """Enable telemetry for a scope, restoring the previous state after.
+
+    Yields ``(tracer, registry)`` — keep references if you need to
+    export after the scope closes.
+    """
+    prev = (ENABLED, _tracer, _registry, _profiler)
+    pair = enable(trace, metrics, profile)
+    try:
+        yield pair
+    finally:
+        globals().update(zip(("ENABLED", "_tracer", "_registry", "_profiler"), prev))
+
+
+def tracer() -> Tracer | None:
+    """The active tracer (``None`` when disabled)."""
+    return _tracer
+
+
+def registry() -> MetricsRegistry | None:
+    """The active metrics registry (``None`` when disabled)."""
+    return _registry
+
+
+def profiler():
+    """The active :class:`ProfileCollector` (``None`` unless installed)."""
+    return _profiler
+
+
+# -- hot-path helpers (call only behind an ``if telemetry.ENABLED:``) ------
+
+def count(name: str, n: float = 1.0, **labels) -> None:
+    """Increment a registry counter (no-op if telemetry is off)."""
+    if _registry is not None:
+        _registry.counter(name, **labels).inc(n)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    """Observe a histogram sample (no-op if telemetry is off)."""
+    if _registry is not None:
+        _registry.histogram(name, **labels).observe(value)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    """Set a gauge (no-op if telemetry is off)."""
+    if _registry is not None:
+        _registry.gauge(name, **labels).set(value)
+
+
+class _NullSpan:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, cat: str = "repro", duration: float | None = None, **args):
+    """Context manager recording a span on the active tracer.
+
+    Returns a shared no-op context when telemetry is off, so callers
+    may use it unguarded in cold paths.
+    """
+    if ENABLED and _tracer is not None:
+        return _tracer.span(name, cat=cat, duration=duration, **args)
+    return _NULL_SPAN
+
+
+def __getattr__(name: str):
+    # Lazy profile import: it pulls in the cost model / roofline stack,
+    # which instrumented core modules must not import at import time.
+    if name in ("ProfileCollector", "TileRecord", "WarpRecord",
+                "profile_tile_matrix", "hotspot_report"):
+        from repro.telemetry import profile as _p
+
+        return getattr(_p, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

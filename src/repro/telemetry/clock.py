@@ -1,0 +1,47 @@
+"""The deterministic virtual clock the tracing layer runs on.
+
+Telemetry must never read wall time: the whole observability layer's
+promise is that an identical seed and matrix produce a byte-identical
+trace, which only holds if every timestamp is derived from modelled
+quantities (cost-model seconds, the serving runtime's virtual ``now``)
+or from deterministic event ticks.  :class:`VirtualClock` is the single
+time source every :class:`~repro.telemetry.tracer.Tracer` uses.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock", "DEFAULT_TICK_SECONDS"]
+
+# Spans that carry no modelled duration still need nonzero extent so a
+# timeline viewer can nest them; one tick is one virtual microsecond.
+DEFAULT_TICK_SECONDS = 1e-6
+
+
+class VirtualClock:
+    """Monotone virtual time in seconds, advanced only by the caller.
+
+    ``advance`` charges a modelled duration (cost-model seconds, plan
+    build surcharges); ``set_at_least`` synchronises with an external
+    virtual clock such as :class:`~repro.serving.runtime.ServingRuntime`
+    without ever moving backwards.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (negative charges are errors)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by {seconds} s")
+        self.now += float(seconds)
+        return self.now
+
+    def set_at_least(self, seconds: float) -> float:
+        """Fast-forward to ``seconds`` if it is ahead; never rewind."""
+        if seconds > self.now:
+            self.now = float(seconds)
+        return self.now
+
+    def tick(self) -> float:
+        """Advance by the minimal deterministic event granularity."""
+        return self.advance(DEFAULT_TICK_SECONDS)

@@ -1,0 +1,170 @@
+"""Counters, gauges and histograms with labels, snapshot and export.
+
+The pipeline's rich counters — plan-cache hits, breaker transitions,
+degradation-ladder rungs, ABFT detections, injected faults — previously
+lived as ad-hoc attributes on their owning objects.  The
+:class:`MetricsRegistry` gives them one home with **stable names**
+(documented in docs/OBSERVABILITY.md) so dashboards and tests can read
+them without knowing which object incremented what.
+
+Everything is deterministic: snapshots are sorted, the text format is
+Prometheus-flavoured (``name{label="v"} value``), and the JSON export is
+byte-stable for a given sequence of updates.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+# Virtual-latency buckets: SpMV services live in the µs–ms range.
+DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+
+
+def _label_key(labels: dict) -> str:
+    """Canonical ``{k="v",...}`` suffix (sorted; empty string if none)."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotone event count."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """Last-written instantaneous value (queue depth, cache size)."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket distribution (virtual latencies, service times)."""
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 for the +Inf bucket
+        self.total = 0.0
+        self.n = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += float(value)
+        self.n += 1
+
+    def snapshot(self) -> dict:
+        cumulative: dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            cumulative[f"{bound:g}"] = running
+        cumulative["+Inf"] = running + self.counts[-1]
+        return {"buckets": cumulative, "sum": self.total, "count": self.n}
+
+
+class MetricsRegistry:
+    """Get-or-create metric families keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = name + _label_key(labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = name + _label_key(labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        key = name + _label_key(labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(buckets)
+        return metric
+
+    # -- reading -----------------------------------------------------------
+
+    def value(self, name: str, **labels) -> float:
+        """Current value of a counter or gauge (0 if never touched)."""
+        key = name + _label_key(labels)
+        if key in self._counters:
+            return self._counters[key].value
+        if key in self._gauges:
+            return self._gauges[key].value
+        return 0.0
+
+    def snapshot(self) -> dict:
+        """Deterministic nested-dict view of every metric."""
+        return {
+            "counters": {k: self._counters[k].value for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {k: self._histograms[k].snapshot() for k in sorted(self._histograms)},
+        }
+
+    def reset(self) -> None:
+        """Zero everything, keeping the registered families."""
+        for c in self._counters.values():
+            c.value = 0.0
+        for g in self._gauges.values():
+            g.value = 0.0
+        for h in self._histograms.values():
+            h.counts = [0] * (len(h.bounds) + 1)
+            h.total = 0.0
+            h.n = 0
+
+    # -- export ------------------------------------------------------------
+
+    def render_text(self) -> str:
+        """Prometheus-flavoured exposition (sorted, deterministic)."""
+        lines: list[str] = []
+        for key in sorted(self._counters):
+            lines.append(f"{key} {self._counters[key].value:g}")
+        for key in sorted(self._gauges):
+            lines.append(f"{key} {self._gauges[key].value:g}")
+        for key in sorted(self._histograms):
+            snap = self._histograms[key].snapshot()
+            name, _, labels = key.partition("{")
+            labels = ("{" + labels) if labels else ""
+            for bound, cum in snap["buckets"].items():
+                extra = f'le="{bound}"'
+                merged = labels[:-1] + "," + extra + "}" if labels else "{" + extra + "}"
+                lines.append(f"{name}_bucket{merged} {cum}")
+            lines.append(f"{name}_sum{labels} {snap['sum']:g}")
+            lines.append(f"{name}_count{labels} {snap['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> str:
+        """Byte-stable JSON export of :meth:`snapshot`."""
+        return json.dumps(self.snapshot(), sort_keys=True, separators=(",", ":")) + "\n"
+
+    def export(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json())

@@ -1,0 +1,202 @@
+"""Lightweight deterministic spans with Chrome trace-event export.
+
+A :class:`Tracer` records nestable spans (``canonicalize``,
+``tile_build``, ``arbitration``, ``kernel_execute``, ``abft_verify``,
+``serve``) on a :class:`~repro.telemetry.clock.VirtualClock`.  Spans
+either carry an explicit modelled duration (the serving runtime knows
+its virtual service times) or auto-tick one virtual microsecond, so two
+runs with the same seed produce byte-identical exports.
+
+The export format is the Chrome trace-event JSON array-of-events form
+(``{"traceEvents": [...]}``) understood by ``chrome://tracing`` and
+Perfetto; every span becomes a complete ("X") event on one process/
+thread track, nested by containment.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["SpanEvent", "Tracer"]
+
+from repro.telemetry.clock import VirtualClock
+
+
+def _us(seconds: float) -> float:
+    """Virtual seconds → microseconds, rounded to ns resolution.
+
+    The rounding scrubs float accumulation noise (``2e-6 * 1e6`` is
+    ``1.9999999999999998``) so exports stay human-readable; it is a pure
+    function of the input, so byte-determinism is unaffected.
+    """
+    return round(seconds * 1e6, 3)
+
+
+def _jsonable(value):
+    """Coerce span-arg values to plain JSON scalars (numpy included)."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return _jsonable(value.item())
+    return str(value)
+
+
+@dataclass
+class SpanEvent:
+    """One completed span (or instant) in virtual time."""
+
+    name: str
+    cat: str
+    ts_us: float           # start, virtual microseconds
+    dur_us: float          # extent in virtual microseconds (0 for instants)
+    ph: str = "X"          # "X" complete span | "i" instant
+    args: dict = field(default_factory=dict)
+    seq: int = 0           # insertion order, stabilises the export sort
+
+    def to_chrome(self) -> dict:
+        event = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts": self.ts_us,
+            "pid": 1,
+            "tid": 1,
+            "args": self.args,
+        }
+        if self.ph == "X":
+            event["dur"] = self.dur_us
+        else:
+            event["s"] = "t"
+        return event
+
+
+class Tracer:
+    """Span recorder on a virtual clock, with deterministic JSON export."""
+
+    def __init__(self, clock: VirtualClock | None = None) -> None:
+        self.clock = clock or VirtualClock()
+        self.events: list[SpanEvent] = []
+        self._depth = 0
+        self._seq = 0
+
+    # -- recording ---------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, cat: str = "repro", duration: float | None = None, **args):
+        """Record a nested span around the wrapped work.
+
+        ``duration`` is a modelled charge in virtual seconds applied at
+        exit; without one the span auto-ticks so it still has visible,
+        deterministic extent.  Work inside the span may itself advance
+        the clock (child spans, explicit ``advance``) — the parent's
+        extent always covers its children.
+        """
+        start = self.clock.now
+        self._depth += 1
+        try:
+            yield self
+        finally:
+            self._depth -= 1
+            if duration is not None:
+                self.clock.advance(duration)
+            elif self.clock.now == start:
+                self.clock.tick()
+            self._append(SpanEvent(
+                name=name,
+                cat=cat,
+                ts_us=_us(start),
+                dur_us=_us(self.clock.now - start),
+                args={k: _jsonable(v) for k, v in args.items()},
+            ))
+
+    def add_complete(self, name: str, start: float, duration: float,
+                     cat: str = "repro", **args) -> None:
+        """Record a span whose virtual extent is already known.
+
+        Used by callers that own their own virtual clock (the serving
+        runtime): ``start``/``duration`` are virtual seconds.  The
+        tracer's clock is fast-forwarded so later auto-ticked spans sort
+        after this one.
+        """
+        self._append(SpanEvent(
+            name=name,
+            cat=cat,
+            ts_us=_us(start),
+            dur_us=_us(duration),
+            args={k: _jsonable(v) for k, v in args.items()},
+        ))
+        self.clock.set_at_least(start + duration)
+
+    def instant(self, name: str, cat: str = "repro", **args) -> None:
+        """Record a zero-extent marker (sheds, detections, transitions)."""
+        self._append(SpanEvent(
+            name=name,
+            cat=cat,
+            ts_us=_us(self.clock.now),
+            dur_us=0.0,
+            ph="i",
+            args={k: _jsonable(v) for k, v in args.items()},
+        ))
+        self.clock.tick()
+
+    def advance(self, seconds: float) -> None:
+        """Charge modelled virtual seconds to the open span (if any)."""
+        self.clock.advance(seconds)
+
+    def _append(self, event: SpanEvent) -> None:
+        event.seq = self._seq
+        self._seq += 1
+        self.events.append(event)
+
+    # -- aggregation -------------------------------------------------------
+
+    def span_totals(self) -> dict[str, dict[str, float]]:
+        """Per-span-name count and total virtual extent (µs).
+
+        Nested spans each contribute their full extent — the totals
+        attribute *where virtual time was spent per stage*, not a
+        partition of wall time.
+        """
+        totals: dict[str, dict[str, float]] = {}
+        for ev in self.events:
+            if ev.ph != "X":
+                continue
+            agg = totals.setdefault(ev.name, {"count": 0, "total_us": 0.0})
+            agg["count"] += 1
+            agg["total_us"] += ev.dur_us
+        return totals
+
+    # -- export ------------------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """The Chrome trace-event object (events sorted by virtual time)."""
+        ordered = sorted(self.events, key=lambda e: (e.ts_us, e.seq))
+        return {
+            "displayTimeUnit": "ms",
+            "traceEvents": [
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"name": "repro (virtual clock)"},
+                },
+                *[e.to_chrome() for e in ordered],
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Deterministic serialisation: sorted keys, fixed separators."""
+        return json.dumps(self.to_chrome(), sort_keys=True, separators=(",", ":")) + "\n"
+
+    def export(self, path) -> None:
+        """Write the trace where ``chrome://tracing`` / Perfetto can open it."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json())

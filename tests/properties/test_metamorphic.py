@@ -1,0 +1,113 @@
+"""Metamorphic properties of SpMV, checked across every engine.
+
+Each relation below must hold for *any* correct SpMV implementation,
+so a violation localises a bug without needing an external oracle:
+
+* linearity       — A(ax + by) = a(Ax) + b(Ay)
+* permutation     — (PAQ)x = P(A(Qx)): reordering rows/columns commutes
+                    with the product
+* adjoint         — <w, Ax> = <A^T w, x>: the engine built on A and the
+                    engine built on A^T describe the same operator
+
+Engines: TileSpMV (all strategies arbitrated by ``auto``) and the five
+baselines.  Matrices come from the structural generators; everything is
+seeded, so failures replay exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BsrSpMV,
+    Csr5SpMV,
+    CsrScalarSpMV,
+    HybGlobalSpMV,
+    MergeSpMV,
+)
+from repro.core.tilespmv import TileSpMV
+from repro.matrices import generators as g
+
+pytestmark = pytest.mark.properties
+
+ENGINES = [
+    ("tilespmv", lambda m: TileSpMV(m, method="auto")),
+    ("csr_scalar", CsrScalarSpMV),
+    ("merge", MergeSpMV),
+    ("csr5", Csr5SpMV),
+    ("bsr", BsrSpMV),
+    ("hyb_global", HybGlobalSpMV),
+]
+
+
+def _matrices():
+    return [
+        ("random", g.random_uniform(130, 170, nnz_per_row=5, seed=21)),
+        ("banded", g.banded(160, half_bandwidth=5, seed=22)),
+        ("powerlaw", g.power_law(220, avg_degree=5, seed=23)),
+        ("stencil", g.stencil_2d(12, seed=24)),
+        ("hypersparse", g.hypersparse(260, nnz=40, seed=25)),
+        ("lp_like", g.lp_like(60, 190, seed=26)),
+    ]
+
+
+@pytest.fixture(params=_matrices(), ids=[n for n, _ in _matrices()])
+def matrix(request):
+    return request.param[1]
+
+
+@pytest.fixture(params=ENGINES, ids=[n for n, _ in ENGINES])
+def build(request):
+    return request.param[1]
+
+
+def test_linearity(matrix, build):
+    rng = np.random.default_rng(101)
+    engine = build(matrix)
+    n = matrix.shape[1]
+    for _ in range(3):
+        x, y = rng.standard_normal(n), rng.standard_normal(n)
+        a, b = rng.uniform(-3, 3, size=2)
+        lhs = engine.spmv(a * x + b * y)
+        rhs = a * engine.spmv(x) + b * engine.spmv(y)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+
+def test_permutation_equivariance(matrix, build):
+    rng = np.random.default_rng(202)
+    m, n = matrix.shape
+    pr, pc = rng.permutation(m), rng.permutation(n)
+    permuted = matrix.tocsr()[pr][:, pc].tocsr()
+    x = rng.standard_normal(n)
+    x_full = np.empty(n)
+    x_full[pc] = x
+    got = build(permuted).spmv(x)
+    want = build(matrix).spmv(x_full)[pr]
+    np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-11)
+
+
+def test_adjoint_identity(matrix, build):
+    rng = np.random.default_rng(303)
+    m, n = matrix.shape
+    forward = build(matrix)
+    backward = build(matrix.T.tocsr())
+    for _ in range(3):
+        x, w = rng.standard_normal(n), rng.standard_normal(m)
+        lhs = float(w @ forward.spmv(x))
+        rhs = float(backward.spmv(w) @ x)
+        assert lhs == pytest.approx(rhs, rel=1e-8, abs=1e-8)
+
+
+def test_tilespmv_transpose_matches_transposed_engine(matrix):
+    rng = np.random.default_rng(404)
+    engine = TileSpMV(matrix, method="auto")
+    transposed = TileSpMV(matrix.T.tocsr(), method="auto")
+    w = rng.standard_normal(matrix.shape[0])
+    np.testing.assert_allclose(
+        engine.spmv_transpose(w), transposed.spmv(w), rtol=1e-9, atol=1e-11
+    )
+
+
+def test_zero_vector_maps_to_zero(matrix, build):
+    y = build(matrix).spmv(np.zeros(matrix.shape[1]))
+    assert y.shape == (matrix.shape[0],)
+    assert not y.any()

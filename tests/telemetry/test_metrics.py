@@ -1,0 +1,104 @@
+"""Metrics registry: labels, histogram bucketing, deterministic export."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total")
+    c.inc()
+    c.inc(4)
+    assert reg.value("requests_total") == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_labelled_series_are_independent():
+    reg = MetricsRegistry()
+    reg.counter("requests_total", status="served").inc(3)
+    reg.counter("requests_total", status="shed_queue_full").inc()
+    assert reg.value("requests_total", status="served") == 3
+    assert reg.value("requests_total", status="shed_queue_full") == 1
+
+
+def test_label_order_does_not_matter():
+    reg = MetricsRegistry()
+    reg.counter("m", a="1", b="2").inc()
+    reg.counter("m", b="2", a="1").inc()
+    assert reg.value("m", a="1", b="2") == 2
+
+
+def test_gauge_overwrites():
+    reg = MetricsRegistry()
+    g = reg.gauge("queue_depth")
+    g.set(7)
+    g.set(2)
+    assert reg.value("queue_depth") == 2
+
+
+def test_histogram_buckets_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("latency_seconds", buckets=(1e-3, 1e-2, 1e-1))
+    for v in (5e-4, 5e-4, 5e-3, 5.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(5e-4 + 5e-4 + 5e-3 + 5.0)
+    assert snap["buckets"]["0.001"] == 2
+    assert snap["buckets"]["0.01"] == 3
+    assert snap["buckets"]["0.1"] == 3
+    assert snap["buckets"]["+Inf"] == 4
+
+
+def test_histogram_boundary_lands_in_its_bucket():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=(1.0, 2.0))
+    h.observe(1.0)  # le=1.0 bucket includes the boundary
+    assert h.snapshot()["buckets"]["1"] == 1
+
+
+def test_snapshot_and_reset():
+    reg = MetricsRegistry()
+    reg.counter("a_total").inc()
+    reg.gauge("b").set(3)
+    reg.histogram("c_seconds").observe(0.5)
+    snap = reg.snapshot()
+    assert snap["counters"]["a_total"] == 1
+    assert snap["gauges"]["b"] == 3
+    assert snap["histograms"]["c_seconds"]["count"] == 1
+    reg.reset()
+    zeroed = reg.snapshot()
+    assert zeroed["counters"]["a_total"] == 0
+    assert zeroed["gauges"]["b"] == 0
+    assert zeroed["histograms"]["c_seconds"]["count"] == 0
+
+
+def test_render_text_is_sorted_and_stable():
+    reg = MetricsRegistry()
+    reg.counter("zeta_total").inc()
+    reg.counter("alpha_total", kind="x").inc(2)
+    text = reg.render_text()
+    assert text.index("alpha_total") < text.index("zeta_total")
+    assert 'alpha_total{kind="x"} 2' in text
+    assert text == reg.render_text()
+
+
+def test_to_json_byte_deterministic(tmp_path):
+    def build() -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("hits_total", cache="plan").inc(7)
+        reg.gauge("size").set(3)
+        reg.histogram("lat_seconds").observe(2e-4)
+        return reg
+
+    j1, j2 = build().to_json(), build().to_json()
+    assert j1 == j2
+    path = tmp_path / "metrics.json"
+    build().export(path)
+    assert path.read_text() == j1
+    doc = json.loads(j1)
+    assert doc["counters"]['hits_total{cache="plan"}'] == 7

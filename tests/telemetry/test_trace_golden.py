@@ -1,0 +1,82 @@
+"""Golden-trace regression: the whole observability layer, byte-for-byte.
+
+The fixture ``golden_trace.json`` was recorded with::
+
+    python -m repro trace --requests 12 --matrices 2 --seed 5 --faults 1
+
+Because every timestamp comes from the virtual clock, re-recording the
+same workload must reproduce the file exactly; any diff means either a
+behaviour change in the pipeline (tiling, arbitration, serving,
+reliability) or lost determinism in the telemetry layer — both of which
+should be deliberate, reviewed changes.  Regenerate by running the
+command above and copying the output here.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main as cli_main
+
+GOLDEN = Path(__file__).parent / "golden_trace.json"
+ARGS = ["trace", "--requests", "12", "--matrices", "2", "--seed", "5",
+        "--faults", "1"]
+
+
+def _record(tmp_path, name):
+    out = tmp_path / f"{name}.json"
+    rc = cli_main([*ARGS, "--out", str(out)])
+    assert rc == 0
+    return out.read_text(), (tmp_path / f"{name}.metrics.json").read_text()
+
+
+def test_trace_matches_checked_in_golden(tmp_path):
+    trace, _ = _record(tmp_path, "run")
+    assert trace == GOLDEN.read_text(), (
+        "trace diverged from tests/telemetry/golden_trace.json — if the "
+        "pipeline change is intentional, regenerate the fixture (see module "
+        "docstring)"
+    )
+
+
+def test_two_recordings_are_byte_identical(tmp_path):
+    t1, m1 = _record(tmp_path, "a")
+    t2, m2 = _record(tmp_path, "b")
+    assert t1 == t2
+    assert m1 == m2
+
+
+def test_golden_is_valid_chrome_trace_json():
+    doc = json.loads(GOLDEN.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    assert events[0]["ph"] == "M"
+    names = {e["name"] for e in events}
+    # the documented span vocabulary is present
+    for span in ("canonicalize", "tile_build", "arbitration",
+                 "kernel_execute", "abft_verify", "serve"):
+        assert span in names, f"span {span!r} missing from the golden trace"
+
+
+def test_metrics_surface_stable_names(tmp_path):
+    _, metrics = _record(tmp_path, "m")
+    counters = json.loads(metrics)["counters"]
+    gauges = json.loads(metrics)["gauges"]
+    for name in (
+        "plan_cache_misses_total",
+        "plan_cache_hits_total",
+        'serving_requests_total{status="served"}',
+        "serving_faults_detected_total",
+        "serving_recoveries_total",
+        'abft_verifications_total{outcome="ok"}',
+        'abft_verifications_total{outcome="detected"}',
+        "reliability_detected_total",
+        "reliability_retries_total",
+        'faults_injected_total{kind="tile_payload"}',
+        'tilespmv_builds_total{method="adpt"}',
+        "executor_runs_total",
+    ):
+        assert name in counters, f"counter {name!r} missing"
+    assert "plan_cache_size" in gauges
+    assert "serving_queue_depth" in gauges
+    histograms = json.loads(metrics)["histograms"]
+    assert histograms["serving_latency_seconds"]["count"] > 0

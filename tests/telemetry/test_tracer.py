@@ -1,0 +1,138 @@
+"""Tracer behaviour: virtual clock, nesting, determinism, export shape."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry.clock import DEFAULT_TICK_SECONDS, VirtualClock
+from repro.telemetry.tracer import Tracer
+
+
+def test_clock_advances_and_rejects_negative():
+    c = VirtualClock()
+    assert c.now == 0.0
+    c.advance(1.5e-6)
+    assert c.now == pytest.approx(1.5e-6)
+    c.tick()
+    assert c.now == pytest.approx(1.5e-6 + DEFAULT_TICK_SECONDS)
+    with pytest.raises(ValueError):
+        c.advance(-1e-9)
+
+
+def test_clock_set_at_least_never_rewinds():
+    c = VirtualClock()
+    c.advance(5e-6)
+    c.set_at_least(2e-6)
+    assert c.now == pytest.approx(5e-6)
+    c.set_at_least(9e-6)
+    assert c.now == pytest.approx(9e-6)
+
+
+def test_span_auto_ticks_without_duration():
+    tr = Tracer()
+    with tr.span("work"):
+        pass
+    (ev,) = tr.events
+    assert ev.name == "work"
+    assert ev.ts_us == 0.0
+    assert ev.dur_us == pytest.approx(1.0)
+
+
+def test_span_charges_explicit_duration():
+    tr = Tracer()
+    with tr.span("modelled", duration=3e-6):
+        pass
+    (ev,) = tr.events
+    assert ev.dur_us == pytest.approx(3.0)
+    assert tr.clock.now == pytest.approx(3e-6)
+
+
+def test_nested_spans_contained_in_parent():
+    tr = Tracer()
+    with tr.span("parent"):
+        with tr.span("child_a"):
+            pass
+        with tr.span("child_b", duration=2e-6):
+            pass
+    by_name = {e.name: e for e in tr.events}
+    parent, a, b = by_name["parent"], by_name["child_a"], by_name["child_b"]
+    assert parent.ts_us <= a.ts_us
+    assert parent.ts_us + parent.dur_us >= b.ts_us + b.dur_us
+    # children laid out sequentially on the virtual timeline
+    assert a.ts_us + a.dur_us <= b.ts_us
+
+
+def test_add_complete_fast_forwards_clock():
+    tr = Tracer()
+    tr.add_complete("serve", start=4e-6, duration=6e-6, cat="serve", rid=3)
+    assert tr.clock.now == pytest.approx(10e-6)
+    with tr.span("after"):
+        pass
+    assert tr.events[-1].ts_us >= 10.0
+
+
+def test_span_args_coerce_numpy_scalars():
+    tr = Tracer()
+    with tr.span("k", nnz=np.int64(7), util=np.float64(0.5), fmt="CSR"):
+        pass
+    args = tr.events[0].args
+    assert args == {"nnz": 7, "util": 0.5, "fmt": "CSR"}
+    assert type(args["nnz"]) is int
+
+
+def test_to_json_is_deterministic_and_valid_chrome_format():
+    def run() -> str:
+        tr = Tracer()
+        with tr.span("outer", cat="build"):
+            with tr.span("inner"):
+                pass
+        tr.instant("marker", reason="test")
+        tr.add_complete("serve", start=1e-5, duration=2e-6)
+        return tr.to_json()
+
+    j1, j2 = run(), run()
+    assert j1 == j2
+    doc = json.loads(j1)
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    assert events[0]["ph"] == "M"  # process_name metadata first
+    phases = {e["ph"] for e in events[1:]}
+    assert phases <= {"X", "i"}
+    for e in events[1:]:
+        assert e["pid"] == 1 and e["tid"] == 1
+        if e["ph"] == "X":
+            assert e["dur"] >= 0
+    # sorted by timestamp
+    ts = [e["ts"] for e in events[1:]]
+    assert ts == sorted(ts)
+
+
+def test_span_totals_aggregates_by_name():
+    tr = Tracer()
+    for _ in range(3):
+        with tr.span("stage", duration=2e-6):
+            pass
+    tr.instant("not_a_span")
+    totals = tr.span_totals()
+    assert totals["stage"]["count"] == 3
+    assert totals["stage"]["total_us"] == pytest.approx(6.0)
+    assert "not_a_span" not in totals
+
+
+def test_export_round_trips(tmp_path):
+    tr = Tracer()
+    with tr.span("io"):
+        pass
+    path = tmp_path / "trace.json"
+    tr.export(path)
+    assert json.loads(path.read_text())["traceEvents"]
+
+
+def test_exception_inside_span_still_records():
+    tr = Tracer()
+    with pytest.raises(RuntimeError):
+        with tr.span("doomed"):
+            raise RuntimeError("boom")
+    assert tr.events[0].name == "doomed"
+    assert tr.events[0].dur_us > 0

@@ -1,0 +1,48 @@
+"""Smoke: every benchmark entry point imports and answers ``--help``.
+
+The benchmark scripts are CI entry points invoked as plain programs
+(``python benchmarks/bench_*.py --quick``), so a latent import error or
+argparse drift only surfaces when CI reaches that step.  This runs each
+argparse-driven script in a subprocess with ``--help``, which exercises
+the full import chain and the parser wiring without paying for a real
+benchmark run.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH = REPO / "benchmarks"
+
+# Scripts with their own argparse main(); the rest of benchmarks/ are
+# pytest-benchmark modules collected by the bench suite instead.
+SCRIPTS = sorted(
+    p.name
+    for p in BENCH.glob("bench_*.py")
+    if "argparse" in p.read_text()
+)
+
+
+def test_the_argparse_script_set_is_nonempty():
+    assert "bench_batched.py" in SCRIPTS
+    assert "bench_serving.py" in SCRIPTS
+    assert "bench_telemetry.py" in SCRIPTS
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_help_exits_cleanly(script):
+    proc = subprocess.run(
+        [sys.executable, str(BENCH / script), "--help"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, (
+        f"{script} --help failed:\n{proc.stderr or proc.stdout}"
+    )
+    assert "--quick" in proc.stdout or "usage" in proc.stdout.lower()

@@ -28,3 +28,45 @@ def test_elapsed_nonnegative():
     with t:
         sum(range(100))
     assert t.elapsed >= 0.0
+
+
+def test_enter_returns_the_timer():
+    t = Timer()
+    with t as inner:
+        assert inner is t
+
+
+def test_exception_path_still_accumulates():
+    t = Timer()
+    try:
+        with t:
+            time.sleep(0.005)
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert t.elapsed > 0.0
+    # and the timer is reusable afterwards
+    before = t.elapsed
+    with t:
+        pass
+    assert t.elapsed >= before
+
+
+def test_reset_clears_pending_start():
+    t = Timer()
+    t.__enter__()
+    t.reset()
+    assert t.elapsed == 0.0
+    assert t._start is None
+    # a fresh use after the mid-flight reset works normally
+    with t:
+        pass
+    assert t.elapsed >= 0.0
+
+
+def test_independent_instances_do_not_share_state():
+    a, b = Timer(), Timer()
+    with a:
+        time.sleep(0.002)
+    assert b.elapsed == 0.0
+    assert a.elapsed > 0.0
