@@ -1,0 +1,172 @@
+"""Sharded multi-device SpMV perf smoke: exactness, wall clock, model.
+
+Runs :class:`repro.dist.sharded.ShardedSpMV` over a matrix set at
+P in {1, 2, 4, 8} and reports, per matrix and shard count:
+
+* **exactness** — the sharded product must be *bit-for-bit* the
+  single-device product (fixed method ``adpt``), not merely close,
+* **wall time** — one concurrent sharded ``spmv`` vs the unsharded
+  engine (median over repeats; threads only help on multi-core hosts),
+* **model** — the interconnect-aware multi-device makespan, speedup
+  and efficiency from :class:`~repro.gpu.costmodel.MultiDeviceRunCost`,
+* **partition quality** — the nnz imbalance of the tile-snapped cuts.
+
+Results land in a JSON file (default ``BENCH_sharding.json``) so CI can
+archive them.  ``--quick`` uses two small synthetic matrices and is the
+CI smoke; the full run adds a large banded matrix where sharding has
+real work to spread.
+
+The wall-clock gate is CPU-aware: the >1.5x speedup requirement at P=4
+only applies when the host actually has >= 4 CPUs (the record carries
+``cpu_limited: true`` otherwise, and the gate falls back to exactness +
+a sanity bound on sharding overhead).  The modelled efficiency table is
+deterministic on any host.
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.plancache import PlanCache
+from repro.core.tilespmv import TileSpMV
+from repro.dist import ShardedSpMV, modelled_shard_sweep
+from repro.gpu.device import A100, TITAN_RTX
+
+COUNTS = (1, 2, 4, 8)
+
+
+def _matrices(quick: bool):
+    from repro.matrices import generators as g
+
+    if quick:
+        return [
+            ("fem_quick", g.fem_blocks(600, block=3, avg_degree=12, seed=7)),
+            ("powerlaw_quick", g.power_law(1500, avg_degree=8, seed=8)),
+        ]
+    return [
+        ("fem_blocks", g.fem_blocks(3000, block=3, avg_degree=12, seed=7)),
+        ("power_law", g.power_law(20000, avg_degree=8, seed=8)),
+        ("banded_large", g.banded(60000, half_bandwidth=8, seed=9)),
+    ]
+
+
+def _median_wall(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def bench_matrix(name, matrix, device, repeats: int) -> dict:
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(matrix.shape[1])
+
+    base = TileSpMV(matrix, method="adpt")
+    y_ref = base.spmv(x)
+    wall_base = _median_wall(lambda: base.spmv(x), repeats)
+
+    row = {
+        "matrix": name,
+        "m": matrix.shape[0],
+        "n": matrix.shape[1],
+        "nnz": int(matrix.nnz),
+        "wall_unsharded_s": wall_base,
+        "shards": [],
+    }
+
+    sweep = {r["shards"]: r for r in modelled_shard_sweep(matrix, counts=COUNTS, device=device)}
+
+    for p in COUNTS:
+        cache = PlanCache()
+        with ShardedSpMV(matrix, shards=p, method="adpt", plan_cache=cache) as eng:
+            y = eng.spmv(x)
+            if not np.array_equal(y, y_ref):
+                raise AssertionError(f"{name}: P={p} sharded spmv is not bit-exact")
+            wall = _median_wall(lambda: eng.spmv(x), repeats)
+            model = sweep[p]
+            row["shards"].append(
+                {
+                    "shards": p,
+                    "wall_s": wall,
+                    "wall_speedup": wall_base / wall if wall > 0 else 0.0,
+                    "model_makespan_s": model["makespan_s"],
+                    "model_speedup": model["speedup"],
+                    "model_efficiency": model["efficiency"],
+                    "imbalance": model["imbalance"],
+                    "comm_bytes": model["comm_bytes"],
+                }
+            )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small synthetic set (CI smoke)")
+    parser.add_argument("--out", default="BENCH_sharding.json", help="JSON output path")
+    parser.add_argument("--device", default="a100", choices=("a100", "titanrtx"))
+    parser.add_argument("--repeats", type=int, default=5, help="wall-clock repeats (median)")
+    args = parser.parse_args(argv)
+    device = {"a100": A100, "titanrtx": TITAN_RTX}[args.device]
+
+    cpus = os.cpu_count() or 1
+    cpu_limited = cpus < 4
+
+    rows = []
+    for name, matrix in _matrices(args.quick):
+        row = bench_matrix(name, matrix, device, args.repeats)
+        rows.append(row)
+        for s in row["shards"]:
+            print(
+                f"{name:16s} P={s['shards']:2d} "
+                f"wall {s['wall_s'] * 1e3:8.3f} ms ({s['wall_speedup']:5.2f}x)  "
+                f"model {s['model_makespan_s'] * 1e6:8.2f} us "
+                f"({s['model_speedup']:5.2f}x, eff {s['model_efficiency']:.2f})  "
+                f"imbalance {s['imbalance']:.2f}"
+            )
+
+    best_wall_p4 = max(
+        (s["wall_speedup"] for r in rows for s in r["shards"] if s["shards"] == 4),
+        default=0.0,
+    )
+    worst_overhead = min(
+        (s["wall_speedup"] for r in rows for s in r["shards"] if s["shards"] == 4),
+        default=1.0,
+    )
+    if cpu_limited:
+        # Single-core host: threads cannot beat sequential, so require
+        # only that P=4 sharding overhead stays bounded (no 10x regression).
+        ok = worst_overhead > 0.1
+        verdict = f"cpu_limited ({cpus} CPUs): overhead gate {'PASS' if ok else 'FAIL'}"
+    else:
+        ok = best_wall_p4 > 1.5
+        verdict = f"best wall speedup at P=4: {best_wall_p4:.2f}x -> {'PASS' if ok else 'FAIL'}"
+
+    payload = {
+        "device": device.name,
+        "quick": args.quick,
+        "cpu_count": cpus,
+        "cpu_limited": cpu_limited,
+        "best_wall_speedup_p4": best_wall_p4,
+        "worst_wall_speedup_p4": worst_overhead,
+        "pass": bool(ok),
+        "rows": rows,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\n{verdict}")
+    print(f"results written to {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

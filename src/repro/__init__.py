@@ -24,8 +24,22 @@ True
 
 from repro import telemetry
 from repro.core import PlanCache, SelectionConfig, TileMatrix, TileSpMV, tile_spmv
+from repro.dist import (
+    ShardedSpMV,
+    partition_rows,
+    sharded_conjugate_gradient,
+    sharded_pagerank,
+)
 from repro.formats import FormatID
-from repro.gpu import A100, TITAN_RTX, CostModel, DeviceSpec, KernelStats, RunCost
+from repro.gpu import (
+    A100,
+    TITAN_RTX,
+    CostModel,
+    DeviceSpec,
+    KernelStats,
+    MultiDeviceRunCost,
+    RunCost,
+)
 from repro.reliability import (
     FaultPlan,
     MatrixValidationError,
@@ -47,7 +61,7 @@ from repro.serving import (
     synthetic_trace,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "TileSpMV",
@@ -62,6 +76,11 @@ __all__ = [
     "CostModel",
     "KernelStats",
     "RunCost",
+    "MultiDeviceRunCost",
+    "ShardedSpMV",
+    "partition_rows",
+    "sharded_conjugate_gradient",
+    "sharded_pagerank",
     "ReliableSpMV",
     "ValidationPolicy",
     "MatrixValidationError",

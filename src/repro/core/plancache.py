@@ -26,6 +26,7 @@ surfaced by the CLI and ``TileSpMV.describe``.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
@@ -154,38 +155,49 @@ class CachedPlan:
 
 
 class PlanCache:
-    """LRU cache of :class:`CachedPlan` with hit/miss/eviction counters."""
+    """LRU cache of :class:`CachedPlan` with hit/miss/eviction counters.
+
+    Lookups, inserts and invalidations take an internal ``RLock`` so a
+    sharded engine can prepare its per-shard plans from worker threads
+    against one shared cache.  The lock covers the map and the counters,
+    not plan construction: two threads missing on the same key may both
+    build and the second ``put`` wins — wasted work, never corruption.
+    """
 
     def __init__(self, capacity: int = 16) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._entries: OrderedDict[str, CachedPlan] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> CachedPlan | None:
         """Look up a plan; counts a hit or a miss and refreshes LRU order."""
-        plan = self._entries.get(key)
-        if plan is None:
-            self.misses += 1
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.misses += 1
+                if tele.ENABLED:
+                    tele.count("plan_cache_misses_total")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            plan.tilings_saved += 1
             if tele.ENABLED:
-                tele.count("plan_cache_misses_total")
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        plan.tilings_saved += 1
-        if tele.ENABLED:
-            tele.count("plan_cache_hits_total")
-        return plan
+                tele.count("plan_cache_hits_total")
+            return plan
 
     def peek(self, key: str) -> CachedPlan | None:
         """Look up a plan without touching counters or the LRU order.
@@ -195,19 +207,21 @@ class PlanCache:
         deciding a tier — an admission probe, not a service, so it must
         not inflate the hit rate or refresh recency.
         """
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def put(self, key: str, plan: CachedPlan) -> None:
         """Insert (or replace) a plan, evicting the least recently used."""
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                if tele.ENABLED:
+                    tele.count("plan_cache_evictions_total")
             if tele.ENABLED:
-                tele.count("plan_cache_evictions_total")
-        if tele.ENABLED:
-            tele.set_gauge("plan_cache_size", len(self._entries))
+                tele.set_gauge("plan_cache_size", len(self._entries))
 
     def invalidate(self, key: str) -> bool:
         """Drop one plan — e.g. artifacts a checksum failure implicated.
@@ -216,30 +230,33 @@ class PlanCache:
         retry path calls this before re-preparing, so a corrupted cached
         payload cannot poison the fresh plan.
         """
-        if key not in self._entries:
-            return False
-        del self._entries[key]
-        self.invalidations += 1
-        if tele.ENABLED:
-            tele.count("plan_cache_invalidations_total")
-            tele.set_gauge("plan_cache_size", len(self._entries))
-        return True
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self.invalidations += 1
+            if tele.ENABLED:
+                tele.count("plan_cache_invalidations_total")
+                tele.set_gauge("plan_cache_size", len(self._entries))
+            return True
 
     def clear(self) -> None:
         """Drop every plan; counters keep accumulating."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict:
-        total = self.hits + self.misses
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "hit_rate": self.hits / total if total else 0.0,
-        }
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
 
     def describe(self) -> str:
         s = self.stats()

@@ -11,7 +11,7 @@ truth, gathers are the compiled kernel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 import scipy.sparse as sp
@@ -73,6 +73,10 @@ class TileMatrix:
     # Inspector-executor product of the decoded entries, built lazily on
     # the first spmm (a structural artifact: reused by every block).
     _spmm_csr: sp.csr_matrix | None = field(default=None, repr=False)
+    # Structural maps driving the with_values fast path, built lazily on
+    # the first call and shared by every value-only clone.
+    _value_maps: dict | None = field(default=None, repr=False)
+    _decode_perm: np.ndarray | None = field(default=None, repr=False)
 
     # -- construction ------------------------------------------------------
 
@@ -108,17 +112,98 @@ class TileMatrix:
         self._build_gathers()
         return self
 
+    def _value_slot_maps(self) -> tuple[dict, np.ndarray]:
+        """Structural maps from view entries to payload value slots.
+
+        Every decoder drops its padding slots (``validate`` checks the
+        decoded sizes against the level-1 counts), so the decoded stream
+        is a pure permutation of the view entries.  Decoding each
+        payload's *index* arrays once recovers, per format, which stored
+        value slot holds which view entry; concatenated across payloads
+        the same map is the permutation that refills ``_vals`` straight
+        from a view-ordered value array.  Built lazily, carried into
+        every :meth:`with_values` clone, never rebuilt for a fixed
+        structure.
+        """
+        if self._value_maps is not None:
+            return self._value_maps, self._decode_perm
+        tile = self.tileset.tile
+        view = self.tileset.view
+        # View entries are sorted by (tile, lrow, lcol), so this key is
+        # strictly increasing over the view — searchsorted inverts it.
+        view_keys = (
+            view.tile_of_entry() * (tile * tile)
+            + view.lrow.astype(np.int64) * tile
+            + view.lcol.astype(np.int64)
+        )
+        maps: dict = {}
+        perm_parts = []
+        for fmt, payload in self.payloads.items():
+            t_local, lrow, lcol, _ = _decode_with_tiles(fmt, payload)
+            gid = self.tile_ids[fmt][t_local]
+            keys = gid * (tile * tile) + lrow.astype(np.int64) * tile + lcol.astype(np.int64)
+            vidx = np.searchsorted(view_keys, keys)
+            perm_parts.append(vidx)
+            if fmt == FormatID.HYB:
+                # HYB decodes its ELL part (mask-compacted) then its COO
+                # part (dense); split the map at the seam.
+                n_ell = int(np.count_nonzero(payload.ell.valid))
+                maps[fmt] = ("hyb", np.flatnonzero(payload.ell.valid), vidx[:n_ell], vidx[n_ell:])
+            elif fmt in (FormatID.ELL, FormatID.DNS):
+                maps[fmt] = ("masked", np.flatnonzero(payload.valid), vidx)
+            else:
+                maps[fmt] = ("dense", vidx)
+        perm = np.concatenate(perm_parts) if perm_parts else np.zeros(0, dtype=np.int64)
+        self._value_maps, self._decode_perm = maps, perm
+        return maps, perm
+
     def with_values(self, new_view_val: np.ndarray) -> "TileMatrix":
-        """Re-encode the same structure with new entry values.
+        """Same structure with new entry values — no re-encode.
 
         ``new_view_val`` is in the tile-sorted (tileset view) order.
-        The tile decomposition, format assignment and warp schedule are
-        all reused; only the payload value slots are refilled — the
-        ``update_values`` fast path for iterative workloads where the
-        sparsity pattern is fixed but the numbers change.  Returns a new
-        object (cached plans may share the old payloads).
+        The tile decomposition, format assignment and every index array
+        are shared by reference; only the payload value slots and the
+        precomputed ``_vals`` gather are refilled, through the maps from
+        :meth:`_value_slot_maps` — the ``update_values`` fast path for
+        iterative workloads where the sparsity pattern is fixed but the
+        numbers change.  Returns a new object (cached plans may share
+        the old payloads); the lazy ``_spmm_csr`` product is dropped so
+        the next :meth:`spmm` reassembles it from the new values.
         """
-        return TileMatrix.build(self.tileset.with_values(new_view_val), self.formats)
+        tileset = self.tileset.with_values(new_view_val)
+        new_view_val = tileset.view.val  # canonical float64, size-checked
+        maps, perm = self._value_slot_maps()
+        payloads: dict = {}
+        for fmt, payload in self.payloads.items():
+            entry = maps[fmt]
+            if entry[0] == "hyb":
+                _, ell_slots, ell_vidx, coo_vidx = entry
+                ell_val = np.zeros_like(payload.ell.val)
+                ell_val[ell_slots] = new_view_val[ell_vidx]
+                payloads[fmt] = replace(
+                    payload,
+                    ell=replace(payload.ell, val=ell_val),
+                    coo=replace(payload.coo, val=new_view_val[coo_vidx]),
+                )
+            elif entry[0] == "masked":
+                _, slots, vidx = entry
+                val = np.zeros_like(payload.val)
+                val[slots] = new_view_val[vidx]
+                payloads[fmt] = replace(payload, val=val)
+            else:
+                payloads[fmt] = replace(payload, val=new_view_val[entry[1]])
+        clone = TileMatrix(
+            tileset=tileset,
+            formats=self.formats,
+            payloads=payloads,
+            tile_ids=self.tile_ids,
+        )
+        clone._y_idx = self._y_idx
+        clone._x_idx = self._x_idx
+        clone._vals = new_view_val[perm]
+        clone._value_maps = maps
+        clone._decode_perm = perm
+        return clone
 
     def _build_gathers(self) -> None:
         """Precompute global (row, col, val) gathers from the payloads.

@@ -298,10 +298,18 @@ class TileSpMV:
             raise ValueError(f"x must have shape ({self._shape[1]},)")
         with tele.span("kernel_execute", cat="kernel", method=self.method,
                        nnz=self._nnz):
-            y = np.zeros(self._shape[0])
-            if self.tiled is not None:
-                y += self.tiled.spmv(x)
-            if self.deferred_engine is not None:
+            # Single-half strategies (csr/adpt, or a fully deferred split)
+            # return the kernel's own output array — no zero-fill + add
+            # pass over y in the serving hot loop.
+            if self.deferred_engine is None:
+                if self.tiled is None:
+                    y = np.zeros(self._shape[0])
+                else:
+                    y = self.tiled.spmv(x)
+            elif self.tiled is None:
+                y = self.deferred_engine.spmv(x)
+            else:
+                y = self.tiled.spmv(x)
                 y += self.deferred_engine.spmv(x)
         if tele.ENABLED:
             tele.count("tilespmv_spmv_total", method=self.method)
@@ -314,14 +322,9 @@ class TileSpMV:
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self._shape[0],):
             raise ValueError(f"x must have shape ({self._shape[0]},)")
-        y = np.zeros(self._shape[1])
-        if self.tiled is not None:
-            y += self.tiled.spmv_transpose(x)
-        if self.deferred_engine is not None:
-            if self._deferred_transpose is None:
-                from repro.baselines.csr5 import Csr5SpMV
-                import scipy.sparse as sp
-
+        with tele.span("kernel_execute", cat="kernel", method=self.method,
+                       nnz=self._nnz, transpose=True):
+            if self.deferred_engine is not None and self._deferred_transpose is None:
                 t = sp.csr_matrix(
                     (self.deferred_engine.data,
                      self.deferred_engine.indices,
@@ -329,7 +332,18 @@ class TileSpMV:
                     shape=(self._shape[0], self._shape[1]),
                 ).T.tocsr()
                 self._deferred_transpose = Csr5SpMV(t, validation="trust")
-            y += self._deferred_transpose.spmv(x)
+            if self.deferred_engine is None:
+                if self.tiled is None:
+                    y = np.zeros(self._shape[1])
+                else:
+                    y = self.tiled.spmv_transpose(x)
+            elif self.tiled is None:
+                y = self._deferred_transpose.spmv(x)
+            else:
+                y = self.tiled.spmv_transpose(x)
+                y += self._deferred_transpose.spmv(x)
+        if tele.ENABLED:
+            tele.count("tilespmv_spmv_total", method=self.method)
         return y
 
     def spmm(self, x: np.ndarray) -> np.ndarray:
@@ -344,11 +358,15 @@ class TileSpMV:
             raise ValueError(f"X must have shape ({self._shape[1]}, k)")
         with tele.span("kernel_execute", cat="kernel", method=self.method,
                        nnz=self._nnz, k=x.shape[1]):
-            out = np.zeros((self._shape[0], x.shape[1]))
-            if self.tiled is not None:
-                out += self.tiled.spmm(x)
-            if self.deferred_engine is not None:
-                out += self.deferred_engine.spmm(x)
+            if self.deferred_engine is None:
+                if self.tiled is None:
+                    out = np.zeros((self._shape[0], x.shape[1]))
+                else:
+                    out = self.tiled.spmm(x)
+            elif self.tiled is None:
+                out = self.deferred_engine.spmm(x)
+            else:
+                out = self.tiled.spmm(x) + self.deferred_engine.spmm(x)
         if tele.ENABLED:
             tele.count("tilespmv_spmv_total", method=self.method)
         return out

@@ -1,0 +1,24 @@
+"""Sharded multi-device execution layer.
+
+Partitions a matrix into nnz-balanced, tile-snapped row shards
+(:mod:`repro.dist.partition`), runs one TileSpMV plan per shard with
+thread-concurrent kernels (:mod:`repro.dist.sharded`), and prices the
+result on P modelled devices through the interconnect-aware
+:class:`~repro.gpu.costmodel.MultiDeviceRunCost`.  See
+``docs/SHARDING.md`` for the design and the exactness argument.
+"""
+
+from repro.dist.partition import RowPartition, RowShard, partition_rows
+from repro.dist.sharded import ShardedSpMV, best_shard_count, modelled_shard_sweep
+from repro.dist.solvers import sharded_conjugate_gradient, sharded_pagerank
+
+__all__ = [
+    "RowShard",
+    "RowPartition",
+    "partition_rows",
+    "ShardedSpMV",
+    "modelled_shard_sweep",
+    "best_shard_count",
+    "sharded_conjugate_gradient",
+    "sharded_pagerank",
+]

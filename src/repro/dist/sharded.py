@@ -1,0 +1,437 @@
+"""Sharded multi-device SpMV engine.
+
+:class:`ShardedSpMV` partitions a matrix into P tile-snapped row shards
+(:func:`~repro.dist.partition.partition_rows`), prepares one
+:class:`~repro.core.tilespmv.TileSpMV` plan per shard — all shards may
+share one :class:`~repro.core.plancache.PlanCache`, which is lock-
+protected for exactly this — and executes products over the shards
+concurrently through a :class:`~concurrent.futures.ThreadPoolExecutor`.
+The shard kernels are numpy reductions that release the GIL, so on a
+multi-core host the shards genuinely overlap; the modelled multi-GPU
+story comes from :meth:`multi_device_cost`, whose
+:class:`~repro.gpu.costmodel.MultiDeviceRunCost` makespan combines each
+shard's kernel time with the interconnect traffic the partitioner
+measured (x window in, y block out).
+
+Execution degrades to a sequential loop whenever the telemetry tracer
+or a fault-injection campaign is armed: both are deliberately
+process-global and order-dependent (byte-deterministic traces, one RNG
+stream), so threading them would corrupt exactly the determinism they
+exist to provide.  Results are identical either way — shards write
+disjoint row blocks.
+
+Exactness: shard boundaries never split a tile, so each shard's plan is
+the unsharded plan restricted to its rows, and for the fixed strategies
+(``csr``/``adpt``/``deferred_coo``) the concatenated sharded product is
+bit-for-bit the single-engine product.  ``auto`` may arbitrate ADPT vs
+DeferredCOO differently per shard (that is its job), which preserves
+values to rounding but not bit patterns — hence the ``adpt`` default
+here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import telemetry as tele
+from repro.core.plancache import PlanCache
+from repro.core.tilespmv import METHODS, TileSpMV
+from repro.dist.partition import RowPartition, partition_rows
+from repro.formats import FormatID
+from repro.gpu import faults
+from repro.gpu.costmodel import MultiDeviceRunCost, RunCost
+from repro.gpu.device import A100, DeviceSpec
+from repro.reliability.validation import ValidationPolicy, canonicalize_csr
+
+__all__ = ["ShardedSpMV", "modelled_shard_sweep", "best_shard_count"]
+
+
+class ShardedSpMV:
+    """A sparse matrix partitioned into P row shards, one plan each.
+
+    Parameters
+    ----------
+    matrix:
+        Any scipy sparse matrix; canonicalized once, then sliced into
+        shards by cheap ``indptr`` arithmetic (no per-shard sort).
+    shards:
+        Shard count P.  ``shards=1`` is a working single-device engine
+        with zero modelled interconnect traffic.
+    method:
+        TileSpMV strategy per shard.  Default ``adpt`` (not ``auto``):
+        fixed strategies keep the sharded product bit-for-bit equal to
+        the unsharded one, while ``auto`` may legitimately pick
+        different strategies per shard.
+    plan_cache:
+        Optional shared :class:`~repro.core.plancache.PlanCache`; each
+        shard's structural fingerprint is looked up/stored individually.
+    max_workers:
+        Thread count for concurrent execution (default: one per shard).
+    validation:
+        Canonicalization policy for the input gate (applied once, before
+        partitioning; shards are built with ``trust``).
+    **tile_kwargs:
+        Forwarded to every shard's :class:`TileSpMV` (``tile``,
+        ``selection``, ``tbalance``, ``params``, ``auto_device``).
+    """
+
+    def __init__(
+        self,
+        matrix: sp.spmatrix,
+        shards: int = 2,
+        method: str = "adpt",
+        tile: int = 16,
+        plan_cache: PlanCache | None = None,
+        max_workers: int | None = None,
+        validation: ValidationPolicy | str = ValidationPolicy.REPAIR,
+        **tile_kwargs,
+    ) -> None:
+        if method not in METHODS:
+            raise ValueError(f"method must be one of {METHODS}, got {method!r}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.method = method
+        self.plan_cache = plan_cache
+        with tele.span("canonicalize", cat="build", policy=str(validation)):
+            csr, self.validation_report = canonicalize_csr(matrix, validation)
+        self._m, self._n = csr.shape
+        self._nnz = int(csr.nnz)
+        self.partition: RowPartition = partition_rows(csr, shards, tile)
+        self.engines: list[TileSpMV] = []
+        with tele.span("sharded_build", cat="build", shards=shards, nnz=self._nnz):
+            for s in self.partition.shards:
+                block = sp.csr_matrix(
+                    (
+                        csr.data[s.nnz_lo:s.nnz_hi],
+                        csr.indices[s.nnz_lo:s.nnz_hi],
+                        csr.indptr[s.row_lo:s.row_hi + 1] - csr.indptr[s.row_lo],
+                    ),
+                    shape=(s.rows, self._n),
+                )
+                with tele.span("shard_build", cat="build", shard=s.index,
+                               rows=s.rows, nnz=s.nnz):
+                    self.engines.append(
+                        TileSpMV(
+                            block, method=method, tile=tile,
+                            plan_cache=plan_cache, validation="trust",
+                            **tile_kwargs,
+                        )
+                    )
+        self.build_seconds = sum(e.build_seconds for e in self.engines)
+        self.arbitration_seconds = sum(e.arbitration_seconds for e in self.engines)
+        self.preprocessing_seconds = self.build_seconds + self.arbitration_seconds
+        self._executor: ThreadPoolExecutor | None = None
+        self._max_workers = max_workers or len(self.engines)
+        if tele.ENABLED:
+            tele.count("sharded_builds_total", shards=shards, method=method)
+            tele.set_gauge("sharded_imbalance", self.partition.imbalance())
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._m, self._n)
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    @property
+    def shards(self) -> int:
+        return self.partition.p
+
+    @property
+    def plan_keys(self) -> list[str]:
+        """Every shard's structural fingerprint (empty without a cache)."""
+        return [e.plan_key for e in self.engines if e.plan_key is not None]
+
+    @property
+    def plan_key(self) -> str | None:
+        """One fingerprint for the whole sharded plan.
+
+        A digest over the per-shard fingerprints plus the shard count —
+        the serving layer keys circuit breakers and cache-warm probes on
+        this.  ``None`` without a plan cache, like ``TileSpMV``.
+        """
+        keys = self.plan_keys
+        if not keys:
+            return None
+        h = hashlib.blake2b(digest_size=16)
+        h.update(f"sharded:{self.shards}".encode())
+        for k in keys:
+            h.update(k.encode())
+        return h.hexdigest()
+
+    @property
+    def resolved_methods(self) -> list[str]:
+        """Per-shard strategy after ``auto`` arbitration."""
+        return [e.method for e in self.engines]
+
+    # -- execution ---------------------------------------------------------
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(self._max_workers, len(self.engines)),
+                thread_name_prefix="shard",
+            )
+        return self._executor
+
+    def _sequential(self) -> bool:
+        """Thread only when process-global state cannot be corrupted.
+
+        The telemetry tracer (virtual clock, ordered span stack) and the
+        fault injector (single RNG stream) are process-global by design;
+        running shards concurrently under either would destroy the
+        byte-determinism they guarantee.
+        """
+        return (
+            len(self.engines) == 1
+            or self._max_workers == 1
+            or tele.ENABLED
+            or faults.active_injector() is not None
+        )
+
+    def _run_shards(self, op: str, fn) -> list[np.ndarray]:
+        """Apply ``fn(shard, engine)`` per shard, concurrently when safe."""
+        pairs = list(zip(self.partition.shards, self.engines))
+        if self._sequential():
+            parts = []
+            for s, engine in pairs:
+                with tele.span("shard_execute", cat="kernel", op=op,
+                               shard=s.index, rows=s.rows, nnz=s.nnz):
+                    parts.append(fn(s, engine))
+            return parts
+        return list(self._pool().map(lambda pair: fn(*pair), pairs))
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """y = A @ x, shard row blocks computed concurrently."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self._n,):
+            raise ValueError(f"x must have shape ({self._n},)")
+        with tele.span("sharded_spmv", cat="kernel", shards=self.shards,
+                       nnz=self._nnz):
+            parts = self._run_shards("spmv", lambda s, e: e.spmv(x))
+        if tele.ENABLED:
+            tele.count("sharded_spmv_total", shards=self.shards)
+        return np.concatenate(parts) if parts else np.zeros(0)
+
+    __matmul__ = spmv
+
+    def spmm(self, x: np.ndarray) -> np.ndarray:
+        """Y = A @ X, each shard running its native batched product."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != self._n:
+            raise ValueError(f"X must have shape ({self._n}, k)")
+        with tele.span("sharded_spmm", cat="kernel", shards=self.shards,
+                       nnz=self._nnz, k=x.shape[1]):
+            parts = self._run_shards("spmm", lambda s, e: e.spmm(x))
+        if tele.ENABLED:
+            tele.count("sharded_spmv_total", shards=self.shards)
+        if not parts:
+            return np.zeros((0, x.shape[1]))
+        return np.concatenate(parts, axis=0)
+
+    def spmv_transpose(self, x: np.ndarray) -> np.ndarray:
+        """y = A.T @ x: per-shard transposes reduced across shards.
+
+        Every shard contributes to every output entry, so the reduction
+        order is shard-major — equal to the unsharded transpose to
+        rounding, not bit-for-bit (the ISSUE-level exactness guarantee
+        is for :meth:`spmv`/:meth:`spmm`, whose row blocks are disjoint).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self._m,):
+            raise ValueError(f"x must have shape ({self._m},)")
+        with tele.span("sharded_spmv_transpose", cat="kernel",
+                       shards=self.shards, nnz=self._nnz):
+            parts = self._run_shards(
+                "spmv_transpose",
+                lambda s, e: e.spmv_transpose(x[s.row_lo:s.row_hi]),
+            )
+        if tele.ENABLED:
+            tele.count("sharded_spmv_total", shards=self.shards)
+        y = np.zeros(self._n)
+        for part in parts:
+            y += part
+        return y
+
+    def update_values(self, values) -> "ShardedSpMV":
+        """Stream new values through every shard's prepared plan.
+
+        Accepts a same-pattern sparse matrix or the length-``nnz`` value
+        array in canonical CSR order; the partition routes each shard
+        its contiguous slice (``nnz_lo:nnz_hi``), and each shard takes
+        the :meth:`TileSpMV.update_values` fast path.
+        """
+        if sp.issparse(values):
+            csr = canonicalize_csr(values, ValidationPolicy.TRUST)[0]
+            if csr.shape != self.shape or int(csr.nnz) != self._nnz:
+                raise ValueError(
+                    "sparsity pattern differs from the prepared matrix; "
+                    "build a new ShardedSpMV instead of update_values"
+                )
+            data = np.asarray(csr.data, dtype=np.float64)
+        else:
+            data = np.asarray(values, dtype=np.float64)
+            if data.shape != (self._nnz,):
+                raise ValueError(f"expected {self._nnz} values, got {data.shape}")
+        with tele.span("sharded_update_values", cat="build", shards=self.shards):
+            for s, engine in zip(self.partition.shards, self.engines):
+                engine.update_values(data[s.nnz_lo:s.nnz_hi])
+        return self
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedSpMV":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+        except Exception:
+            pass
+
+    # -- accounting --------------------------------------------------------
+
+    def run_cost(self) -> RunCost:
+        """Single-device pricing: the shard kernels run back-to-back.
+
+        This is what one device executing all shards sequentially would
+        pay — the honest admission price for the serving runtime, which
+        models one device.  The multi-device story is
+        :meth:`multi_device_cost`.
+        """
+        parts = [e.run_cost() for e in self.engines]
+        total = parts[0]
+        for p in parts[1:]:
+            total = total + p
+        total.label = f"ShardedSpMV_{self.method}[P={self.shards}]"
+        return total
+
+    def spmm_cost(self, k: int) -> RunCost:
+        """Single-device cost of one k-vector :meth:`spmm`."""
+        cost = self.run_cost().batched(k)
+        cost.label = f"ShardedSpMV_{self.method}[P={self.shards},k={k}]"
+        return cost
+
+    def multi_device_cost(self) -> MultiDeviceRunCost:
+        """P-device pricing: per-shard compute plus interconnect traffic.
+
+        ``shards=1`` carries zero communication — a single device owns
+        ``x`` and ``y`` outright, so its makespan equals the plain
+        engine's time and modelled efficiency is 1 by construction.
+        """
+        costs = [e.run_cost() for e in self.engines]
+        if self.shards == 1:
+            halo = [0.0]
+            ybytes = [0.0]
+        else:
+            halo = [s.halo_bytes for s in self.partition.shards]
+            ybytes = [s.y_bytes for s in self.partition.shards]
+        return MultiDeviceRunCost(
+            shard_costs=costs,
+            halo_bytes=halo,
+            y_bytes=ybytes,
+            label=f"ShardedSpMV_{self.method}[P={self.shards}]",
+        )
+
+    def predicted_time(self, device: DeviceSpec) -> float:
+        """Modelled multi-device makespan seconds on P ``device``s."""
+        return self.multi_device_cost().time(device)
+
+    def nbytes_model(self) -> int:
+        """Modelled footprint summed over all shard representations."""
+        return sum(e.nbytes_model() for e in self.engines)
+
+    def format_histogram(self) -> dict[FormatID, dict[str, int]]:
+        """Tile/nnz counts per format, merged across shards."""
+        out = {f: {"tiles": 0, "nnz": 0} for f in FormatID}
+        for e in self.engines:
+            for fmt, h in e.format_histogram().items():
+                out[fmt]["tiles"] += h["tiles"]
+                out[fmt]["nnz"] += h["nnz"]
+        return out
+
+    def describe(self) -> str:
+        """Human-readable summary: partition, methods, modelled scaling."""
+        lines = [
+            f"ShardedSpMV[{self.method}, P={self.shards}] "
+            f"{self._m}x{self._n}, nnz={self._nnz}, "
+            f"imbalance={self.partition.imbalance():.2f}",
+        ]
+        mdc = self.multi_device_cost()
+        lines.append(
+            f"modelled makespan on A100s: {mdc.time(A100) * 1e6:.1f} us "
+            f"(compute {mdc.compute_time(A100) * 1e6:.1f} us, "
+            f"comm {mdc.total_comm_bytes() / 1e3:.1f} KB total)"
+        )
+        for s, e in zip(self.partition.shards, self.engines):
+            lines.append(
+                f"  shard {s.index}: rows [{s.row_lo}, {s.row_hi}) "
+                f"nnz={s.nnz} method={e.method} "
+                f"x_window={s.x_window_cols}"
+            )
+        if self.plan_cache is not None:
+            lines.append(self.plan_cache.describe())
+        return "\n".join(lines)
+
+
+def modelled_shard_sweep(
+    matrix: sp.spmatrix,
+    counts: tuple[int, ...] = (1, 2, 4, 8),
+    device: DeviceSpec = A100,
+    method: str = "adpt",
+    **kwargs,
+) -> list[dict]:
+    """Strong-scaling table: modelled makespan/speedup/efficiency per P.
+
+    The baseline is the P=1 engine's single-device :class:`RunCost`; each
+    row prices the same matrix at one shard count, exactly how ``auto``
+    prices ADPT vs DeferredCOO — build the candidates, believe the model.
+    """
+    baseline_engine = TileSpMV(matrix, method=method, **kwargs)
+    baseline = baseline_engine.run_cost()
+    rows = []
+    for p in counts:
+        engine = ShardedSpMV(matrix, shards=p, method=method, **kwargs)
+        mdc = engine.multi_device_cost()
+        rows.append(
+            {
+                "shards": p,
+                "makespan_s": mdc.time(device),
+                "compute_s": mdc.compute_time(device),
+                "comm_bytes": mdc.total_comm_bytes(),
+                "speedup": mdc.speedup(baseline, device),
+                "efficiency": mdc.efficiency(baseline, device),
+                "imbalance": engine.partition.imbalance(),
+            }
+        )
+        engine.close()
+    return rows
+
+
+def best_shard_count(
+    matrix: sp.spmatrix,
+    counts: tuple[int, ...] = (1, 2, 4, 8),
+    device: DeviceSpec = A100,
+    method: str = "adpt",
+    **kwargs,
+) -> int:
+    """The shard count with the smallest modelled makespan on ``device``."""
+    rows = modelled_shard_sweep(matrix, counts, device, method, **kwargs)
+    return int(min(rows, key=lambda r: r["makespan_s"])["shards"])

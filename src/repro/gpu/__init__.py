@@ -21,7 +21,13 @@ moving fewer bytes, keeping more lanes busy, and balancing warps — all
 quantities the substrate counts exactly rather than approximates.
 """
 
-from repro.gpu.costmodel import CostModel, KernelStats, RunCost, l2_adjusted_bytes
+from repro.gpu.costmodel import (
+    CostModel,
+    KernelStats,
+    MultiDeviceRunCost,
+    RunCost,
+    l2_adjusted_bytes,
+)
 from repro.gpu.device import A100, TITAN_RTX, DeviceSpec
 from repro.gpu.executor import lane_accurate_spmv
 from repro.gpu.faults import FaultInjector, FaultPlan, active_injector, fault_injection
@@ -45,6 +51,7 @@ __all__ = [
     "KernelStats",
     "CostModel",
     "RunCost",
+    "MultiDeviceRunCost",
     "l2_adjusted_bytes",
     "lane_accurate_spmv",
 ]

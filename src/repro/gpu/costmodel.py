@@ -34,7 +34,14 @@ from dataclasses import dataclass
 
 from repro.gpu.device import DeviceSpec
 
-__all__ = ["KernelStats", "CostModel", "TimingBreakdown", "RunCost", "l2_adjusted_bytes"]
+__all__ = [
+    "KernelStats",
+    "CostModel",
+    "TimingBreakdown",
+    "RunCost",
+    "MultiDeviceRunCost",
+    "l2_adjusted_bytes",
+]
 
 
 def l2_adjusted_bytes(gather_bytes: float, footprint_bytes: float, l2_bytes: float) -> float:
@@ -278,3 +285,92 @@ class RunCost:
         """Useful GFlop/s (paper convention: 2*nnz per SpMV)."""
         t = self.time(device)
         return self.useful_flops / t / 1e9 if t > 0 else 0.0
+
+
+@dataclass
+class MultiDeviceRunCost:
+    """Cost of one SpMV sharded across P identical devices.
+
+    Each shard owns a contiguous block of rows and runs on its own
+    device; the makespan is the slowest shard's end-to-end time:
+
+    ``T = max_p ( t_bcast(p) + shard_cost(p).time() + t_gather(p) )``
+
+    * ``t_bcast`` — shipping the shard's ``x`` window over the
+      interconnect.  The shard only needs ``x[col_lo:col_hi]`` (the
+      column-range the partitioner measured), so a banded matrix pays a
+      thin halo while a scattered one approaches a full broadcast.
+    * ``t_gather`` — returning the shard's ``y`` block to the root
+      device.  Both transfers pay one link latency plus bytes over the
+      per-direction link bandwidth.
+
+    Shards are assumed to communicate over independent links (NVSwitch /
+    separate PCIe root ports), so transfers overlap and only the
+    per-shard serial chain counts — the standard alpha-beta model used
+    by Kreutzer et al. for distributed SpMV.
+    """
+
+    shard_costs: list  # list[RunCost]
+    halo_bytes: list  # per-shard x-window bytes shipped to the device
+    y_bytes: list  # per-shard y-block bytes gathered back
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not (len(self.shard_costs) == len(self.halo_bytes) == len(self.y_bytes)):
+            raise ValueError(
+                "shard_costs, halo_bytes and y_bytes must have equal length, got "
+                f"{len(self.shard_costs)}/{len(self.halo_bytes)}/{len(self.y_bytes)}"
+            )
+        if not self.shard_costs:
+            raise ValueError("MultiDeviceRunCost needs at least one shard")
+
+    @property
+    def shards(self) -> int:
+        return len(self.shard_costs)
+
+    def comm_time(self, shard: int, device: DeviceSpec) -> float:
+        """Interconnect seconds for one shard (x broadcast + y gather)."""
+        latency = device.link_latency_us * 1e-6
+        bw = device.link_bandwidth_bytes
+        t = 0.0
+        if self.halo_bytes[shard] > 0:
+            t += latency + self.halo_bytes[shard] / bw
+        if self.y_bytes[shard] > 0:
+            t += latency + self.y_bytes[shard] / bw
+        return t
+
+    def shard_time(self, shard: int, device: DeviceSpec) -> float:
+        """End-to-end seconds for one shard: comm + compute."""
+        return self.comm_time(shard, device) + self.shard_costs[shard].time(device)
+
+    def time(self, device: DeviceSpec) -> float:
+        """Makespan: the slowest shard's end-to-end time."""
+        return max(self.shard_time(p, device) for p in range(self.shards))
+
+    def compute_time(self, device: DeviceSpec) -> float:
+        """Max per-shard compute time, ignoring the interconnect."""
+        return max(c.time(device) for c in self.shard_costs)
+
+    def total_comm_bytes(self) -> float:
+        return float(sum(self.halo_bytes) + sum(self.y_bytes))
+
+    def speedup(self, baseline: RunCost, device: DeviceSpec) -> float:
+        """Modelled speedup over a single-device run of ``baseline``."""
+        t = self.time(device)
+        return baseline.time(device) / t if t > 0 else 0.0
+
+    def efficiency(self, baseline: RunCost, device: DeviceSpec) -> float:
+        """Parallel efficiency: speedup / device count (1.0 = ideal)."""
+        return self.speedup(baseline, device) / self.shards
+
+    def breakdown(self, device: DeviceSpec) -> dict:
+        """Per-shard decomposition for reports and benchmarks."""
+        return {
+            "shards": self.shards,
+            "makespan_s": self.time(device),
+            "compute_s": [c.time(device) for c in self.shard_costs],
+            "comm_s": [self.comm_time(p, device) for p in range(self.shards)],
+            "halo_bytes": [float(b) for b in self.halo_bytes],
+            "y_bytes": [float(b) for b in self.y_bytes],
+            "label": self.label,
+        }

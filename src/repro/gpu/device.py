@@ -45,6 +45,14 @@ class DeviceSpec:
     dram_efficiency:
         Achievable fraction of peak bandwidth for streaming access
         (STREAM-like ceilings on real parts are 80-90%).
+    link_bandwidth_gbps:
+        Per-direction device-to-device interconnect bandwidth in GB/s.
+        NVLink3 gives an A100 600 GB/s aggregate; Titan RTX pairs over
+        two NVLink2 bricks at 100 GB/s; the conservative default is a
+        PCIe 4.0 x16 link.
+    link_latency_us:
+        One-way interconnect message latency in microseconds, charged
+        once per transfer (halo exchange, y gather).
     """
 
     name: str
@@ -61,6 +69,8 @@ class DeviceSpec:
     dram_efficiency: float = 0.85
     l2_mb: float = 6.0
     l2_bandwidth_gbps: float = 2000.0
+    link_bandwidth_gbps: float = 32.0
+    link_latency_us: float = 5.0
 
     @property
     def clock_hz(self) -> float:
@@ -70,6 +80,11 @@ class DeviceSpec:
     def mem_bandwidth_bytes(self) -> float:
         """Achievable DRAM bandwidth in bytes/second."""
         return self.mem_bandwidth_gbps * 1e9 * self.dram_efficiency
+
+    @property
+    def link_bandwidth_bytes(self) -> float:
+        """Per-direction interconnect bandwidth in bytes/second."""
+        return self.link_bandwidth_gbps * 1e9
 
     @property
     def warp_issue_rate(self) -> float:
@@ -100,6 +115,8 @@ A100 = DeviceSpec(
     max_resident_warps=64,
     l2_mb=40.0,
     l2_bandwidth_gbps=4500.0,
+    link_bandwidth_gbps=600.0,
+    link_latency_us=2.0,
 )
 
 TITAN_RTX = DeviceSpec(
@@ -113,4 +130,6 @@ TITAN_RTX = DeviceSpec(
     max_resident_warps=32,
     l2_mb=6.0,
     l2_bandwidth_gbps=2150.0,
+    link_bandwidth_gbps=100.0,
+    link_latency_us=3.0,
 )

@@ -67,8 +67,16 @@ class ReliableSpMV:
     max_retries:
         Fresh-plan re-executions attempted after a detection before
         falling back to the reference engine.
+    shards:
+        With ``shards > 1`` the protected engine is a
+        :class:`~repro.dist.sharded.ShardedSpMV` (one plan per row
+        shard, concurrent kernels); the whole reliability ladder —
+        checksum, retry with plan invalidation, scalar fallback —
+        wraps the sharded product unchanged, because ABFT verifies the
+        assembled ``y``, not any one shard.
     method, plan_cache, **tile_kwargs:
-        Forwarded to :class:`~repro.core.tilespmv.TileSpMV`.
+        Forwarded to :class:`~repro.core.tilespmv.TileSpMV` (or the
+        sharded engine).
     """
 
     def __init__(
@@ -79,11 +87,13 @@ class ReliableSpMV:
         abft: bool = True,
         max_retries: int = 1,
         plan_cache=None,
+        shards: int = 1,
         **tile_kwargs,
     ) -> None:
         self.policy = ValidationPolicy.coerce(policy)
         self.max_retries = int(max_retries)
         self._method = method
+        self._shards = int(shards)
         self._tile_kwargs = dict(tile_kwargs)
         self.plan_cache = plan_cache
         self.counters = {
@@ -98,9 +108,7 @@ class ReliableSpMV:
         if tele.ENABLED and self.validation_report.n_repairs:
             tele.count("reliability_repairs_total", n=self.validation_report.n_repairs)
         self._csr = csr
-        self.engine = TileSpMV(
-            csr, method=method, plan_cache=plan_cache, validation="trust", **tile_kwargs
-        )
+        self.engine = self._make_engine()
         self.checksum = AbftChecksum.from_csr(csr) if abft else None
         self._reference: CsrScalarSpMV | None = None
 
@@ -128,6 +136,19 @@ class ReliableSpMV:
         """
         return self.engine.plan_key
 
+    @property
+    def plan_keys(self) -> list[str]:
+        """Every cached-plan key behind the engine (one per shard).
+
+        For the single-device engine this is just ``[plan_key]``; the
+        serving layer probes these to decide whether the fast path is
+        warm, and the retry ladder invalidates all of them.
+        """
+        keys = getattr(self.engine, "plan_keys", None)
+        if keys is not None:
+            return list(keys)
+        return [self.engine.plan_key] if self.engine.plan_key else []
+
     # -- the ladder --------------------------------------------------------
 
     def _check_x(self, x: np.ndarray) -> np.ndarray:
@@ -141,17 +162,40 @@ class ReliableSpMV:
             )
         return x
 
-    def _rebuild_engine(self) -> None:
-        """Fresh plan: drop the (suspect) cached entry, re-prepare."""
-        if self.plan_cache is not None and self.engine.plan_key is not None:
-            self.plan_cache.invalidate(self.engine.plan_key)
-        self.engine = TileSpMV(
+    def _make_engine(self):
+        """Build the protected engine: sharded when ``shards > 1``."""
+        if self._shards > 1:
+            from repro.dist.sharded import ShardedSpMV
+
+            return ShardedSpMV(
+                self._csr,
+                shards=self._shards,
+                method=self._method,
+                plan_cache=self.plan_cache,
+                validation="trust",
+                **self._tile_kwargs,
+            )
+        return TileSpMV(
             self._csr,
             method=self._method,
             plan_cache=self.plan_cache,
             validation="trust",
             **self._tile_kwargs,
         )
+
+    def _rebuild_engine(self) -> None:
+        """Fresh plan: drop every (suspect) cached entry, re-prepare.
+
+        A sharded engine holds one cached plan per shard; all of them
+        are implicated by a detection, so all are invalidated.
+        """
+        if self.plan_cache is not None:
+            keys = getattr(self.engine, "plan_keys", None)
+            if keys is None:
+                keys = [self.engine.plan_key] if self.engine.plan_key else []
+            for key in keys:
+                self.plan_cache.invalidate(key)
+        self.engine = self._make_engine()
 
     def _reference_engine(self) -> CsrScalarSpMV:
         if self._reference is None:

@@ -136,6 +136,9 @@ class _Served:
         self.engine = engine
         self.scalar = CsrScalarSpMV(engine._csr, validation="trust")
         self.plan_key = engine.plan_key or matrix_id
+        # Cache-warm probes: per-shard fingerprints for a sharded engine,
+        # [plan_key] otherwise — the fast path is warm iff all are cached.
+        self.probe_keys = engine.plan_keys or [self.plan_key]
         self.t_fast = engine.run_cost().time(device)
         scalar_cost = self.scalar.run_cost() + engine.checksum.verify_cost(1)
         self.t_scalar = scalar_cost.time(device)
@@ -178,19 +181,23 @@ class ServingRuntime:
         matrix,
         method: str = "adpt",
         policy: ValidationPolicy | str = ValidationPolicy.REPAIR,
+        shards: int = 1,
         **tile_kwargs,
     ) -> None:
         """Admit a matrix: canonicalize, build its plan, price its rungs.
 
         Matrices sharing a structural fingerprint share a plan *and* a
         breaker — a poisoned plan is quarantined for exactly the
-        requests that would hit it.
+        requests that would hit it.  With ``shards > 1`` the fast path
+        is the sharded engine (one cached plan per shard, all in this
+        runtime's plan cache); its rungs are priced by the sequential
+        single-device cost, the honest figure for a one-device runtime.
         """
         if matrix_id in self._matrices:
             raise ValueError(f"matrix id {matrix_id!r} already registered")
         engine = ReliableSpMV(
             matrix, method=method, policy=policy, abft=True,
-            plan_cache=self.plan_cache, **tile_kwargs,
+            plan_cache=self.plan_cache, shards=shards, **tile_kwargs,
         )
         sm = _Served(matrix_id, engine, self.device, self.config)
         self._matrices[matrix_id] = sm
@@ -201,7 +208,7 @@ class ServingRuntime:
     def estimate(self, matrix_id: str) -> dict:
         """Modelled service times per rung (for deadline calibration)."""
         sm = self._served(matrix_id)
-        plan_ready = self.plan_cache.peek(sm.plan_key) is not None
+        plan_ready = all(self.plan_cache.peek(k) is not None for k in sm.probe_keys)
         return {
             "plan_ready": plan_ready,
             "full": sm.arb_surcharge
@@ -248,7 +255,7 @@ class ServingRuntime:
         budget = req.deadline - (start - req.arrival)
         breaker = self._breakers[sm.plan_key]
         fast_ok = breaker.allow_fast(start)
-        plan_ready = self.plan_cache.peek(sm.plan_key) is not None
+        plan_ready = all(self.plan_cache.peek(k) is not None for k in sm.probe_keys)
         preds: list[float | None] = [
             sm.arb_surcharge + (0.0 if plan_ready else sm.build_surcharge) + sm.t_fast,
             None if plan_ready else sm.build_surcharge + sm.t_fast,

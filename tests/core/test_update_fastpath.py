@@ -1,0 +1,128 @@
+"""update_values fast path and single-half kernel dispatch regressions.
+
+Pins the two hot-loop guarantees added for the sharded engine:
+
+* :meth:`TileMatrix.with_values` refills payload value slots through
+  the precomputed decode permutation — it must never call a format
+  *encoder* again (the whole point of the fast path), and the refilled
+  engine must be bit-for-bit a freshly built one.
+* :meth:`TileSpMV.spmv`/:meth:`spmm` return the single half's output
+  array directly when the other half is absent — no zero-fill + add
+  pass — and :meth:`spmv_transpose` is instrumented like its siblings.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry as tele
+from repro.core import storage
+from repro.core.tilespmv import TileSpMV
+from repro.matrices import fem_blocks, hypersparse, power_law, random_uniform
+
+
+@pytest.fixture
+def encode_counter(monkeypatch):
+    """Count every format-encoder invocation."""
+    calls = {"n": 0}
+
+    def wrap(fn):
+        def inner(view):
+            calls["n"] += 1
+            return fn(view)
+        return inner
+
+    for fmt, fn in list(storage._ENCODERS.items()):
+        monkeypatch.setitem(storage._ENCODERS, fmt, wrap(fn))
+    return calls
+
+
+class TestWithValuesNoReencode:
+    @pytest.mark.parametrize("method", ["adpt", "csr", "deferred_coo", "auto"])
+    def test_update_values_never_reencodes(self, encode_counter, method, rng):
+        a = fem_blocks(200, block=3, avg_degree=8, seed=1)
+        engine = TileSpMV(a, method=method)
+        built = encode_counter["n"]
+        assert built > 0 or engine.tiled is None  # build went through encoders
+        new = rng.standard_normal(a.nnz)
+        engine.update_values(new)
+        assert encode_counter["n"] == built, "with_values re-ran an encoder"
+
+    def test_refilled_engine_is_bit_exact(self, zoo_matrix, rng):
+        x = rng.standard_normal(zoo_matrix.shape[1])
+        new = rng.standard_normal(zoo_matrix.nnz)
+        csr = zoo_matrix.tocsr()
+        fresh = csr.copy()
+        fresh.data = new.copy()
+        engine = TileSpMV(zoo_matrix, method="adpt").update_values(new)
+        rebuilt = TileSpMV(fresh, method="adpt")
+        assert np.array_equal(engine.spmv(x), rebuilt.spmv(x))
+
+    def test_spmm_cache_invalidated_by_update(self, rng):
+        a = random_uniform(150, 150, nnz_per_row=5, seed=2)
+        engine = TileSpMV(a, method="adpt")
+        block = rng.standard_normal((150, 3))
+        engine.spmm(block)  # materialises the lazy spmm product
+        new = rng.standard_normal(a.nnz)
+        engine.update_values(new)
+        fresh = a.copy()
+        fresh.data = new.copy()
+        np.testing.assert_allclose(engine.spmm(block), fresh @ block,
+                                   rtol=1e-12, atol=1e-12)
+
+
+class TestSingleHalfDispatch:
+    def test_spmv_returns_tiled_output_directly(self, rng):
+        a = random_uniform(180, 180, nnz_per_row=5, seed=3)
+        engine = TileSpMV(a, method="adpt")
+        assert engine.deferred_engine is None
+        sentinel = np.arange(180, dtype=np.float64)
+        engine.tiled.spmv = lambda x: sentinel
+        assert engine.spmv(np.zeros(180)) is sentinel
+
+    def test_spmm_returns_tiled_output_directly(self, rng):
+        a = random_uniform(180, 180, nnz_per_row=5, seed=4)
+        engine = TileSpMV(a, method="adpt")
+        sentinel = np.zeros((180, 2))
+        engine.tiled.spmm = lambda x: sentinel
+        assert engine.spmm(np.zeros((180, 2))) is sentinel
+
+    def test_fully_deferred_split_still_correct(self, rng):
+        # Hypersparse: DeferredCOO extracts everything; the tiled half
+        # is empty and the deferred kernel's output is returned as-is.
+        a = hypersparse(640, nnz=80, seed=5)
+        engine = TileSpMV(a, method="deferred_coo")
+        x = rng.standard_normal(640)
+        np.testing.assert_allclose(engine.spmv(x), a @ x, rtol=1e-12, atol=1e-12)
+        if engine.tiled is None:  # the extraction took the whole matrix
+            sentinel = np.zeros(640)
+            engine.deferred_engine.spmv = lambda x: sentinel
+            assert engine.spmv(x) is sentinel
+
+    def test_mixed_split_still_adds_both_halves(self, rng):
+        a = power_law(900, avg_degree=5, seed=6)
+        engine = TileSpMV(a, method="deferred_coo")
+        x = rng.standard_normal(900)
+        np.testing.assert_allclose(engine.spmv(x), a @ x, rtol=1e-10, atol=1e-12)
+
+
+class TestTransposeTelemetry:
+    def test_spmv_transpose_records_span_and_counter(self, rng):
+        a = random_uniform(200, 160, nnz_per_row=4, seed=7)
+        x = rng.standard_normal(200)
+        with tele.session() as (tracer, registry):
+            engine = TileSpMV(a, method="adpt")
+            engine.spmv_transpose(x)
+            spans = [e for e in tracer.events
+                     if e.name == "kernel_execute" and e.args.get("transpose")]
+            assert len(spans) == 1
+            assert spans[0].args["method"] == "adpt"
+            assert registry.value("tilespmv_spmv_total", method="adpt") == 1.0
+
+    def test_transpose_counts_like_spmv(self, rng):
+        a = random_uniform(120, 120, nnz_per_row=4, seed=8)
+        x = rng.standard_normal(120)
+        with tele.session() as (_, registry):
+            engine = TileSpMV(a, method="adpt")
+            engine.spmv(x)
+            engine.spmv_transpose(x)
+            assert registry.value("tilespmv_spmv_total", method="adpt") == 2.0

@@ -1,0 +1,121 @@
+"""Partitioner invariants and edge cases: snapping, coverage, balance."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.dist import partition_rows
+from repro.matrices import banded, hypersparse, power_law, random_uniform
+
+
+class TestInvariants:
+    """Hold for every matrix in the zoo at several shard counts."""
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_coverage_and_snapping(self, zoo_matrix, p):
+        part = partition_rows(zoo_matrix, p)
+        m = zoo_matrix.shape[0]
+        assert part.bounds[0] == 0 and part.bounds[-1] == m
+        assert np.all(np.diff(part.bounds) >= 0)
+        # Internal cuts land on tile-strip edges: no tile is ever split.
+        for b in part.bounds[1:-1]:
+            assert b % part.tile == 0 or b == m
+        assert sum(s.rows for s in part.shards) == m
+        assert sum(s.nnz for s in part.shards) == zoo_matrix.nnz
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_nnz_slices_are_contiguous(self, zoo_matrix, p):
+        part = partition_rows(zoo_matrix, p)
+        csr = zoo_matrix.tocsr()
+        pos = 0
+        for s in part.shards:
+            assert s.nnz_lo == pos
+            assert s.nnz_hi == csr.indptr[s.row_hi]
+            pos = s.nnz_hi
+        assert pos == csr.nnz
+
+    def test_column_windows_are_tight(self, zoo_matrix):
+        part = partition_rows(zoo_matrix, 3)
+        csr = zoo_matrix.tocsr()
+        for s in part.shards:
+            cols = csr.indices[s.nnz_lo:s.nnz_hi]
+            if cols.size:
+                assert s.col_lo == cols.min()
+                assert s.col_hi == cols.max() + 1
+            else:
+                assert s.col_lo == s.col_hi == 0
+                assert s.halo_bytes == 0.0
+
+    def test_balance_on_uniform_matrix(self):
+        a = random_uniform(2000, 2000, nnz_per_row=8, seed=0)
+        part = partition_rows(a, 4)
+        # Uniform rows: nearest-strip cuts should stay close to ideal.
+        assert part.imbalance() < 1.2
+
+    def test_banded_halo_is_thin(self):
+        a = banded(1600, half_bandwidth=5, seed=1)
+        part = partition_rows(a, 4)
+        for s in part.shards:
+            # A banded shard references only rows +/- bandwidth columns.
+            assert s.x_window_cols <= s.rows + 2 * 5 + 1
+
+
+class TestEdgeCases:
+    def test_more_shards_than_tile_strips(self):
+        a = random_uniform(40, 40, nnz_per_row=3, seed=2)  # 3 tile strips
+        part = partition_rows(a, 8)
+        assert part.p == 8
+        assert sum(s.rows for s in part.shards) == 40
+        assert sum(s.nnz for s in part.shards) == a.nnz
+        # Degenerates gracefully: some shards are empty, none malformed.
+        assert any(s.rows == 0 for s in part.shards)
+        for s in part.shards:
+            assert s.row_lo <= s.row_hi and s.nnz_lo <= s.nnz_hi
+
+    def test_zero_nnz_matrix_spreads_strips(self):
+        a = sp.csr_matrix((64, 64))
+        part = partition_rows(a, 4)
+        assert part.nnz == 0
+        assert part.imbalance() == 1.0
+        assert sum(s.rows for s in part.shards) == 64
+        # The fallback splits strips evenly, so every shard gets rows.
+        assert all(s.rows == 16 for s in part.shards)
+
+    def test_zero_row_matrix(self):
+        a = sp.csr_matrix((0, 10))
+        part = partition_rows(a, 3)
+        assert part.p == 3
+        assert all(s.rows == 0 and s.nnz == 0 for s in part.shards)
+
+    def test_rows_not_divisible_by_tile(self):
+        a = random_uniform(50, 70, nnz_per_row=4, seed=3)
+        part = partition_rows(a, 3)
+        assert part.bounds[-1] == 50
+        assert sum(s.rows for s in part.shards) == 50
+
+    def test_hub_heavy_matrix_stays_monotone(self):
+        # One hub strip holds most nonzeros; cuts must not go backwards.
+        a = hypersparse(320, nnz=40, seed=4).tolil()
+        a[0, :] = 1.0
+        part = partition_rows(a.tocsr(), 4)
+        assert np.all(np.diff(part.bounds) >= 0)
+        assert sum(s.nnz for s in part.shards) == a.tocsr().nnz
+
+    def test_power_law_balance_beats_row_split(self):
+        a = power_law(3000, avg_degree=6, seed=5)
+        nnz_balanced = partition_rows(a, 4).imbalance()
+        # An even row split ignores the degree skew entirely.
+        csr = a.tocsr()
+        bounds = [0, 752, 1504, 2256, 3000]  # tile-aligned even rows
+        row_split_max = max(
+            csr.indptr[bounds[i + 1]] - csr.indptr[bounds[i]] for i in range(4)
+        )
+        row_split = row_split_max / (a.nnz / 4)
+        assert nnz_balanced <= row_split
+
+    def test_invalid_arguments(self):
+        a = random_uniform(20, 20, nnz_per_row=2, seed=6)
+        with pytest.raises(ValueError):
+            partition_rows(a, 0)
+        with pytest.raises(ValueError):
+            partition_rows(a, 2, tile=0)

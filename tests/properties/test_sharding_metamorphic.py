@@ -1,0 +1,88 @@
+"""Metamorphic property: sharding is invisible to the product.
+
+For the fixed strategies, a tile-snapped row partition must reproduce
+the single-device result *bit-for-bit* — every per-row summation runs
+in the same order, just on a different (model) device.  This is the
+strongest oracle available: not allclose, but ``np.array_equal``,
+across the whole structural zoo and every shard count, so any change
+to the partitioner, the shard slicing, or the per-shard engines that
+perturbs even one ulp fails here immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tilespmv import TileSpMV
+from repro.dist import ShardedSpMV
+from repro.matrices import generators as g
+
+pytestmark = pytest.mark.properties
+
+COUNTS = (1, 2, 4, 8)
+
+
+def _matrices():
+    return [
+        ("random", g.random_uniform(220, 220, nnz_per_row=5, seed=1)),
+        ("rect", g.random_uniform(150, 310, nnz_per_row=4, seed=2)),
+        ("banded", g.banded(260, half_bandwidth=6, seed=3)),
+        ("stencil", g.stencil_2d(17, points=5, seed=4)),
+        ("fem", g.fem_blocks(120, block=3, avg_degree=8, seed=5)),
+        ("powerlaw", g.power_law(600, avg_degree=4, seed=6)),
+        ("hyper", g.hypersparse(700, nnz=90, seed=7)),
+        ("arrow", g.gupta_arrow(220, border=20, seed=8)),
+        ("lp", g.lp_like(90, 330, seed=9)),
+    ]
+
+
+MATRICES = _matrices()
+IDS = [name for name, _ in MATRICES]
+
+
+@pytest.mark.parametrize("matrix", [m for _, m in MATRICES], ids=IDS)
+@pytest.mark.parametrize("method", ["adpt", "csr", "deferred_coo"])
+def test_spmv_bit_for_bit_every_count(matrix, method):
+    rng = np.random.default_rng(99)
+    x = rng.standard_normal(matrix.shape[1])
+    ref = TileSpMV(matrix, method=method).spmv(x)
+    for p in COUNTS:
+        with ShardedSpMV(matrix, shards=p, method=method) as eng:
+            y = eng.spmv(x)
+        assert np.array_equal(y, ref), f"P={p} diverged from single-device"
+
+
+@pytest.mark.parametrize("matrix", [m for _, m in MATRICES], ids=IDS)
+def test_spmm_bit_for_bit(matrix):
+    rng = np.random.default_rng(100)
+    x = rng.standard_normal((matrix.shape[1], 5))
+    ref = TileSpMV(matrix, method="adpt").spmm(x)
+    for p in COUNTS:
+        with ShardedSpMV(matrix, shards=p) as eng:
+            assert np.array_equal(eng.spmm(x), ref)
+
+
+@pytest.mark.parametrize("matrix", [m for _, m in MATRICES], ids=IDS)
+def test_update_values_preserves_bit_equality(matrix):
+    rng = np.random.default_rng(101)
+    x = rng.standard_normal(matrix.shape[1])
+    new = rng.standard_normal(matrix.nnz)
+    csr = matrix.tocsr()
+    fresh = csr.copy()
+    fresh.data = new.copy()
+    ref = TileSpMV(fresh, method="adpt").spmv(x)
+    for p in COUNTS:
+        with ShardedSpMV(matrix, shards=p) as eng:
+            eng.update_values(new)
+            assert np.array_equal(eng.spmv(x), ref)
+
+
+def test_auto_stays_allclose():
+    # ``auto`` may pick different strategies per shard — values agree to
+    # rounding, and that weaker contract is all it promises.
+    matrix = g.power_law(800, avg_degree=5, seed=10)
+    rng = np.random.default_rng(102)
+    x = rng.standard_normal(matrix.shape[1])
+    ref = TileSpMV(matrix, method="auto").spmv(x)
+    for p in COUNTS:
+        with ShardedSpMV(matrix, shards=p, method="auto") as eng:
+            np.testing.assert_allclose(eng.spmv(x), ref, rtol=1e-10, atol=1e-12)

@@ -29,6 +29,7 @@ SCRIPTS = sorted(
 def test_the_argparse_script_set_is_nonempty():
     assert "bench_batched.py" in SCRIPTS
     assert "bench_serving.py" in SCRIPTS
+    assert "bench_sharding.py" in SCRIPTS
     assert "bench_telemetry.py" in SCRIPTS
 
 

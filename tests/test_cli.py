@@ -50,6 +50,21 @@ def test_spmv_device_and_method_flags(capsys, mtx_file):
     assert "Titan RTX" in out and "method resolved: adpt" in out
 
 
+def test_shard_command(capsys, mtx_file):
+    assert main(["shard", mtx_file, "--shards", "1,2,4"]) == 0
+    out = capsys.readouterr().out
+    assert "bit-exact" in out
+    assert "modelled strong scaling" in out
+    assert "best modelled shard count" in out
+    assert "verification: OK" in out
+
+
+def test_shard_command_rejects_bad_counts(mtx_file, capsys):
+    assert main(["shard", mtx_file, "--shards", "0"]) == 2
+    assert main(["shard", mtx_file, "--shards", ","]) == 2
+    capsys.readouterr()
+
+
 def test_inspect_command(capsys, mtx_file):
     assert main(["inspect", mtx_file]) == 0
     out = capsys.readouterr().out
