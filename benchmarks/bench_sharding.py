@@ -1,14 +1,17 @@
 """Sharded multi-device SpMV perf smoke: exactness, wall clock, model.
 
 Runs :class:`repro.dist.sharded.ShardedSpMV` over a matrix set at
-P in {1, 2, 4, 8} and reports, per matrix and shard count:
+P in {1, 2, 4, 8} — on the 1D row partition *and* the factored 2D tile
+grid — and reports, per matrix and shard count:
 
-* **exactness** — the sharded product must be *bit-for-bit* the
-  single-device product (fixed method ``adpt``), not merely close,
+* **exactness** — the sharded product (and on grids, the transposed
+  product) must be *bit-for-bit* the single-device product (fixed
+  method ``adpt``), not merely close,
 * **wall time** — one concurrent sharded ``spmv`` vs the unsharded
   engine (median over repeats; threads only help on multi-core hosts),
 * **model** — the interconnect-aware multi-device makespan, speedup
   and efficiency from :class:`~repro.gpu.costmodel.MultiDeviceRunCost`,
+  plus the modelled x-halo traffic on both partitions,
 * **partition quality** — the nnz imbalance of the tile-snapped cuts.
 
 Results land in a JSON file (default ``BENCH_sharding.json``) so CI can
@@ -19,8 +22,11 @@ real work to spread.
 The wall-clock gate is CPU-aware: the >1.5x speedup requirement at P=4
 only applies when the host actually has >= 4 CPUs (the record carries
 ``cpu_limited: true`` otherwise, and the gate falls back to exactness +
-a sanity bound on sharding overhead).  The modelled efficiency table is
-deterministic on any host.
+a sanity bound on sharding overhead).  A second, host-independent gate
+checks the 2D grid's reason to exist: for the scattered (power-law)
+fixture the modelled halo bytes on the factored grid must *shrink*
+versus the 1D row partition at every P >= 4.  The modelled efficiency
+table is deterministic on any host.
 
     PYTHONPATH=src python benchmarks/bench_sharding.py --quick
 """
@@ -38,7 +44,7 @@ import numpy as np
 
 from repro.core.plancache import PlanCache
 from repro.core.tilespmv import TileSpMV
-from repro.dist import ShardedSpMV, modelled_shard_sweep
+from repro.dist import ShardedSpMV, default_grid, modelled_shard_sweep
 from repro.gpu.device import A100, TITAN_RTX
 
 COUNTS = (1, 2, 4, 8)
@@ -85,7 +91,14 @@ def bench_matrix(name, matrix, device, repeats: int) -> dict:
         "shards": [],
     }
 
+    xt = rng.standard_normal(matrix.shape[0])
+    yt_ref = base.spmv_transpose(xt)
+
     sweep = {r["shards"]: r for r in modelled_shard_sweep(matrix, counts=COUNTS, device=device)}
+    sweep_2d = {
+        r["shards"]: r
+        for r in modelled_shard_sweep(matrix, counts=COUNTS, device=device, grid="auto")
+    }
 
     for p in COUNTS:
         cache = PlanCache()
@@ -95,18 +108,40 @@ def bench_matrix(name, matrix, device, repeats: int) -> dict:
                 raise AssertionError(f"{name}: P={p} sharded spmv is not bit-exact")
             wall = _median_wall(lambda: eng.spmv(x), repeats)
             model = sweep[p]
-            row["shards"].append(
-                {
-                    "shards": p,
-                    "wall_s": wall,
-                    "wall_speedup": wall_base / wall if wall > 0 else 0.0,
-                    "model_makespan_s": model["makespan_s"],
-                    "model_speedup": model["speedup"],
-                    "model_efficiency": model["efficiency"],
-                    "imbalance": model["imbalance"],
-                    "comm_bytes": model["comm_bytes"],
-                }
-            )
+            record = {
+                "shards": p,
+                "wall_s": wall,
+                "wall_speedup": wall_base / wall if wall > 0 else 0.0,
+                "model_makespan_s": model["makespan_s"],
+                "model_speedup": model["speedup"],
+                "model_efficiency": model["efficiency"],
+                "imbalance": model["imbalance"],
+                "comm_bytes": model["comm_bytes"],
+                "halo_bytes_1d": model["halo_bytes"],
+            }
+
+        # The factored 2D grid, same total P.  Exactness here covers the
+        # column-cut replay *and* the transposed product — the two paths
+        # this benchmark exists to keep honest.
+        grid = default_grid(p)
+        with ShardedSpMV(matrix, grid=grid, method="adpt") as eng2:
+            if not np.array_equal(eng2.spmv(x), y_ref):
+                raise AssertionError(f"{name}: grid={grid} spmv is not bit-exact")
+            if not np.array_equal(eng2.spmv_transpose(xt), yt_ref):
+                raise AssertionError(
+                    f"{name}: grid={grid} spmv_transpose is not bit-exact"
+                )
+            wall_2d = _median_wall(lambda: eng2.spmv(x), repeats)
+        model_2d = sweep_2d[p]
+        record["grid"] = {
+            "grid": list(grid),
+            "wall_s": wall_2d,
+            "model_makespan_s": model_2d["makespan_s"],
+            "model_efficiency": model_2d["efficiency"],
+            "imbalance": model_2d["imbalance"],
+            "halo_bytes": model_2d["halo_bytes"],
+        }
+        row["shards"].append(record)
     return row
 
 
@@ -127,12 +162,15 @@ def main(argv=None) -> int:
         row = bench_matrix(name, matrix, device, args.repeats)
         rows.append(row)
         for s in row["shards"]:
+            g = s["grid"]
             print(
                 f"{name:16s} P={s['shards']:2d} "
                 f"wall {s['wall_s'] * 1e3:8.3f} ms ({s['wall_speedup']:5.2f}x)  "
                 f"model {s['model_makespan_s'] * 1e6:8.2f} us "
                 f"({s['model_speedup']:5.2f}x, eff {s['model_efficiency']:.2f})  "
-                f"imbalance {s['imbalance']:.2f}"
+                f"imbalance {s['imbalance']:.2f}  "
+                f"halo 1D {s['halo_bytes_1d'] / 1e3:9.1f} kB -> "
+                f"{g['grid'][0]}x{g['grid'][1]} {g['halo_bytes'] / 1e3:9.1f} kB"
             )
 
     best_wall_p4 = max(
@@ -146,12 +184,37 @@ def main(argv=None) -> int:
     if cpu_limited:
         # Single-core host: threads cannot beat sequential, so require
         # only that P=4 sharding overhead stays bounded (no 10x regression).
-        ok = worst_overhead > 0.1
-        verdict = f"cpu_limited ({cpus} CPUs): overhead gate {'PASS' if ok else 'FAIL'}"
+        wall_ok = worst_overhead > 0.1
+        verdict = f"cpu_limited ({cpus} CPUs): overhead gate {'PASS' if wall_ok else 'FAIL'}"
     else:
-        ok = best_wall_p4 > 1.5
-        verdict = f"best wall speedup at P=4: {best_wall_p4:.2f}x -> {'PASS' if ok else 'FAIL'}"
+        wall_ok = best_wall_p4 > 1.5
+        verdict = f"best wall speedup at P=4: {best_wall_p4:.2f}x -> {'PASS' if wall_ok else 'FAIL'}"
 
+    # Host-independent gate: on the scattered fixture the 2D grid's
+    # modelled halo must shrink vs 1D wherever the grid has column cuts
+    # (P >= 4 -> C >= 2).  If it doesn't, the grid is pure overhead.
+    halo_checks = []
+    for r in rows:
+        if not r["matrix"].startswith("power"):
+            continue
+        for s in r["shards"]:
+            if s["shards"] >= 4:
+                halo_checks.append(
+                    {
+                        "matrix": r["matrix"],
+                        "shards": s["shards"],
+                        "halo_1d": s["halo_bytes_1d"],
+                        "halo_2d": s["grid"]["halo_bytes"],
+                        "shrinks": s["grid"]["halo_bytes"] < s["halo_bytes_1d"],
+                    }
+                )
+    halo_ok = bool(halo_checks) and all(c["shrinks"] for c in halo_checks)
+    halo_verdict = (
+        "2D halo < 1D halo on scattered fixture at P>=4: "
+        f"{'PASS' if halo_ok else 'FAIL'}"
+    )
+
+    ok = wall_ok and halo_ok
     payload = {
         "device": device.name,
         "quick": args.quick,
@@ -159,11 +222,15 @@ def main(argv=None) -> int:
         "cpu_limited": cpu_limited,
         "best_wall_speedup_p4": best_wall_p4,
         "worst_wall_speedup_p4": worst_overhead,
+        "halo_checks": halo_checks,
+        "halo_gate_pass": halo_ok,
+        "wall_gate_pass": bool(wall_ok),
         "pass": bool(ok),
         "rows": rows,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\n{verdict}")
+    print(halo_verdict)
     print(f"results written to {args.out}")
     return 0 if ok else 1
 

@@ -8,7 +8,7 @@ Working with your own matrices (Matrix Market files):
 
     python -m repro spmv matrix.mtx [--method auto] [--device a100]
     python -m repro batch matrix.mtx [--k 32] [--device a100]
-    python -m repro shard matrix.mtx [--shards 1,2,4,8] [--device a100]
+    python -m repro shard matrix.mtx [--shards 1,2,4,8] [--grid 2x2|auto] [--device a100]
     python -m repro inspect matrix.mtx
     python -m repro check matrix.mtx [--policy strict] [--faults --seed 7]
 
@@ -138,7 +138,12 @@ def _cmd_batch(args) -> int:
 def _cmd_shard(args) -> int:
     """Sharded multi-device demo: partition, verify exactness, scale table."""
     from repro.core.tilespmv import TileSpMV
-    from repro.dist import ShardedSpMV, best_shard_count, modelled_shard_sweep
+    from repro.dist import (
+        ShardedSpMV,
+        best_shard_count,
+        default_grid,
+        modelled_shard_sweep,
+    )
     from repro.matrices.io import read_matrix_market
 
     device = _get_device(args.device)
@@ -156,31 +161,65 @@ def _cmd_shard(args) -> int:
         print("error: --shards must name at least one shard count", file=sys.stderr)
         return 2
 
+    grid = None
+    if args.grid:
+        if args.grid == "auto":
+            grid = "auto"
+        else:
+            try:
+                r, c = args.grid.lower().split("x")
+                grid = (int(r), int(c))
+            except ValueError:
+                print(f"error: --grid must be RxC (e.g. 2x2) or 'auto', "
+                      f"got {args.grid!r}", file=sys.stderr)
+                return 2
+            if grid[0] < 1 or grid[1] < 1:
+                print(f"error: grid axes must be >= 1, got {args.grid!r}",
+                      file=sys.stderr)
+                return 2
+
     matrix = read_matrix_market(args.matrix)
     print(f"matrix {args.matrix}: {matrix.shape[0]}x{matrix.shape[1]}, nnz={matrix.nnz}")
 
     baseline = TileSpMV(matrix, method=args.method, auto_device=device)
     x = np.ones(matrix.shape[1])
     y_ref = baseline.spmv(x)
+    yt_ref = baseline.spmv_transpose(np.ones(matrix.shape[0]))
 
     ok = True
     for p in counts:
-        with ShardedSpMV(matrix, shards=p, method=args.method, auto_device=device) as eng:
+        # An explicit RxC grid fixes the shape; "auto" factors each count.
+        eng_grid = grid if grid != "auto" else default_grid(p)
+        with ShardedSpMV(matrix, shards=p, method=args.method,
+                         grid=eng_grid, auto_device=device) as eng:
             y = eng.spmv(x)
-            exact = bool(np.array_equal(y, y_ref))
-            close = bool(np.allclose(y, y_ref, rtol=1e-10, atol=1e-12))
+            yt = eng.spmv_transpose(np.ones(matrix.shape[0]))
+            exact = bool(np.array_equal(y, y_ref) and np.array_equal(yt, yt_ref))
+            close = bool(
+                np.allclose(y, y_ref, rtol=1e-10, atol=1e-12)
+                and np.allclose(yt, yt_ref, rtol=1e-10, atol=1e-12)
+            )
             # `auto` may arbitrate differently per shard, so only fixed
-            # methods promise bit-for-bit equality with the P=1 product.
+            # methods promise bit-for-bit equality with the P=1 product
+            # (for spmv AND spmv_transpose, on 1D and 2D partitions).
             ok = ok and (exact if args.method != "auto" else close)
             tag = "bit-exact" if exact else ("allclose" if close else "MISMATCH")
+            shape = (
+                f"grid={eng.grid[0]}x{eng.grid[1]}" if eng.grid is not None
+                else f"P={p}"
+            )
             print(
-                f"  P={p}: {tag} vs single-device, "
+                f"  {shape}: {tag} vs single-device (spmv + transpose), "
                 f"imbalance={eng.partition.imbalance():.2f}, "
                 f"methods={','.join(eng.resolved_methods)}"
             )
+        if grid is not None and grid != "auto":
+            break  # one explicit shape, not a sweep
 
     rows = modelled_shard_sweep(matrix, counts=tuple(counts), device=device,
-                                method=args.method, auto_device=device)
+                                method=args.method, auto_device=device,
+                                grid="auto" if grid is not None else None,
+                                links=args.links)
     print(f"\nmodelled strong scaling on {device.name} (interconnect "
           f"{device.link_bandwidth_gbps:.0f} GB/s, {device.link_latency_us:.0f} us/link):")
     print(f"  {'P':>3s} {'makespan':>12s} {'compute':>12s} {'comm':>10s} "
@@ -192,7 +231,9 @@ def _cmd_shard(args) -> int:
             f"{r['speedup']:7.2f}x {r['efficiency']:6.2f} {r['imbalance']:6.2f}"
         )
     best = best_shard_count(matrix, counts=tuple(counts), device=device,
-                            method=args.method, auto_device=device)
+                            method=args.method, auto_device=device,
+                            grid="auto" if grid is not None else None,
+                            links=args.links)
     print(f"\nbest modelled shard count: P={best}")
     print("verification:", "OK" if ok else "FAILED")
     return 0 if ok else 1
@@ -509,6 +550,12 @@ def main(argv: list[str] | None = None) -> int:
     p_shard.add_argument("matrix", help="path to a .mtx file")
     p_shard.add_argument("--shards", default="1,2,4,8", metavar="P,P,...",
                          help="comma-separated shard counts to sweep (default 1,2,4,8)")
+    p_shard.add_argument("--grid", default=None, metavar="RxC",
+                         help="2D tile-grid partition: explicit shape like 2x2, "
+                              "or 'auto' to factor each shard count (default: 1D rows)")
+    p_shard.add_argument("--links", type=int, default=0,
+                         help="shared interconnect links for the cost model "
+                              "(0 = dedicated link per shard)")
     p_shard.add_argument("--method", default="adpt",
                          choices=("csr", "adpt", "deferred_coo", "auto"))
     p_shard.add_argument("--device", default="a100", choices=sorted(_DEVICES))

@@ -77,6 +77,9 @@ class TileMatrix:
     # the first call and shared by every value-only clone.
     _value_maps: dict | None = field(default=None, repr=False)
     _decode_perm: np.ndarray | None = field(default=None, repr=False)
+    # Permutation applied to the concatenated decode streams to put the
+    # gathers in canonical tile-major order (set by _build_gathers).
+    _gather_order: np.ndarray | None = field(default=None, repr=False)
 
     # -- construction ------------------------------------------------------
 
@@ -154,6 +157,10 @@ class TileMatrix:
             else:
                 maps[fmt] = ("dense", vidx)
         perm = np.concatenate(perm_parts) if perm_parts else np.zeros(0, dtype=np.int64)
+        # The gathers were reordered into canonical tile-major order at
+        # build time; the view->gather-slot permutation must follow.
+        if self._gather_order is not None:
+            perm = perm[self._gather_order]
         self._value_maps, self._decode_perm = maps, perm
         return maps, perm
 
@@ -203,6 +210,7 @@ class TileMatrix:
         clone._vals = new_view_val[perm]
         clone._value_maps = maps
         clone._decode_perm = perm
+        clone._gather_order = self._gather_order
         return clone
 
     def _build_gathers(self) -> None:
@@ -211,8 +219,20 @@ class TileMatrix:
         Decoding *from the encoded arrays* (rather than keeping the
         original entries) means every SpMV result exercises the real
         format round-trip.
+
+        The concatenated streams are put in **canonical tile-major
+        order** (stable sort by global tile id; within a tile the
+        format's decode order stands).  Per output row, the accumulation
+        order of :meth:`spmv` is then a pure function of the tile grid —
+        tiles ascend by (strip, column) — and *not* of which formats the
+        selector happened to assign.  Any tile-snapped partition of the
+        matrix (rows, columns, or both) decodes the identical
+        per-tile sequences, so a sharded engine can replay the exact
+        single-device summation order from its shards' streams.  That
+        invariant is what `repro.dist` builds its bit-for-bit reduction
+        on.
         """
-        ys, xs, vs = [], [], []
+        ys, xs, vs, gs = [], [], [], []
         tile = self.tileset.tile
         for fmt, payload in self.payloads.items():
             t_local, lrow, lcol, val = _decode_with_tiles(fmt, payload)
@@ -220,14 +240,18 @@ class TileMatrix:
             ys.append(self.tileset.tile_rowidx[gid] * tile + lrow.astype(np.int64))
             xs.append(self.tileset.tile_colidx[gid] * tile + lcol.astype(np.int64))
             vs.append(val)
+            gs.append(gid)
         if ys:
-            self._y_idx = np.concatenate(ys)
-            self._x_idx = np.concatenate(xs)
-            self._vals = np.concatenate(vs)
+            order = np.argsort(np.concatenate(gs), kind="stable")
+            self._y_idx = np.concatenate(ys)[order]
+            self._x_idx = np.concatenate(xs)[order]
+            self._vals = np.concatenate(vs)[order]
+            self._gather_order = order
         else:
             self._y_idx = np.zeros(0, dtype=np.int64)
             self._x_idx = np.zeros(0, dtype=np.int64)
             self._vals = np.zeros(0)
+            self._gather_order = np.zeros(0, dtype=np.int64)
 
     # -- basic properties ----------------------------------------------------
 

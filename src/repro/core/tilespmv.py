@@ -371,6 +371,33 @@ class TileSpMV:
             tele.count("tilespmv_spmv_total", method=self.method)
         return out
 
+    def decode_streams(self):
+        """Canonical-order contribution streams of the prepared plan.
+
+        Returns ``(tiled, deferred)`` where each half is either ``None``
+        or a ``(rows, cols, vals)`` triple of equal-length arrays listing
+        every nonzero the half executes, in the exact order its kernel
+        accumulates them: the tiled half in canonical tile-major decode
+        order (see :meth:`TileMatrix._build_gathers`), the deferred half
+        in CSR entry order (what CSR5's segmented sum reduces to).
+
+        This is the replay hook `repro.dist` uses for bit-for-bit
+        sharded reductions: because both orders are pure functions of
+        the (tile-snapped) structure, concatenating shard streams in
+        grid order reconstructs the single-device accumulation sequence
+        exactly.  Arrays are views/live references — valid until the
+        next :meth:`update_values`; do not mutate.
+        """
+        tiled = None
+        if self.tiled is not None and self.tiled._vals is not None \
+                and self.tiled._vals.size:
+            tiled = (self.tiled._y_idx, self.tiled._x_idx, self.tiled._vals)
+        deferred = None
+        d = self.deferred_engine
+        if d is not None and d.nnz:
+            deferred = (d.entry_rows, d.indices, d.data)
+        return tiled, deferred
+
     def update_values(self, values) -> "TileSpMV":
         """Fast path: new numbers, unchanged sparsity pattern.
 

@@ -1,14 +1,27 @@
 """Sharded multi-device execution layer.
 
-Partitions a matrix into nnz-balanced, tile-snapped row shards
-(:mod:`repro.dist.partition`), runs one TileSpMV plan per shard with
-thread-concurrent kernels (:mod:`repro.dist.sharded`), and prices the
-result on P modelled devices through the interconnect-aware
+Partitions a matrix into nnz-balanced, tile-snapped shards — 1D row
+blocks or a 2D row x column tile grid (:mod:`repro.dist.partition`) —
+runs one TileSpMV plan per shard with thread-concurrent kernels
+(:mod:`repro.dist.sharded`), combines overlapping outputs through the
+deterministic reductions of :mod:`repro.dist.reduce` (ordered
+contribution replay for bit-for-bit equality, the fixed-shape binary
+tree for ``auto`` partials), and prices the result on P modelled
+devices through the interconnect-aware
 :class:`~repro.gpu.costmodel.MultiDeviceRunCost`.  See
 ``docs/SHARDING.md`` for the design and the exactness argument.
 """
 
-from repro.dist.partition import RowPartition, RowShard, partition_rows
+from repro.dist.partition import (
+    GridPartition,
+    GridShard,
+    RowPartition,
+    RowShard,
+    default_grid,
+    partition_grid,
+    partition_rows,
+)
+from repro.dist.reduce import replay_reduce, tree_reduce, tree_schedule
 from repro.dist.sharded import ShardedSpMV, best_shard_count, modelled_shard_sweep
 from repro.dist.solvers import sharded_conjugate_gradient, sharded_pagerank
 
@@ -16,6 +29,13 @@ __all__ = [
     "RowShard",
     "RowPartition",
     "partition_rows",
+    "GridShard",
+    "GridPartition",
+    "partition_grid",
+    "default_grid",
+    "tree_schedule",
+    "tree_reduce",
+    "replay_reduce",
     "ShardedSpMV",
     "modelled_shard_sweep",
     "best_shard_count",

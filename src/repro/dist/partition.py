@@ -1,46 +1,65 @@
-"""nnz-balanced, tile-snapped 1D row partitioning.
+"""nnz-balanced, tile-snapped partitioning: 1D row blocks and 2D grids.
 
 The sharded engine distributes a matrix across P model-devices the way
 Kreutzer et al. (arXiv:1112.5588) distribute SpMV formats across GPGPU
-cluster nodes: contiguous row blocks balanced by nonzero count.  Two
+cluster nodes: contiguous blocks balanced by nonzero count.  Three
 refinements matter here:
 
-* **Tile snapping** — shard boundaries land on 16-row tile-strip edges,
-  so no level-1 tile is ever split between shards.  Each shard's tile
-  decomposition, format selection and warp schedule are then *exactly*
-  the restriction of the unsharded plan to its rows, which is what makes
-  the sharded product bit-for-bit equal to the single-device one for the
-  fixed strategies (every per-row summation happens in the same order).
+* **Tile snapping** — shard boundaries land on 16-row (and, for 2D
+  grids, 16-column) tile-strip edges, so no level-1 tile is ever split
+  between shards.  Each shard's tile decomposition, format selection
+  and decode order are then *exactly* the restriction of the unsharded
+  plan to its block, which is what makes the sharded product
+  bit-for-bit equal to the single-device one for the fixed strategies.
 * **Column-range analysis** — per shard, the span of referenced columns
   sizes the ``x`` window the shard's device must receive over the
-  interconnect.  A banded matrix pays a thin halo; a scattered graph
-  approaches a full broadcast.  The cost model prices exactly this.
+  interconnect, in the *matrix dtype's* element size.  A banded matrix
+  pays a thin halo; under 1D row partitioning a scattered graph
+  approaches a full broadcast — which is exactly what the 2D grid
+  fixes: a grid shard's window can never exceed its column block.
+* **Canonical degenerate cuts** — the balancer walks the nonzero prefix
+  sum at tile-strip granularity and places each cut at the strip whose
+  prefix is closest to the ideal ``p * nnz / P`` split, then clamps the
+  cut sequence *strictly increasing while strips remain*.  Cuts can
+  therefore never go backwards or duplicate a boundary mid-sequence;
+  when P exceeds the strip count the surplus ranks collapse into one
+  canonical empty shard each, all trailing (``row_lo == row_hi == m``).
 
-The balancer walks the nonzero prefix sum at tile-strip granularity and
-places each cut at the strip whose prefix is closest to the ideal
-``p * nnz / P`` split, never before the previous cut — hub-heavy strips
-can therefore leave some shards empty (P > populated strips degenerates
-gracefully).
+Yang, Buluç & Owens (arXiv:1803.08601) make the scaling argument this
+module implements: balanced 2D decomposition — not format choice alone —
+decides SpMV throughput once communication enters the picture.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["RowShard", "RowPartition", "partition_rows"]
+__all__ = [
+    "RowShard",
+    "RowPartition",
+    "partition_rows",
+    "GridShard",
+    "GridPartition",
+    "partition_grid",
+    "default_grid",
+]
 
 
 @dataclass(frozen=True)
 class RowShard:
-    """One contiguous row block of a partition.
+    """One contiguous row block of a 1D partition.
 
     ``col_lo``/``col_hi`` bound the columns the block references
     (half-open; both 0 for an empty shard): the ``x`` window the shard's
     device needs.  ``nnz_lo``/``nnz_hi`` delimit the block's slice of
     the canonical CSR value array — the ``update_values`` routing.
+    ``itemsize`` is the matrix value dtype's element size in bytes, so
+    modelled traffic follows the stored precision (a float32 plan ships
+    half the halo of a float64 one).
     """
 
     index: int
@@ -50,6 +69,7 @@ class RowShard:
     nnz_hi: int
     col_lo: int
     col_hi: int
+    itemsize: int = 8
 
     @property
     def rows(self) -> int:
@@ -66,13 +86,13 @@ class RowShard:
 
     @property
     def halo_bytes(self) -> float:
-        """Modelled bytes of x shipped to the shard (float64 window)."""
-        return 8.0 * self.x_window_cols
+        """Modelled bytes of x shipped to the shard (dtype-sized window)."""
+        return float(self.itemsize) * self.x_window_cols
 
     @property
     def y_bytes(self) -> float:
         """Modelled bytes of y gathered back from the shard."""
-        return 8.0 * self.rows
+        return float(self.itemsize) * self.rows
 
 
 @dataclass(frozen=True)
@@ -85,6 +105,7 @@ class RowPartition:
     m: int
     n: int
     nnz: int
+    itemsize: int = 8
 
     @property
     def p(self) -> int:
@@ -96,6 +117,10 @@ class RowPartition:
             return 1.0
         ideal = self.nnz / self.p
         return max(s.nnz for s in self.shards) / ideal
+
+    def halo_bytes_total(self) -> float:
+        """Modelled x-window bytes summed over every shard."""
+        return float(sum(s.halo_bytes for s in self.shards))
 
     def describe(self) -> str:
         lines = [
@@ -110,14 +135,58 @@ class RowPartition:
         return "\n".join(lines)
 
 
+def _nearest_cuts(prefix: np.ndarray, parts: int, n_strips: int, total: int) -> np.ndarray:
+    """nnz-balanced nearest-boundary cuts with the canonical clamp.
+
+    ``prefix`` is the nonzero prefix sum at strip boundaries
+    (``n_strips + 1`` entries).  Cut ``p`` lands on the strip boundary
+    whose prefix is nearest ``p * total / parts`` (ties to the earlier
+    strip), then the sequence is clamped **strictly increasing while
+    strips remain**: a cut can never move backwards, never duplicate an
+    interior boundary, and once the strip supply is exhausted every
+    remaining rank gets the same saturated cut — one canonical trailing
+    empty shard per surplus rank.  A 0-nnz axis falls back to an even
+    strip split under the same clamp.
+    """
+    if total > 0 and n_strips > 0:
+        targets = np.arange(1, parts) * (total / parts)
+        right = np.searchsorted(prefix, targets, side="left")
+        right = np.clip(right, 0, n_strips)
+        left = np.maximum(right - 1, 0)
+        pick_left = (targets - prefix[left]) <= (prefix[right] - targets)
+        raw = np.where(pick_left, left, right)
+    else:
+        raw = np.round(np.arange(1, parts) * (n_strips / parts)).astype(np.int64)
+    cuts = [0]
+    prev = 0
+    for c in raw:
+        c = int(min(max(int(c), 0), n_strips))
+        c = max(c, prev + 1) if prev < n_strips else n_strips
+        c = min(c, n_strips)
+        cuts.append(c)
+        prev = c
+    cuts.append(n_strips)
+    return np.asarray(cuts, dtype=np.int64)
+
+
+def _value_itemsize(csr: sp.csr_matrix) -> int:
+    """Element size of the matrix value dtype (8 for an empty matrix)."""
+    try:
+        return int(csr.data.dtype.itemsize) or 8
+    except AttributeError:  # pragma: no cover - defensive
+        return 8
+
+
 def partition_rows(matrix: sp.spmatrix, shards: int, tile: int = 16) -> RowPartition:
     """Split ``matrix`` into ``shards`` nnz-balanced tile-snapped row blocks.
 
     The cut before shard ``p`` goes to the tile-strip boundary whose
     nonzero prefix is nearest to ``p * nnz / shards`` (ties to the
-    earlier strip), clamped to be monotone.  A 0-nnz matrix falls back
-    to an even split over tile strips so every shard still owns a
-    well-defined (possibly empty) row range.
+    earlier strip), clamped strictly increasing while strips remain —
+    see :func:`_nearest_cuts` for the degenerate ``shards > strips``
+    contract.  A 0-nnz matrix falls back to an even split over tile
+    strips so every shard still owns a well-defined (possibly empty)
+    row range.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -126,6 +195,7 @@ def partition_rows(matrix: sp.spmatrix, shards: int, tile: int = 16) -> RowParti
     csr = matrix.tocsr()
     m, n = csr.shape
     nnz = int(csr.nnz)
+    itemsize = _value_itemsize(csr)
     indptr = np.asarray(csr.indptr, dtype=np.int64)
     tile_rows = -(-m // tile) if m else 0  # ceil(m / tile)
 
@@ -134,19 +204,7 @@ def partition_rows(matrix: sp.spmatrix, shards: int, tile: int = 16) -> RowParti
     strip_edges = np.minimum(np.arange(tile_rows + 1, dtype=np.int64) * tile, m)
     prefix = indptr[strip_edges]  # (tile_rows + 1,)
 
-    if nnz > 0 and tile_rows > 0:
-        targets = np.arange(1, shards) * (nnz / shards)
-        # Nearest strip boundary to each ideal split point.
-        right = np.searchsorted(prefix, targets, side="left")
-        right = np.clip(right, 0, tile_rows)
-        left = np.maximum(right - 1, 0)
-        pick_left = (targets - prefix[left]) <= (prefix[right] - targets)
-        cuts = np.where(pick_left, left, right)
-    else:
-        # Degenerate: no nonzeros to balance — spread strips evenly.
-        cuts = np.round(np.arange(1, shards) * (tile_rows / shards)).astype(np.int64)
-    cuts = np.maximum.accumulate(np.clip(cuts, 0, tile_rows))
-    strip_bounds = np.concatenate([[0], cuts, [tile_rows]]).astype(np.int64)
+    strip_bounds = _nearest_cuts(prefix, shards, tile_rows, nnz)
     bounds = np.minimum(strip_bounds * tile, m)
 
     built = []
@@ -163,8 +221,213 @@ def partition_rows(matrix: sp.spmatrix, shards: int, tile: int = 16) -> RowParti
                 index=p, row_lo=lo, row_hi=hi,
                 nnz_lo=nnz_lo, nnz_hi=nnz_hi,
                 col_lo=col_lo, col_hi=col_hi,
+                itemsize=itemsize,
             )
         )
     return RowPartition(
-        shards=tuple(built), bounds=bounds, tile=tile, m=m, n=n, nnz=nnz
+        shards=tuple(built), bounds=bounds, tile=tile, m=m, n=n, nnz=nnz,
+        itemsize=itemsize,
+    )
+
+
+@dataclass(frozen=True)
+class GridShard:
+    """One (row block, column block) cell of a 2D grid partition.
+
+    ``row_lo``/``row_hi`` and ``col_lo``/``col_hi`` are the cell's
+    tile-snapped block bounds.  ``win_lo``/``win_hi`` is the *tight*
+    referenced-column window inside the block (equal, and empty, for a
+    0-nnz cell) — the slice of ``x`` the cell's device must actually
+    receive, bounded by the block width by construction.  That bound is
+    the whole point of the 2D grid: a scattered graph's 1D shard
+    references nearly every column, while its grid cell can never
+    reference more than ``col_hi - col_lo``.
+    """
+
+    r: int
+    c: int
+    index: int  # row-major rank: r * grid_cols + c
+    row_lo: int
+    row_hi: int
+    col_lo: int
+    col_hi: int
+    nnz: int
+    win_lo: int
+    win_hi: int
+    itemsize: int = 8
+
+    @property
+    def rows(self) -> int:
+        return self.row_hi - self.row_lo
+
+    @property
+    def block_cols(self) -> int:
+        return self.col_hi - self.col_lo
+
+    @property
+    def x_window_cols(self) -> int:
+        """Width of the tight x window this cell's device must hold."""
+        return self.win_hi - self.win_lo
+
+    @property
+    def halo_bytes(self) -> float:
+        """Modelled bytes of x shipped to the cell (dtype-sized window)."""
+        return float(self.itemsize) * self.x_window_cols
+
+    @property
+    def y_bytes(self) -> float:
+        """Modelled bytes of the cell's partial y block."""
+        return float(self.itemsize) * self.rows
+
+
+@dataclass(frozen=True)
+class GridPartition:
+    """A full R x C tile-snapped grid partition of one matrix.
+
+    Shards are stored row-major: rank ``r * C + c`` owns row block ``r``
+    and column block ``c``.  Column cuts mean the ``C`` cells of a row
+    block produce *partial* y vectors that must be reduced; the
+    reduction tree's shape (``ceil(log2 C)`` rounds) is a pure function
+    of this grid, which is what keeps the combine order deterministic.
+    """
+
+    shards: tuple[GridShard, ...]
+    row_bounds: np.ndarray  # (R + 1,) row boundaries, multiples of tile
+    col_bounds: np.ndarray  # (C + 1,) column boundaries, multiples of tile
+    grid: tuple[int, int]
+    tile: int
+    m: int
+    n: int
+    nnz: int
+    itemsize: int = 8
+
+    @property
+    def grid_rows(self) -> int:
+        return self.grid[0]
+
+    @property
+    def grid_cols(self) -> int:
+        return self.grid[1]
+
+    @property
+    def p(self) -> int:
+        return self.grid[0] * self.grid[1]
+
+    @property
+    def reduce_depth(self) -> int:
+        """Rounds of the fixed-shape partial-y reduction tree."""
+        return int(math.ceil(math.log2(self.grid_cols))) if self.grid_cols > 1 else 0
+
+    def row_block(self, r: int) -> tuple[GridShard, ...]:
+        """The C cells of row block ``r``, in column-block order."""
+        c = self.grid_cols
+        return self.shards[r * c:(r + 1) * c]
+
+    def imbalance(self) -> float:
+        """max cell nnz / ideal cell nnz (1.0 = perfectly balanced)."""
+        if self.nnz == 0 or self.p == 0:
+            return 1.0
+        ideal = self.nnz / self.p
+        return max(s.nnz for s in self.shards) / ideal
+
+    def halo_bytes_total(self) -> float:
+        """Modelled x-window bytes summed over every cell."""
+        return float(sum(s.halo_bytes for s in self.shards))
+
+    def describe(self) -> str:
+        lines = [
+            f"GridPartition[{self.grid_rows}x{self.grid_cols}] "
+            f"{self.m}x{self.n}, nnz={self.nnz}, tile={self.tile}, "
+            f"imbalance={self.imbalance():.2f}, "
+            f"reduce_depth={self.reduce_depth}"
+        ]
+        for s in self.shards:
+            lines.append(
+                f"  cell ({s.r},{s.c}): rows [{s.row_lo}, {s.row_hi}) "
+                f"cols [{s.col_lo}, {s.col_hi}) nnz={s.nnz} "
+                f"x_window={s.x_window_cols} cols"
+            )
+        return "\n".join(lines)
+
+
+def default_grid(p: int) -> tuple[int, int]:
+    """The most-square ``(R, C)`` factorization of ``p`` with ``R >= C``.
+
+    ``p`` prime degenerates to ``(p, 1)`` — a plain row partition; the
+    even counts a deployment actually uses (2, 4, 8, 16) get genuine 2D
+    shapes ((2,1), (2,2), (4,2), (4,4)).
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    c = max(d for d in range(1, int(math.isqrt(p)) + 1) if p % d == 0)
+    return (p // c, c)
+
+
+def partition_grid(
+    matrix: sp.spmatrix,
+    grid: tuple[int, int] | int,
+    tile: int = 16,
+) -> GridPartition:
+    """Split ``matrix`` into an nnz-balanced, tile-snapped R x C grid.
+
+    ``grid`` is either an explicit ``(R, C)`` shape or a total shard
+    count to factor through :func:`default_grid`.  Row cuts balance the
+    nonzero prefix over 16-row strips exactly like
+    :func:`partition_rows`; column cuts balance the per-column-strip
+    nonzero histogram the same way, so both axes degenerate canonically
+    (strictly increasing cuts, trailing empty blocks) and every cell is
+    a whole number of 16 x 16 tiles.
+    """
+    if isinstance(grid, int):
+        grid = default_grid(grid)
+    grid_r, grid_c = int(grid[0]), int(grid[1])
+    if grid_r < 1 or grid_c < 1:
+        raise ValueError(f"grid must be >= 1 on both axes, got {grid!r}")
+    if tile < 1:
+        raise ValueError(f"tile must be >= 1, got {tile}")
+    csr = matrix.tocsr()
+    m, n = csr.shape
+    nnz = int(csr.nnz)
+    itemsize = _value_itemsize(csr)
+    indptr = np.asarray(csr.indptr, dtype=np.int64)
+    indices = np.asarray(csr.indices, dtype=np.int64)
+
+    tile_rows = -(-m // tile) if m else 0
+    strip_edges = np.minimum(np.arange(tile_rows + 1, dtype=np.int64) * tile, m)
+    row_prefix = indptr[strip_edges]
+    row_bounds = np.minimum(_nearest_cuts(row_prefix, grid_r, tile_rows, nnz) * tile, m)
+
+    tile_cols = -(-n // tile) if n else 0
+    col_counts = (
+        np.bincount(indices // tile, minlength=tile_cols)
+        if nnz and tile_cols
+        else np.zeros(tile_cols, dtype=np.int64)
+    )
+    col_prefix = np.concatenate([[0], np.cumsum(col_counts)]).astype(np.int64)
+    col_bounds = np.minimum(_nearest_cuts(col_prefix, grid_c, tile_cols, nnz) * tile, n)
+
+    built = []
+    for r in range(grid_r):
+        row_lo, row_hi = int(row_bounds[r]), int(row_bounds[r + 1])
+        block_cols = indices[indptr[row_lo]:indptr[row_hi]]
+        for c in range(grid_c):
+            col_lo, col_hi = int(col_bounds[c]), int(col_bounds[c + 1])
+            in_block = block_cols[(block_cols >= col_lo) & (block_cols < col_hi)]
+            if in_block.size:
+                win_lo, win_hi = int(in_block.min()), int(in_block.max()) + 1
+            else:
+                win_lo = win_hi = col_lo
+            built.append(
+                GridShard(
+                    r=r, c=c, index=r * grid_c + c,
+                    row_lo=row_lo, row_hi=row_hi,
+                    col_lo=col_lo, col_hi=col_hi,
+                    nnz=int(in_block.size),
+                    win_lo=win_lo, win_hi=win_hi,
+                    itemsize=itemsize,
+                )
+            )
+    return GridPartition(
+        shards=tuple(built), row_bounds=row_bounds, col_bounds=col_bounds,
+        grid=(grid_r, grid_c), tile=tile, m=m, n=n, nnz=nnz, itemsize=itemsize,
     )

@@ -1,32 +1,53 @@
 """Sharded multi-device SpMV engine.
 
-:class:`ShardedSpMV` partitions a matrix into P tile-snapped row shards
-(:func:`~repro.dist.partition.partition_rows`), prepares one
-:class:`~repro.core.tilespmv.TileSpMV` plan per shard — all shards may
-share one :class:`~repro.core.plancache.PlanCache`, which is lock-
-protected for exactly this — and executes products over the shards
-concurrently through a :class:`~concurrent.futures.ThreadPoolExecutor`.
-The shard kernels are numpy reductions that release the GIL, so on a
-multi-core host the shards genuinely overlap; the modelled multi-GPU
-story comes from :meth:`multi_device_cost`, whose
+:class:`ShardedSpMV` partitions a matrix into P tile-snapped shards —
+1D row blocks (:func:`~repro.dist.partition.partition_rows`) or a 2D
+R x C tile grid (:func:`~repro.dist.partition.partition_grid`) — and
+prepares one :class:`~repro.core.tilespmv.TileSpMV` plan per shard.
+All shards may share one :class:`~repro.core.plancache.PlanCache`,
+which is lock-protected for exactly this, and row-disjoint products
+execute concurrently through a
+:class:`~concurrent.futures.ThreadPoolExecutor`.  The shard kernels are
+numpy reductions that release the GIL, so on a multi-core host the
+shards genuinely overlap; the modelled multi-GPU story comes from
+:meth:`multi_device_cost`, whose
 :class:`~repro.gpu.costmodel.MultiDeviceRunCost` makespan combines each
 shard's kernel time with the interconnect traffic the partitioner
-measured (x window in, y block out).
+measured (x window in, y block out, partial-y tree reduction for column
+cuts).
 
 Execution degrades to a sequential loop whenever the telemetry tracer
 or a fault-injection campaign is armed: both are deliberately
 process-global and order-dependent (byte-deterministic traces, one RNG
 stream), so threading them would corrupt exactly the determinism they
-exist to provide.  Results are identical either way — shards write
-disjoint row blocks.
+exist to provide.  Results are identical either way — concurrency never
+decides a combine order (see below).
 
-Exactness: shard boundaries never split a tile, so each shard's plan is
-the unsharded plan restricted to its rows, and for the fixed strategies
-(``csr``/``adpt``/``deferred_coo``) the concatenated sharded product is
-bit-for-bit the single-engine product.  ``auto`` may arbitrate ADPT vs
-DeferredCOO differently per shard (that is its job), which preserves
-values to rounding but not bit patterns — hence the ``adpt`` default
-here.
+Exactness: shard boundaries never split a 16 x 16 tile, so each shard's
+plan is the unsharded plan restricted to its block — same tile
+decomposition, same per-tile format selection, same DeferredCOO
+extraction, same decode order.  For the fixed strategies
+(``csr``/``adpt``/``deferred_coo``) every product is **bit-for-bit**
+the single-engine product, on every grid shape:
+
+* Row-disjoint outputs (:meth:`spmv`/:meth:`spmm` on 1D partitions or
+  single-column grids) concatenate shard blocks — trivially exact.
+* Overlapping outputs (column-cut :meth:`spmv`/:meth:`spmm`, every
+  :meth:`spmv_transpose`) are combined by **ordered contribution
+  replay** (:func:`~repro.dist.reduce.replay_reduce`): the shards hand
+  over their canonical-order ``(index, value)`` streams
+  (:meth:`~repro.core.tilespmv.TileSpMV.decode_streams`), and one
+  accumulation pass in grid order replays the exact single-device
+  summation sequence.  Summing rounded per-shard partials could never
+  do this — float addition is not associative.
+
+``auto`` may arbitrate ADPT vs DeferredCOO differently per shard (that
+is its job), which rules replay out; its partial vectors are combined
+by the fixed-shape binary tree (:func:`~repro.dist.reduce.tree_reduce`)
+instead, whose pairing order is a pure function of the grid shape —
+never of thread completion order — so ``auto`` results are still
+byte-stable across runs and worker counts, just not bit-equal to the
+single-device ``auto`` engine.
 """
 
 from __future__ import annotations
@@ -40,7 +61,14 @@ import scipy.sparse as sp
 from repro import telemetry as tele
 from repro.core.plancache import PlanCache
 from repro.core.tilespmv import METHODS, TileSpMV
-from repro.dist.partition import RowPartition, partition_rows
+from repro.dist.partition import (
+    GridPartition,
+    RowPartition,
+    default_grid,
+    partition_grid,
+    partition_rows,
+)
+from repro.dist.reduce import tree_reduce
 from repro.formats import FormatID
 from repro.gpu import faults
 from repro.gpu.costmodel import MultiDeviceRunCost, RunCost
@@ -50,8 +78,22 @@ from repro.reliability.validation import ValidationPolicy, canonicalize_csr
 __all__ = ["ShardedSpMV", "modelled_shard_sweep", "best_shard_count"]
 
 
+def _coerce_grid(grid, shards: int) -> tuple[int, int] | None:
+    """Normalise the ``grid`` argument: None, "auto", int, or (R, C)."""
+    if grid is None:
+        return None
+    if grid == "auto":
+        return default_grid(shards)
+    if isinstance(grid, int):
+        return default_grid(grid)
+    r, c = int(grid[0]), int(grid[1])
+    if r < 1 or c < 1:
+        raise ValueError(f"grid must be >= 1 on both axes, got {grid!r}")
+    return (r, c)
+
+
 class ShardedSpMV:
-    """A sparse matrix partitioned into P row shards, one plan each.
+    """A sparse matrix partitioned into P shards, one plan each.
 
     Parameters
     ----------
@@ -60,12 +102,20 @@ class ShardedSpMV:
         shards by cheap ``indptr`` arithmetic (no per-shard sort).
     shards:
         Shard count P.  ``shards=1`` is a working single-device engine
-        with zero modelled interconnect traffic.
+        with zero modelled interconnect traffic.  Ignored when ``grid``
+        names an explicit shape.
     method:
         TileSpMV strategy per shard.  Default ``adpt`` (not ``auto``):
         fixed strategies keep the sharded product bit-for-bit equal to
         the unsharded one, while ``auto`` may legitimately pick
         different strategies per shard.
+    grid:
+        2D partition shape: an explicit ``(R, C)``, ``"auto"`` (the
+        most-square factorization of ``shards``), or an integer to
+        factor.  ``None`` (default) keeps the 1D row partition.  With
+        ``C > 1`` each shard's x window is bounded by its column block
+        — the scattered-graph broadcast fix — at the price of a
+        partial-y reduction per row block.
     plan_cache:
         Optional shared :class:`~repro.core.plancache.PlanCache`; each
         shard's structural fingerprint is looked up/stored individually.
@@ -88,6 +138,7 @@ class ShardedSpMV:
         plan_cache: PlanCache | None = None,
         max_workers: int | None = None,
         validation: ValidationPolicy | str = ValidationPolicy.REPAIR,
+        grid: tuple[int, int] | str | int | None = None,
         **tile_kwargs,
     ) -> None:
         if method not in METHODS:
@@ -96,31 +147,58 @@ class ShardedSpMV:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.method = method
         self.plan_cache = plan_cache
+        self.grid = _coerce_grid(grid, shards)
+        if self.grid is not None:
+            shards = self.grid[0] * self.grid[1]
         with tele.span("canonicalize", cat="build", policy=str(validation)):
             csr, self.validation_report = canonicalize_csr(matrix, validation)
         self._m, self._n = csr.shape
         self._nnz = int(csr.nnz)
-        self.partition: RowPartition = partition_rows(csr, shards, tile)
+        self.partition: RowPartition | GridPartition
+        if self.grid is None:
+            self.partition = partition_rows(csr, shards, tile)
+        else:
+            self.partition = partition_grid(csr, self.grid, tile)
         self.engines: list[TileSpMV] = []
+        # Per-shard gather into the canonical CSR value array, for the
+        # update_values routing.  1D shards own contiguous slices; grid
+        # cells own a scattered subset of their row block's entries.
+        self._nnz_idx: list[np.ndarray] | None = None
+        indptr = np.asarray(csr.indptr, dtype=np.int64)
         with tele.span("sharded_build", cat="build", shards=shards, nnz=self._nnz):
-            for s in self.partition.shards:
-                block = sp.csr_matrix(
-                    (
-                        csr.data[s.nnz_lo:s.nnz_hi],
-                        csr.indices[s.nnz_lo:s.nnz_hi],
-                        csr.indptr[s.row_lo:s.row_hi + 1] - csr.indptr[s.row_lo],
-                    ),
-                    shape=(s.rows, self._n),
-                )
-                with tele.span("shard_build", cat="build", shard=s.index,
-                               rows=s.rows, nnz=s.nnz):
-                    self.engines.append(
-                        TileSpMV(
-                            block, method=method, tile=tile,
-                            plan_cache=plan_cache, validation="trust",
-                            **tile_kwargs,
-                        )
+            if self.grid is None:
+                for s in self.partition.shards:
+                    block = sp.csr_matrix(
+                        (
+                            csr.data[s.nnz_lo:s.nnz_hi],
+                            csr.indices[s.nnz_lo:s.nnz_hi],
+                            csr.indptr[s.row_lo:s.row_hi + 1] - csr.indptr[s.row_lo],
+                        ),
+                        shape=(s.rows, self._n),
                     )
+                    self._build_engine(s, block, tile, **tile_kwargs)
+            else:
+                self._nnz_idx = []
+                for s in self.partition.shards:
+                    lo, hi = int(indptr[s.row_lo]), int(indptr[s.row_hi])
+                    cols = csr.indices[lo:hi]
+                    sel = np.arange(lo, hi, dtype=np.int64)[
+                        (cols >= s.col_lo) & (cols < s.col_hi)
+                    ]
+                    self._nnz_idx.append(sel)
+                    local_rows = np.searchsorted(indptr, sel, side="right") - 1 - s.row_lo
+                    block_indptr = np.concatenate(
+                        [[0], np.cumsum(np.bincount(local_rows, minlength=s.rows))]
+                    ).astype(np.int64)
+                    block = sp.csr_matrix(
+                        (
+                            csr.data[sel],
+                            csr.indices[sel] - s.col_lo,
+                            block_indptr,
+                        ),
+                        shape=(s.rows, s.block_cols),
+                    )
+                    self._build_engine(s, block, tile, **tile_kwargs)
         self.build_seconds = sum(e.build_seconds for e in self.engines)
         self.arbitration_seconds = sum(e.arbitration_seconds for e in self.engines)
         self.preprocessing_seconds = self.build_seconds + self.arbitration_seconds
@@ -129,6 +207,17 @@ class ShardedSpMV:
         if tele.ENABLED:
             tele.count("sharded_builds_total", shards=shards, method=method)
             tele.set_gauge("sharded_imbalance", self.partition.imbalance())
+
+    def _build_engine(self, s, block: sp.csr_matrix, tile: int, **tile_kwargs) -> None:
+        with tele.span("shard_build", cat="build", shard=s.index,
+                       rows=s.rows, nnz=s.nnz):
+            self.engines.append(
+                TileSpMV(
+                    block, method=self.method, tile=tile,
+                    plan_cache=self.plan_cache, validation="trust",
+                    **tile_kwargs,
+                )
+            )
 
     # -- basic properties --------------------------------------------------
 
@@ -145,6 +234,16 @@ class ShardedSpMV:
         return self.partition.p
 
     @property
+    def grid_cols(self) -> int:
+        """Column blocks of the partition (1 for 1D row sharding)."""
+        return self.grid[1] if self.grid is not None else 1
+
+    @property
+    def grid_rows(self) -> int:
+        """Row blocks of the partition (= shards for 1D row sharding)."""
+        return self.grid[0] if self.grid is not None else self.partition.p
+
+    @property
     def plan_keys(self) -> list[str]:
         """Every shard's structural fingerprint (empty without a cache)."""
         return [e.plan_key for e in self.engines if e.plan_key is not None]
@@ -153,15 +252,19 @@ class ShardedSpMV:
     def plan_key(self) -> str | None:
         """One fingerprint for the whole sharded plan.
 
-        A digest over the per-shard fingerprints plus the shard count —
-        the serving layer keys circuit breakers and cache-warm probes on
-        this.  ``None`` without a plan cache, like ``TileSpMV``.
+        A digest over the per-shard fingerprints plus the shard count
+        and grid shape — the serving layer keys circuit breakers and
+        cache-warm probes on this.  ``None`` without a plan cache, like
+        ``TileSpMV``.
         """
         keys = self.plan_keys
         if not keys:
             return None
         h = hashlib.blake2b(digest_size=16)
-        h.update(f"sharded:{self.shards}".encode())
+        if self.grid is None:
+            h.update(f"sharded:{self.shards}".encode())
+        else:
+            h.update(f"sharded:{self.shards}:{self.grid[0]}x{self.grid[1]}".encode())
         for k in keys:
             h.update(k.encode())
         return h.hexdigest()
@@ -197,7 +300,11 @@ class ShardedSpMV:
         )
 
     def _run_shards(self, op: str, fn) -> list[np.ndarray]:
-        """Apply ``fn(shard, engine)`` per shard, concurrently when safe."""
+        """Apply ``fn(shard, engine)`` per shard, concurrently when safe.
+
+        Results come back in shard order regardless of completion order,
+        so every combine downstream sees a schedule-independent input.
+        """
         pairs = list(zip(self.partition.shards, self.engines))
         if self._sequential():
             parts = []
@@ -208,65 +315,269 @@ class ShardedSpMV:
             return parts
         return list(self._pool().map(lambda pair: fn(*pair), pairs))
 
+    def _col_offset(self, s) -> int:
+        """Global column of the shard block's first column (0 for 1D)."""
+        return s.col_lo if self.grid is not None else 0
+
+    def _x_block(self, s, x: np.ndarray) -> np.ndarray:
+        """The slice of x a shard's engine consumes."""
+        return x[s.col_lo:s.col_hi] if self.grid is not None else x
+
+    def _collect_streams(self, transpose: bool, x: np.ndarray):
+        """Concatenable contribution streams of both halves, grid order.
+
+        Returns ``(tiled, deferred)``; each is ``None`` when no shard
+        holds that half (structurally global: the per-tile format and
+        extraction decisions are identical to the unsharded plan's, so
+        shard-local absence means global absence) or a
+        ``(indices, x_gather, values)`` triple of concatenated arrays.
+        Streams are read live from the engines at call time — a
+        preceding :meth:`update_values` swapped the value arrays, not
+        the structure.
+        """
+        halves = ([], [])  # (tiled, deferred): per-half [idx, x_gather, vals]
+        for s, e in zip(self.partition.shards, self.engines):
+            off = self._col_offset(s)
+            for half, stream in zip(halves, e.decode_streams()):
+                if stream is None:
+                    continue
+                rows, cols, vals = stream
+                if transpose:
+                    half.append((off + cols, x[s.row_lo + rows], vals))
+                else:
+                    half.append((s.row_lo + rows, x[off + cols], vals))
+        return tuple(
+            None
+            if not half
+            else tuple(np.concatenate(arrs) for arrs in zip(*half))
+            for half in halves
+        )
+
+    def _replay(self, x: np.ndarray, transpose: bool) -> np.ndarray:
+        """Bit-for-bit product by ordered contribution replay.
+
+        Concatenating the shards' canonical-order streams in grid order
+        reconstructs, per output entry, the exact accumulation sequence
+        of the single-device kernels (tile-major for the tiled half,
+        CSR-entry order for the deferred half); a single ``bincount``
+        pass per half then replays the same left-to-right summation, and
+        the halves combine by the same branch the single engine uses.
+        A fault-injection campaign corrupts the concatenated value
+        stream exactly once per half, mirroring the unsharded kernels.
+        """
+        length = self._n if transpose else self._m
+        tiled, deferred = self._collect_streams(transpose, x)
+        inj = faults.active_injector()
+        yt = yd = None
+        if tiled is not None:
+            idx, xg, vals = tiled
+            # The single-device tiled kernel injects on spmv only.
+            if inj is not None and not transpose:
+                vals = inj.corrupt_payload(vals, kind="tile_payload")
+            yt = np.bincount(idx, weights=vals * xg, minlength=length)
+        if deferred is not None:
+            idx, xg, vals = deferred
+            products = vals * xg
+            if inj is not None:
+                products = inj.corrupt_payload(products, kind="csr5_payload")
+            yd = np.bincount(idx, weights=products, minlength=length)
+        if yt is None and yd is None:
+            return np.zeros(length)
+        if yd is None:
+            return yt
+        if yt is None:
+            return yd
+        yt += yd
+        return yt
+
+    def _replay_spmm(self, x: np.ndarray) -> np.ndarray:
+        """Bit-for-bit batched product for column-cut grids.
+
+        Per row block, the cells' streams assemble one CSR operand per
+        half — scipy's canonicalization sorts the entries into exactly
+        the (row, col) order the single-device inspector matrices hold,
+        so each block product equals the corresponding row slice of the
+        unsharded :meth:`TileSpMV.spmm` bit-for-bit.
+        """
+        k = x.shape[1]
+        inj = faults.active_injector()
+        part: GridPartition = self.partition
+        grid_r, grid_c = part.grid
+        streams = [e.decode_streams() for e in self.engines]
+        has_half = [
+            any(streams[i][half] is not None for i in range(len(streams)))
+            for half in (0, 1)
+        ]
+        kinds = ("tile_payload", "csr5_payload")
+        blocks = []
+        for r in range(grid_r):
+            rows_r = int(part.row_bounds[r + 1] - part.row_bounds[r])
+            outs = [None, None]
+            for half in (0, 1):
+                if not has_half[half]:
+                    continue
+                idxs, cols, vals = [], [], []
+                for c in range(grid_c):
+                    i = r * grid_c + c
+                    stream = streams[i][half]
+                    if stream is None:
+                        continue
+                    srows, scols, svals = stream
+                    idxs.append(srows)
+                    cols.append(part.shards[i].col_lo + scols)
+                    vals.append(svals)
+                if not idxs:
+                    outs[half] = np.zeros((rows_r, k))
+                    continue
+                v = np.concatenate(vals)
+                if inj is not None:
+                    v = inj.corrupt_payload(v, kind=kinds[half])
+                mat = sp.csr_matrix(
+                    (v, (np.concatenate(idxs), np.concatenate(cols))),
+                    shape=(rows_r, self._n),
+                )
+                outs[half] = np.asarray(mat @ x)
+            bt, bd = outs
+            if bt is None and bd is None:
+                blocks.append(np.zeros((rows_r, k)))
+            elif bd is None:
+                blocks.append(bt)
+            elif bt is None:
+                blocks.append(bd)
+            else:
+                blocks.append(bt + bd)
+        return np.concatenate(blocks, axis=0) if blocks else np.zeros((0, k))
+
     def spmv(self, x: np.ndarray) -> np.ndarray:
-        """y = A @ x, shard row blocks computed concurrently."""
+        """y = A @ x.
+
+        Row-disjoint partitions (1D, or C=1 grids) concatenate the
+        shard blocks, computed concurrently.  Column-cut grids combine
+        overlapping partials: ordered replay for the fixed strategies
+        (bit-for-bit), the fixed-shape tree per row block for ``auto``
+        (deterministic).
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self._n,):
             raise ValueError(f"x must have shape ({self._n},)")
         with tele.span("sharded_spmv", cat="kernel", shards=self.shards,
                        nnz=self._nnz):
-            parts = self._run_shards("spmv", lambda s, e: e.spmv(x))
+            if self.grid_cols > 1:
+                if self.method == "auto":
+                    parts = self._run_shards(
+                        "spmv", lambda s, e: e.spmv(self._x_block(s, x))
+                    )
+                    c = self.grid_cols
+                    y = np.concatenate(
+                        [
+                            tree_reduce(parts[r * c:(r + 1) * c])
+                            for r in range(self.grid_rows)
+                        ]
+                    )
+                else:
+                    y = self._replay(x, transpose=False)
+            else:
+                parts = self._run_shards(
+                    "spmv", lambda s, e: e.spmv(self._x_block(s, x))
+                )
+                y = np.concatenate(parts) if parts else np.zeros(0)
         if tele.ENABLED:
             tele.count("sharded_spmv_total", shards=self.shards)
-        return np.concatenate(parts) if parts else np.zeros(0)
+        return y
 
     __matmul__ = spmv
 
     def spmm(self, x: np.ndarray) -> np.ndarray:
-        """Y = A @ X, each shard running its native batched product."""
+        """Y = A @ X, each shard running its native batched product.
+
+        Same combine contract as :meth:`spmv`: concatenation when row
+        blocks are disjoint, replay (fixed strategies) or per-row-block
+        tree (``auto``) under column cuts.
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[0] != self._n:
             raise ValueError(f"X must have shape ({self._n}, k)")
         with tele.span("sharded_spmm", cat="kernel", shards=self.shards,
                        nnz=self._nnz, k=x.shape[1]):
-            parts = self._run_shards("spmm", lambda s, e: e.spmm(x))
+            if self.grid_cols > 1:
+                if self.method == "auto":
+                    parts = self._run_shards(
+                        "spmm", lambda s, e: e.spmm(self._x_block(s, x))
+                    )
+                    c = self.grid_cols
+                    out = np.concatenate(
+                        [
+                            tree_reduce(parts[r * c:(r + 1) * c])
+                            for r in range(self.grid_rows)
+                        ],
+                        axis=0,
+                    )
+                else:
+                    out = self._replay_spmm(x)
+            else:
+                parts = self._run_shards(
+                    "spmm", lambda s, e: e.spmm(self._x_block(s, x))
+                )
+                out = (
+                    np.concatenate(parts, axis=0)
+                    if parts
+                    else np.zeros((0, x.shape[1]))
+                )
         if tele.ENABLED:
             tele.count("sharded_spmv_total", shards=self.shards)
-        if not parts:
-            return np.zeros((0, x.shape[1]))
-        return np.concatenate(parts, axis=0)
+        return out
 
     def spmv_transpose(self, x: np.ndarray) -> np.ndarray:
-        """y = A.T @ x: per-shard transposes reduced across shards.
+        """y = A.T @ x — bit-for-bit with the single device, at every P.
 
-        Every shard contributes to every output entry, so the reduction
-        order is shard-major — equal to the unsharded transpose to
-        rounding, not bit-for-bit (the ISSUE-level exactness guarantee
-        is for :meth:`spmv`/:meth:`spmm`, whose row blocks are disjoint).
+        Every shard contributes to overlapping output ranges, so this is
+        always a cross-shard reduction.  Fixed strategies replay the
+        shards' canonical contribution streams in grid order — the exact
+        single-device accumulation sequence, hence bit-for-bit equality
+        (this used to be allclose-only when rounded per-shard partials
+        were summed).  ``auto`` partials combine through the fixed-shape
+        tree per column block: deterministic, schedule-independent,
+        equal to rounding.  An empty partition contributes nothing and
+        the result is a typed float64 zero vector of the full column
+        extent.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self._m,):
             raise ValueError(f"x must have shape ({self._m},)")
         with tele.span("sharded_spmv_transpose", cat="kernel",
                        shards=self.shards, nnz=self._nnz):
-            parts = self._run_shards(
-                "spmv_transpose",
-                lambda s, e: e.spmv_transpose(x[s.row_lo:s.row_hi]),
-            )
+            if self.method == "auto":
+                parts = self._run_shards(
+                    "spmv_transpose",
+                    lambda s, e: e.spmv_transpose(x[s.row_lo:s.row_hi]),
+                )
+                if self.grid is None:
+                    y = tree_reduce(parts) if parts else np.zeros(self._n)
+                else:
+                    grid_r, grid_c = self.grid
+                    y = np.concatenate(
+                        [
+                            tree_reduce(
+                                [parts[r * grid_c + c] for r in range(grid_r)]
+                            )
+                            for c in range(grid_c)
+                        ]
+                    )
+            else:
+                y = self._replay(x, transpose=True)
         if tele.ENABLED:
             tele.count("sharded_spmv_total", shards=self.shards)
-        y = np.zeros(self._n)
-        for part in parts:
-            y += part
         return y
 
     def update_values(self, values) -> "ShardedSpMV":
         """Stream new values through every shard's prepared plan.
 
         Accepts a same-pattern sparse matrix or the length-``nnz`` value
-        array in canonical CSR order; the partition routes each shard
-        its contiguous slice (``nnz_lo:nnz_hi``), and each shard takes
-        the :meth:`TileSpMV.update_values` fast path.
+        array in canonical CSR order.  1D shards take their contiguous
+        slice (``nnz_lo:nnz_hi``); grid cells gather their scattered
+        subset of the row block's entries (the per-cell index map built
+        at partition time).  Either way each shard takes the
+        :meth:`TileSpMV.update_values` fast path.
         """
         if sp.issparse(values):
             csr = canonicalize_csr(values, ValidationPolicy.TRUST)[0]
@@ -281,8 +592,12 @@ class ShardedSpMV:
             if data.shape != (self._nnz,):
                 raise ValueError(f"expected {self._nnz} values, got {data.shape}")
         with tele.span("sharded_update_values", cat="build", shards=self.shards):
-            for s, engine in zip(self.partition.shards, self.engines):
-                engine.update_values(data[s.nnz_lo:s.nnz_hi])
+            if self._nnz_idx is not None:
+                for sel, engine in zip(self._nnz_idx, self.engines):
+                    engine.update_values(data[sel])
+            else:
+                for s, engine in zip(self.partition.shards, self.engines):
+                    engine.update_values(data[s.nnz_lo:s.nnz_hi])
         return self
 
     # -- lifecycle ---------------------------------------------------------
@@ -329,25 +644,47 @@ class ShardedSpMV:
         cost.label = f"ShardedSpMV_{self.method}[P={self.shards},k={k}]"
         return cost
 
-    def multi_device_cost(self) -> MultiDeviceRunCost:
+    def multi_device_cost(self, links: int = 0) -> MultiDeviceRunCost:
         """P-device pricing: per-shard compute plus interconnect traffic.
 
         ``shards=1`` carries zero communication — a single device owns
         ``x`` and ``y`` outright, so its makespan equals the plain
         engine's time and modelled efficiency is 1 by construction.
+        Column-cut grids additionally price the per-row-block partial-y
+        tree reduction: ``ceil(log2 C)`` rounds, each a block-sized
+        exchange, after which only each row block's tree root gathers
+        ``y`` back.  ``links > 0`` models a shared interconnect with
+        that many physical links (bandwidth contention); 0 keeps the
+        legacy dedicated-link assumption.
         """
         costs = [e.run_cost() for e in self.engines]
+        reduce_bytes = None
+        reduce_depth = 0
         if self.shards == 1:
             halo = [0.0]
             ybytes = [0.0]
         else:
             halo = [s.halo_bytes for s in self.partition.shards]
-            ybytes = [s.y_bytes for s in self.partition.shards]
+            if self.grid_cols > 1:
+                ybytes = [
+                    s.y_bytes if s.c == 0 else 0.0 for s in self.partition.shards
+                ]
+                reduce_bytes = [s.y_bytes for s in self.partition.shards]
+                reduce_depth = self.partition.reduce_depth
+            else:
+                ybytes = [s.y_bytes for s in self.partition.shards]
+        label = f"ShardedSpMV_{self.method}[P={self.shards}"
+        if self.grid is not None:
+            label += f",grid={self.grid[0]}x{self.grid[1]}"
+        label += "]"
         return MultiDeviceRunCost(
             shard_costs=costs,
             halo_bytes=halo,
             y_bytes=ybytes,
-            label=f"ShardedSpMV_{self.method}[P={self.shards}]",
+            label=label,
+            links=links,
+            reduce_bytes=reduce_bytes,
+            reduce_depth=reduce_depth,
         )
 
     def predicted_time(self, device: DeviceSpec) -> float:
@@ -369,8 +706,13 @@ class ShardedSpMV:
 
     def describe(self) -> str:
         """Human-readable summary: partition, methods, modelled scaling."""
+        shape = (
+            f"P={self.shards}"
+            if self.grid is None
+            else f"grid={self.grid[0]}x{self.grid[1]}"
+        )
         lines = [
-            f"ShardedSpMV[{self.method}, P={self.shards}] "
+            f"ShardedSpMV[{self.method}, {shape}] "
             f"{self._m}x{self._n}, nnz={self._nnz}, "
             f"imbalance={self.partition.imbalance():.2f}",
         ]
@@ -381,8 +723,11 @@ class ShardedSpMV:
             f"comm {mdc.total_comm_bytes() / 1e3:.1f} KB total)"
         )
         for s, e in zip(self.partition.shards, self.engines):
+            cols = (
+                f" cols [{s.col_lo}, {s.col_hi})" if self.grid is not None else ""
+            )
             lines.append(
-                f"  shard {s.index}: rows [{s.row_lo}, {s.row_hi}) "
+                f"  shard {s.index}: rows [{s.row_lo}, {s.row_hi}){cols} "
                 f"nnz={s.nnz} method={e.method} "
                 f"x_window={s.x_window_cols}"
             )
@@ -396,6 +741,8 @@ def modelled_shard_sweep(
     counts: tuple[int, ...] = (1, 2, 4, 8),
     device: DeviceSpec = A100,
     method: str = "adpt",
+    grid: str | None = None,
+    links: int = 0,
     **kwargs,
 ) -> list[dict]:
     """Strong-scaling table: modelled makespan/speedup/efficiency per P.
@@ -403,19 +750,24 @@ def modelled_shard_sweep(
     The baseline is the P=1 engine's single-device :class:`RunCost`; each
     row prices the same matrix at one shard count, exactly how ``auto``
     prices ADPT vs DeferredCOO — build the candidates, believe the model.
+    ``grid="auto"`` prices each count's most-square 2D factorization
+    instead of the 1D row partition; ``links`` passes shared-link
+    contention into the cost.
     """
     baseline_engine = TileSpMV(matrix, method=method, **kwargs)
     baseline = baseline_engine.run_cost()
     rows = []
     for p in counts:
-        engine = ShardedSpMV(matrix, shards=p, method=method, **kwargs)
-        mdc = engine.multi_device_cost()
+        engine = ShardedSpMV(matrix, shards=p, method=method, grid=grid, **kwargs)
+        mdc = engine.multi_device_cost(links=links)
         rows.append(
             {
                 "shards": p,
+                "grid": engine.grid,
                 "makespan_s": mdc.time(device),
                 "compute_s": mdc.compute_time(device),
                 "comm_bytes": mdc.total_comm_bytes(),
+                "halo_bytes": float(sum(mdc.halo_bytes)),
                 "speedup": mdc.speedup(baseline, device),
                 "efficiency": mdc.efficiency(baseline, device),
                 "imbalance": engine.partition.imbalance(),
@@ -430,8 +782,11 @@ def best_shard_count(
     counts: tuple[int, ...] = (1, 2, 4, 8),
     device: DeviceSpec = A100,
     method: str = "adpt",
+    grid: str | None = None,
+    links: int = 0,
     **kwargs,
 ) -> int:
     """The shard count with the smallest modelled makespan on ``device``."""
-    rows = modelled_shard_sweep(matrix, counts, device, method, **kwargs)
+    rows = modelled_shard_sweep(matrix, counts, device, method, grid=grid,
+                                links=links, **kwargs)
     return int(min(rows, key=lambda r: r["makespan_s"])["shards"])

@@ -26,6 +26,7 @@ def sharded_conjugate_gradient(
     b: np.ndarray,
     shards: int = 2,
     method: str = "adpt",
+    grid: tuple[int, int] | str | None = None,
     tol: float = 1e-10,
     max_iter: int = 1000,
     x0: np.ndarray | None = None,
@@ -34,10 +35,15 @@ def sharded_conjugate_gradient(
     """CG for SPD systems with every SpMV executed shard-concurrent.
 
     Because the sharded product is bit-for-bit the single-device one
-    (fixed methods), the iterate sequence — and therefore the iteration
-    count — is *identical* to the unsharded solve, not merely close.
+    (fixed methods) — on 1D row partitions *and* on 2D tile grids
+    (``grid=(R, C)`` or ``"auto"``), whose column-cut partials replay
+    the single-device accumulation order — the iterate sequence, and
+    therefore the iteration count, is *identical* to the unsharded
+    solve, not merely close.
     """
-    with ShardedSpMV(matrix, shards=shards, method=method, **engine_kwargs) as engine:
+    with ShardedSpMV(
+        matrix, shards=shards, method=method, grid=grid, **engine_kwargs
+    ) as engine:
         return conjugate_gradient(engine, b, tol=tol, max_iter=max_iter, x0=x0)
 
 
@@ -45,6 +51,7 @@ def sharded_pagerank(
     adjacency: sp.spmatrix,
     shards: int = 2,
     method: str = "adpt",
+    grid: tuple[int, int] | str | None = None,
     damping: float = 0.85,
     tol: float = 1e-10,
     max_iter: int = 200,
@@ -53,9 +60,14 @@ def sharded_pagerank(
     """PageRank whose per-step transition product runs shard-concurrent.
 
     Column-normalises ``adjacency`` (:func:`make_transition`), shards
-    the transition operator by rows, and power-iterates.  Returns
-    ``(rank, iterations)`` exactly like :func:`repro.apps.graph.pagerank`.
+    the transition operator — by rows, or over a 2D tile grid with
+    ``grid=(R, C)``/``"auto"`` (power-law adjacency is exactly the
+    scattered structure whose x broadcast the column cuts bound) — and
+    power-iterates.  Returns ``(rank, iterations)`` exactly like
+    :func:`repro.apps.graph.pagerank`.
     """
     transition, dangling = make_transition(adjacency)
-    with ShardedSpMV(transition, shards=shards, method=method, **engine_kwargs) as engine:
+    with ShardedSpMV(
+        transition, shards=shards, method=method, grid=grid, **engine_kwargs
+    ) as engine:
         return pagerank(engine, dangling, damping=damping, tol=tol, max_iter=max_iter)

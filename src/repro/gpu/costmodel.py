@@ -304,16 +304,32 @@ class MultiDeviceRunCost:
       device.  Both transfers pay one link latency plus bytes over the
       per-direction link bandwidth.
 
-    Shards are assumed to communicate over independent links (NVSwitch /
-    separate PCIe root ports), so transfers overlap and only the
-    per-shard serial chain counts — the standard alpha-beta model used
-    by Kreutzer et al. for distributed SpMV.
+    By default shards are assumed to communicate over independent links
+    (NVSwitch / separate PCIe root ports), so transfers overlap and only
+    the per-shard serial chain counts — the standard alpha-beta model
+    used by Kreutzer et al. for distributed SpMV.  Two extensions cover
+    the 2D grid partitions:
+
+    * ``links > 0`` models a **shared interconnect** with that many
+      physical links: with P shards contending, every bandwidth term is
+      stretched by ``ceil(P / links)`` (latency, being per-message
+      setup, is not).  ``links = 0`` keeps the dedicated-link legacy.
+    * ``reduce_bytes``/``reduce_depth`` price the **fixed-shape tree
+      reduction** of partial-y blocks a column-cut grid performs: after
+      the slowest shard finishes, ``reduce_depth = ceil(log2 C)``
+      pairwise exchange rounds run, each paying one link latency plus
+      the largest partial block over the (contended) link bandwidth —
+      exactly the schedule :func:`repro.dist.reduce.tree_schedule`
+      executes.
     """
 
     shard_costs: list  # list[RunCost]
     halo_bytes: list  # per-shard x-window bytes shipped to the device
     y_bytes: list  # per-shard y-block bytes gathered back
     label: str = ""
+    links: int = 0  # shared physical links (0 = dedicated link per shard)
+    reduce_bytes: list | None = None  # per-shard partial-y bytes entering the tree
+    reduce_depth: int = 0  # rounds of the fixed-shape reduction tree
 
     def __post_init__(self) -> None:
         if not (len(self.shard_costs) == len(self.halo_bytes) == len(self.y_bytes)):
@@ -323,15 +339,32 @@ class MultiDeviceRunCost:
             )
         if not self.shard_costs:
             raise ValueError("MultiDeviceRunCost needs at least one shard")
+        if self.reduce_bytes is not None and len(self.reduce_bytes) != len(self.shard_costs):
+            raise ValueError(
+                "reduce_bytes must have one entry per shard, got "
+                f"{len(self.reduce_bytes)}/{len(self.shard_costs)}"
+            )
+        if self.links < 0 or self.reduce_depth < 0:
+            raise ValueError("links and reduce_depth must be >= 0")
 
     @property
     def shards(self) -> int:
         return len(self.shard_costs)
 
+    def contention(self) -> float:
+        """Bandwidth stretch factor on a shared interconnect.
+
+        ``ceil(shards / links)`` transfers serialise on each physical
+        link; 1.0 under the dedicated-link assumption (``links = 0``).
+        """
+        if self.links <= 0:
+            return 1.0
+        return float(-(-self.shards // self.links))
+
     def comm_time(self, shard: int, device: DeviceSpec) -> float:
         """Interconnect seconds for one shard (x broadcast + y gather)."""
         latency = device.link_latency_us * 1e-6
-        bw = device.link_bandwidth_bytes
+        bw = device.link_bandwidth_bytes / self.contention()
         t = 0.0
         if self.halo_bytes[shard] > 0:
             t += latency + self.halo_bytes[shard] / bw
@@ -339,20 +372,55 @@ class MultiDeviceRunCost:
             t += latency + self.y_bytes[shard] / bw
         return t
 
+    def allreduce_time(self, device: DeviceSpec) -> float:
+        """Seconds for the tree reduction of partial-y blocks.
+
+        ``reduce_depth`` pairwise rounds; each round is bounded by the
+        largest participant block over the (contended) link bandwidth
+        plus one link latency.  Zero when the partition needs no
+        reduction (1D rows, single column block).
+        """
+        if self.reduce_depth == 0 or not self.reduce_bytes:
+            return 0.0
+        latency = device.link_latency_us * 1e-6
+        bw = device.link_bandwidth_bytes / self.contention()
+        largest = max(float(b) for b in self.reduce_bytes)
+        return self.reduce_depth * (latency + largest / bw)
+
+    def reduce_comm_bytes(self) -> float:
+        """Modelled bytes moved by the tree reduction.
+
+        Round ``k`` ships half the surviving partials, so ``depth``
+        rounds move ``sum(reduce_bytes) * (1 - 2**-depth)`` in total —
+        ``(C - 1)`` block transfers per row block for a power-of-two
+        ``C``, the recursive-halving count.
+        """
+        if self.reduce_depth == 0 or not self.reduce_bytes:
+            return 0.0
+        return float(sum(self.reduce_bytes)) * (1.0 - 2.0 ** -self.reduce_depth)
+
     def shard_time(self, shard: int, device: DeviceSpec) -> float:
         """End-to-end seconds for one shard: comm + compute."""
         return self.comm_time(shard, device) + self.shard_costs[shard].time(device)
 
     def time(self, device: DeviceSpec) -> float:
-        """Makespan: the slowest shard's end-to-end time."""
-        return max(self.shard_time(p, device) for p in range(self.shards))
+        """Makespan: the slowest shard's chain, plus the tree reduction.
+
+        The reduction is a barrier over each row block's cells, so it
+        starts after the slowest participant and adds its full depth to
+        the critical path.
+        """
+        chain = max(self.shard_time(p, device) for p in range(self.shards))
+        return chain + self.allreduce_time(device)
 
     def compute_time(self, device: DeviceSpec) -> float:
         """Max per-shard compute time, ignoring the interconnect."""
         return max(c.time(device) for c in self.shard_costs)
 
     def total_comm_bytes(self) -> float:
-        return float(sum(self.halo_bytes) + sum(self.y_bytes))
+        return float(
+            sum(self.halo_bytes) + sum(self.y_bytes) + self.reduce_comm_bytes()
+        )
 
     def speedup(self, baseline: RunCost, device: DeviceSpec) -> float:
         """Modelled speedup over a single-device run of ``baseline``."""
@@ -372,5 +440,14 @@ class MultiDeviceRunCost:
             "comm_s": [self.comm_time(p, device) for p in range(self.shards)],
             "halo_bytes": [float(b) for b in self.halo_bytes],
             "y_bytes": [float(b) for b in self.y_bytes],
+            "links": self.links,
+            "contention": self.contention(),
+            "reduce_depth": self.reduce_depth,
+            "allreduce_s": self.allreduce_time(device),
+            "reduce_bytes": (
+                [float(b) for b in self.reduce_bytes]
+                if self.reduce_bytes is not None
+                else []
+            ),
             "label": self.label,
         }

@@ -74,6 +74,12 @@ class ReliableSpMV:
         checksum, retry with plan invalidation, scalar fallback —
         wraps the sharded product unchanged, because ABFT verifies the
         assembled ``y``, not any one shard.
+    grid:
+        Optional 2D shard grid — ``(R, C)``, ``"auto"`` or an integer —
+        forwarded to :class:`~repro.dist.sharded.ShardedSpMV`.  A
+        non-``None`` grid implies a sharded engine even when ``shards``
+        is 1; the fault-injection hooks run inside the grid's replay
+        reduction, so detection coverage is unchanged.
     method, plan_cache, **tile_kwargs:
         Forwarded to :class:`~repro.core.tilespmv.TileSpMV` (or the
         sharded engine).
@@ -88,12 +94,14 @@ class ReliableSpMV:
         max_retries: int = 1,
         plan_cache=None,
         shards: int = 1,
+        grid: tuple[int, int] | str | int | None = None,
         **tile_kwargs,
     ) -> None:
         self.policy = ValidationPolicy.coerce(policy)
         self.max_retries = int(max_retries)
         self._method = method
         self._shards = int(shards)
+        self._grid = grid
         self._tile_kwargs = dict(tile_kwargs)
         self.plan_cache = plan_cache
         self.counters = {
@@ -163,14 +171,16 @@ class ReliableSpMV:
         return x
 
     def _make_engine(self):
-        """Build the protected engine: sharded when ``shards > 1``."""
-        if self._shards > 1:
+        """Build the protected engine: sharded when ``shards > 1`` or a
+        2D grid was requested."""
+        if self._shards > 1 or self._grid is not None:
             from repro.dist.sharded import ShardedSpMV
 
             return ShardedSpMV(
                 self._csr,
                 shards=self._shards,
                 method=self._method,
+                grid=self._grid,
                 plan_cache=self.plan_cache,
                 validation="trust",
                 **self._tile_kwargs,

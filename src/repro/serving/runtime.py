@@ -182,22 +182,26 @@ class ServingRuntime:
         method: str = "adpt",
         policy: ValidationPolicy | str = ValidationPolicy.REPAIR,
         shards: int = 1,
+        grid: tuple[int, int] | str | int | None = None,
         **tile_kwargs,
     ) -> None:
         """Admit a matrix: canonicalize, build its plan, price its rungs.
 
         Matrices sharing a structural fingerprint share a plan *and* a
         breaker — a poisoned plan is quarantined for exactly the
-        requests that would hit it.  With ``shards > 1`` the fast path
-        is the sharded engine (one cached plan per shard, all in this
-        runtime's plan cache); its rungs are priced by the sequential
-        single-device cost, the honest figure for a one-device runtime.
+        requests that would hit it.  With ``shards > 1`` (or a ``grid``)
+        the fast path is the sharded engine (one cached plan per shard,
+        all in this runtime's plan cache); its rungs are priced by the
+        sequential single-device cost, the honest figure for a
+        one-device runtime.  ``grid=(R, C)``/``"auto"`` serves the 2D
+        tile-grid partition; served results stay bit-for-bit equal to
+        the single-device plan for the fixed methods.
         """
         if matrix_id in self._matrices:
             raise ValueError(f"matrix id {matrix_id!r} already registered")
         engine = ReliableSpMV(
             matrix, method=method, policy=policy, abft=True,
-            plan_cache=self.plan_cache, shards=shards, **tile_kwargs,
+            plan_cache=self.plan_cache, shards=shards, grid=grid, **tile_kwargs,
         )
         sm = _Served(matrix_id, engine, self.device, self.config)
         self._matrices[matrix_id] = sm

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.dist import partition_rows
+from repro.dist import default_grid, partition_grid, partition_rows
 from repro.matrices import banded, hypersparse, power_law, random_uniform
 
 
@@ -119,3 +119,174 @@ class TestEdgeCases:
             partition_rows(a, 0)
         with pytest.raises(ValueError):
             partition_rows(a, 2, tile=0)
+
+
+class TestCanonicalClamp:
+    """shards > strips must degenerate predictably, never malformed."""
+
+    def test_bounds_monotone_and_duplicate_free_in_interior(self):
+        a = random_uniform(40, 40, nnz_per_row=3, seed=10)  # 3 strips, P=8
+        part = partition_rows(a, 8)
+        b = part.bounds
+        assert b[0] == 0 and b[-1] == 40
+        assert np.all(np.diff(b) >= 0)
+        # Strictly increasing until the strip supply saturates at m.
+        interior = b[b < 40]
+        assert np.all(np.diff(interior) > 0)
+
+    def test_surplus_ranks_are_canonical_trailing_empties(self):
+        a = random_uniform(40, 40, nnz_per_row=3, seed=11)
+        part = partition_rows(a, 8)
+        empties = [s for s in part.shards if s.rows == 0]
+        assert len(empties) == 8 - 3  # one per surplus rank
+        for s in empties:
+            assert s.row_lo == s.row_hi == 40
+            assert s.nnz == 0 and s.halo_bytes == 0.0
+        # Empties all trail the populated shards.
+        first_empty = min(s.index for s in empties)
+        assert all(s.index >= first_empty for s in empties)
+        assert all(s.rows > 0 for s in part.shards[:first_empty])
+
+    def test_hub_strip_cannot_push_cuts_backwards(self):
+        # Nearly all nnz in strip 0: nearest-target cuts would all pick
+        # boundary 1; the clamp must spread them forward instead.
+        a = hypersparse(128, nnz=10, seed=12).tolil()
+        a[0, :] = 1.0
+        part = partition_rows(a.tocsr(), 4)
+        interior = part.bounds[part.bounds < 128]
+        assert np.all(np.diff(interior) > 0)
+        assert sum(s.nnz for s in part.shards) == a.tocsr().nnz
+
+
+class TestDtypeSizing:
+    def test_halo_bytes_follow_value_itemsize(self):
+        a64 = random_uniform(200, 200, nnz_per_row=5, seed=13).tocsr()
+        a32 = a64.astype(np.float32)
+        p64 = partition_rows(a64, 4)
+        p32 = partition_rows(a32, 4)
+        assert p64.itemsize == 8 and p32.itemsize == 4
+        for s64, s32 in zip(p64.shards, p32.shards):
+            assert s64.x_window_cols == s32.x_window_cols
+            assert s32.halo_bytes == pytest.approx(s64.halo_bytes / 2)
+        assert p32.halo_bytes_total() == pytest.approx(
+            p64.halo_bytes_total() / 2
+        )
+
+    def test_grid_halo_bytes_follow_value_itemsize(self):
+        a = power_law(500, avg_degree=5, seed=14).tocsr()
+        g64 = partition_grid(a, (2, 2))
+        g32 = partition_grid(a.astype(np.float32), (2, 2))
+        assert g32.halo_bytes_total() == pytest.approx(
+            g64.halo_bytes_total() / 2
+        )
+
+
+class TestDefaultGrid:
+    @pytest.mark.parametrize("p,shape", [
+        (1, (1, 1)), (2, (2, 1)), (3, (3, 1)), (4, (2, 2)),
+        (6, (3, 2)), (8, (4, 2)), (12, (4, 3)), (16, (4, 4)),
+        (7, (7, 1)),  # prime -> plain row partition
+    ])
+    def test_most_square_factorization(self, p, shape):
+        r, c = default_grid(p)
+        assert (r, c) == shape
+        assert r * c == p and r >= c
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            default_grid(0)
+
+
+class TestGridInvariants:
+    """Hold for every matrix in the zoo at several grid shapes."""
+
+    @pytest.mark.parametrize("grid", [(1, 1), (2, 2), (1, 4), (4, 1), (3, 2)])
+    def test_coverage_and_snapping(self, zoo_matrix, grid):
+        part = partition_grid(zoo_matrix, grid)
+        m, n = zoo_matrix.shape
+        assert part.grid == grid
+        assert part.row_bounds[0] == 0 and part.row_bounds[-1] == m
+        assert part.col_bounds[0] == 0 and part.col_bounds[-1] == n
+        for b in part.row_bounds[1:-1]:
+            assert b % part.tile == 0 or b == m
+        for b in part.col_bounds[1:-1]:
+            assert b % part.tile == 0 or b == n
+        # Cells tile the matrix: nnz is conserved exactly.
+        assert sum(s.nnz for s in part.shards) == zoo_matrix.nnz
+        # Row-major rank layout.
+        for s in part.shards:
+            assert s.index == s.r * part.grid_cols + s.c
+
+    def test_windows_tight_and_bounded_by_block(self, zoo_matrix):
+        part = partition_grid(zoo_matrix, (2, 2))
+        csr = zoo_matrix.tocsr()
+        for s in part.shards:
+            assert s.col_lo <= s.win_lo <= s.win_hi <= s.col_hi
+            cols = csr.indices[csr.indptr[s.row_lo]:csr.indptr[s.row_hi]]
+            in_cell = cols[(cols >= s.col_lo) & (cols < s.col_hi)]
+            if in_cell.size:
+                assert s.win_lo == in_cell.min()
+                assert s.win_hi == in_cell.max() + 1
+            else:
+                assert s.win_lo == s.win_hi
+                assert s.halo_bytes == 0.0
+
+    def test_int_grid_routes_through_default_grid(self):
+        a = random_uniform(300, 300, nnz_per_row=5, seed=15)
+        assert partition_grid(a, 4).grid == default_grid(4) == (2, 2)
+
+    def test_reduce_depth(self):
+        a = random_uniform(300, 300, nnz_per_row=5, seed=16)
+        assert partition_grid(a, (4, 1)).reduce_depth == 0
+        assert partition_grid(a, (2, 2)).reduce_depth == 1
+        assert partition_grid(a, (1, 4)).reduce_depth == 2
+        assert partition_grid(a, (1, 3)).reduce_depth == 2
+
+    def test_row_block_accessor(self):
+        a = random_uniform(200, 200, nnz_per_row=4, seed=17)
+        part = partition_grid(a, (2, 3))
+        block = part.row_block(1)
+        assert [s.c for s in block] == [0, 1, 2]
+        assert all(s.r == 1 for s in block)
+
+    def test_grid_halo_beats_1d_on_scattered_matrix(self):
+        # The tentpole claim: for a scattered graph, column cuts bound
+        # the x window, so total modelled halo shrinks vs 1D at P >= 4.
+        a = power_law(2000, avg_degree=6, seed=18)
+        for p in (4, 8):
+            one_d = partition_rows(a, p).halo_bytes_total()
+            two_d = partition_grid(a, default_grid(p)).halo_bytes_total()
+            assert two_d < one_d
+
+    def test_more_grid_cols_than_column_strips(self):
+        a = random_uniform(64, 40, nnz_per_row=3, seed=19)  # 3 col strips
+        part = partition_grid(a, (1, 8))
+        assert sum(s.nnz for s in part.shards) == a.nnz
+        empties = [s for s in part.shards if s.block_cols == 0]
+        assert len(empties) == 8 - 3
+        for s in empties:
+            assert s.col_lo == s.col_hi == 40
+            assert s.win_lo == s.win_hi == s.col_lo
+
+    def test_zero_nnz_matrix(self):
+        a = sp.csr_matrix((64, 64))
+        part = partition_grid(a, (2, 2))
+        assert part.imbalance() == 1.0
+        # Row blocks still tile the row range under the even fallback.
+        assert sum(part.row_block(r)[0].rows for r in range(2)) == 64
+        assert all(s.nnz == 0 for s in part.shards)
+
+    def test_describe_mentions_grid_and_depth(self):
+        a = random_uniform(100, 100, nnz_per_row=4, seed=20)
+        text = partition_grid(a, (2, 2)).describe()
+        assert "2x2" in text and "reduce_depth=1" in text
+        assert "cell (1,1)" in text
+
+    def test_invalid_arguments(self):
+        a = random_uniform(40, 40, nnz_per_row=3, seed=21)
+        with pytest.raises(ValueError):
+            partition_grid(a, (0, 2))
+        with pytest.raises(ValueError):
+            partition_grid(a, (2, 0))
+        with pytest.raises(ValueError):
+            partition_grid(a, (2, 2), tile=0)

@@ -40,13 +40,27 @@ class TestExactness:
         with ShardedSpMV(a, shards=4) as eng:
             assert np.array_equal(eng.spmm(x), ref)
 
-    def test_transpose_allclose(self, rng):
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_transpose_bit_exact(self, rng, p):
+        # Regression: this used to be allclose-only because per-shard
+        # partials were summed in completion order.  Ordered
+        # contribution replay makes the transpose bit-for-bit too.
         a = random_uniform(260, 180, nnz_per_row=5, seed=23)
         x = rng.standard_normal(260)
         ref = TileSpMV(a, method="adpt").spmv_transpose(x)
+        with ShardedSpMV(a, shards=p) as eng:
+            assert np.array_equal(eng.spmv_transpose(x), ref)
+
+    def test_transpose_with_empty_shard_is_typed_full_extent(self, rng):
+        # 10 rows -> one tile strip: at P=3 two shards are empty and the
+        # transpose must still return a float64 vector of n columns.
+        a = random_uniform(10, 70, nnz_per_row=3, seed=26)
+        x = rng.standard_normal(10)
+        ref = TileSpMV(a, method="adpt").spmv_transpose(x)
         with ShardedSpMV(a, shards=3) as eng:
-            np.testing.assert_allclose(eng.spmv_transpose(x), ref,
-                                       rtol=1e-12, atol=1e-12)
+            y = eng.spmv_transpose(x)
+        assert y.dtype == np.float64 and y.shape == (70,)
+        assert np.array_equal(y, ref)
 
     def test_matmul_operator(self, rng):
         a = stencil_2d(16, seed=24)
@@ -60,6 +74,119 @@ class TestExactness:
         with ShardedSpMV(a, shards=4) as threaded, \
                 ShardedSpMV(a, shards=4, max_workers=1) as seq:
             assert np.array_equal(threaded.spmv(x), seq.spmv(x))
+
+
+class TestGrid2D:
+    """Column cuts: replayed reductions stay bit-for-bit on tile grids."""
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_spmv_bit_exact_auto_grid(self, rng, p):
+        a = power_law(700, avg_degree=5, seed=90)
+        x = rng.standard_normal(700)
+        ref = TileSpMV(a, method="adpt").spmv(x)
+        with ShardedSpMV(a, shards=p, grid="auto") as eng:
+            assert eng.grid_rows * eng.grid_cols == p
+            assert np.array_equal(eng.spmv(x), ref)
+
+    @pytest.mark.parametrize("grid", [(1, 2), (1, 4), (2, 2), (2, 4)])
+    def test_spmv_bit_exact_explicit_grids(self, rng, grid):
+        a = random_uniform(300, 260, nnz_per_row=5, seed=91)
+        x = rng.standard_normal(260)
+        ref = TileSpMV(a, method="adpt").spmv(x)
+        with ShardedSpMV(a, grid=grid) as eng:
+            assert (eng.grid_rows, eng.grid_cols) == grid
+            assert np.array_equal(eng.spmv(x), ref)
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_transpose_bit_exact_on_grid(self, rng, p):
+        a = random_uniform(280, 190, nnz_per_row=5, seed=92)
+        x = rng.standard_normal(280)
+        ref = TileSpMV(a, method="adpt").spmv_transpose(x)
+        with ShardedSpMV(a, shards=p, grid="auto") as eng:
+            assert np.array_equal(eng.spmv_transpose(x), ref)
+
+    def test_spmm_bit_exact_on_grid(self, rng):
+        a = fem_blocks(300, block=3, avg_degree=8, seed=93)
+        x = rng.standard_normal((a.shape[1], 6))
+        ref = TileSpMV(a, method="adpt").spmm(x)
+        with ShardedSpMV(a, grid=(2, 2)) as eng:
+            assert np.array_equal(eng.spmm(x), ref)
+
+    @pytest.mark.parametrize("method", ["csr", "deferred_coo"])
+    def test_fixed_methods_replay_on_grid(self, rng, method):
+        a = power_law(500, avg_degree=5, seed=94)
+        x = rng.standard_normal(500)
+        ref = TileSpMV(a, method=method).spmv(x)
+        with ShardedSpMV(a, grid=(2, 2), method=method) as eng:
+            assert np.array_equal(eng.spmv(x), ref)
+            assert np.array_equal(
+                eng.spmv_transpose(x), TileSpMV(a, method=method).spmv_transpose(x)
+            )
+
+    def test_auto_on_grid_is_deterministic(self, rng):
+        # ``auto`` combines partials through the fixed-shape tree:
+        # allclose to single-device, byte-stable across worker counts.
+        a = power_law(800, avg_degree=5, seed=95)
+        x = rng.standard_normal(800)
+        ref = TileSpMV(a, method="auto").spmv(x)
+        with ShardedSpMV(a, grid=(2, 2), method="auto") as threaded, \
+                ShardedSpMV(a, grid=(2, 2), method="auto",
+                            max_workers=1) as seq:
+            y1, y2 = threaded.spmv(x), seq.spmv(x)
+        assert np.array_equal(y1, y2)
+        np.testing.assert_allclose(y1, ref, rtol=1e-10, atol=1e-12)
+
+    def test_update_values_on_grid(self, rng):
+        a = random_uniform(240, 240, nnz_per_row=5, seed=96)
+        new = rng.standard_normal(a.nnz)
+        csr = a.tocsr()
+        fresh = sp.csr_matrix((new, csr.indices, csr.indptr), shape=a.shape)
+        x = rng.standard_normal(240)
+        ref = TileSpMV(fresh, method="adpt").spmv(x)
+        ref_t = TileSpMV(fresh, method="adpt").spmv_transpose(x)
+        with ShardedSpMV(a, grid=(2, 2)) as eng:
+            eng.update_values(new)
+            assert np.array_equal(eng.spmv(x), ref)
+            assert np.array_equal(eng.spmv_transpose(x), ref_t)
+
+    def test_grid_shard_count_must_match(self):
+        a = random_uniform(100, 100, nnz_per_row=4, seed=97)
+        with ShardedSpMV(a, grid=(2, 2)) as eng:
+            assert len(eng.engines) == 4
+        with ShardedSpMV(a, shards=4, grid="auto") as eng:
+            assert (eng.grid_rows, eng.grid_cols) == (2, 2)
+
+    def test_grid_plan_key_distinct_from_1d(self):
+        a = random_uniform(300, 300, nnz_per_row=5, seed=98)
+        cache = PlanCache()
+        with ShardedSpMV(a, shards=4, plan_cache=cache) as flat, \
+                ShardedSpMV(a, grid=(2, 2), plan_cache=cache) as grid:
+            assert flat.plan_key != grid.plan_key
+
+    def test_cost_model_reduce_terms(self):
+        a = power_law(900, avg_degree=6, seed=99)
+        with ShardedSpMV(a, grid=(2, 2)) as eng:
+            mdc = eng.multi_device_cost(links=2)
+            assert mdc.reduce_depth == 1
+            assert mdc.contention() == 2.0
+            assert mdc.reduce_comm_bytes() > 0.0
+            assert mdc.allreduce_time(A100) > 0.0
+            b = mdc.breakdown(A100)
+            assert b["reduce_depth"] == 1 and b["links"] == 2
+            assert "grid=2x2" in mdc.label
+        with ShardedSpMV(a, shards=4) as flat:
+            legacy = flat.multi_device_cost()
+            assert legacy.reduce_depth == 0
+            assert legacy.contention() == 1.0
+            assert legacy.allreduce_time(A100) == 0.0
+
+    def test_grid_halo_shrinks_vs_1d_in_sweep(self):
+        a = power_law(2000, avg_degree=6, seed=100)
+        flat = modelled_shard_sweep(a, counts=(4,))
+        grid = modelled_shard_sweep(a, counts=(4,), grid="auto")
+        assert flat[0]["grid"] is None
+        assert grid[0]["grid"] == (2, 2)
+        assert grid[0]["halo_bytes"] < flat[0]["halo_bytes"]
 
 
 class TestUpdateValues:
