@@ -248,6 +248,23 @@ def _cmd_check(args) -> int:
     from repro.reliability.reliable import ReliableSpMV
 
     device = _get_device(args.device)
+    grid = None
+    if args.grid:
+        if args.grid == "auto":
+            grid = "auto"
+        else:
+            try:
+                r, c = args.grid.lower().split("x")
+                grid = (int(r), int(c))
+            except ValueError:
+                print(f"error: --grid must be RxC (e.g. 2x2) or 'auto', "
+                      f"got {args.grid!r}", file=sys.stderr)
+                return 2
+            if grid[0] < 1 or grid[1] < 1:
+                print(f"error: grid axes must be >= 1, got {args.grid!r}",
+                      file=sys.stderr)
+                return 2
+    sharded = args.shards > 1 or grid is not None
     matrix = read_matrix_market(args.matrix)
     try:
         engine = ReliableSpMV(
@@ -256,6 +273,9 @@ def _cmd_check(args) -> int:
             policy=args.policy,
             plan_cache=PlanCache(),
             auto_device=device,
+            shards=args.shards,
+            grid=grid,
+            recovery=True if sharded else None,
         )
     except MatrixValidationError as exc:
         print(f"REJECTED ({exc.reason}): {exc}", file=sys.stderr)
@@ -273,12 +293,54 @@ def _cmd_check(args) -> int:
         with fault_injection(FaultPlan(seed=args.seed)) as injector:
             y_f = engine.spmv(x)
         recovered = np.allclose(y_f, ref, rtol=1e-10, atol=1e-12)
-        caught = injector.injected == 0 or engine.counters["detected"] > 0
+        # With the shard-level ladder armed, a substrate fault may be
+        # caught and repaired below the engine-level ABFT — both count.
+        shard_detected = (engine.shard_recovery_counters or {}).get(
+            "shard_detected", 0
+        )
+        caught = (
+            injector.injected == 0
+            or engine.counters["detected"] > 0
+            or shard_detected > 0
+        )
         print(
             f"fault drill (seed={args.seed}): injected={injector.injected}, "
             f"caught={caught}, recovered result correct: {recovered}"
         )
         ok = ok and caught and recovered
+
+    if args.faults and sharded:
+        # Shard-level drill: corrupt one device's first partial and
+        # require the recovery ladder to localize it (the engine-level
+        # ladder above must never see it).  A fresh engine, so the
+        # transient-fault window (attempt 0) is actually exercised.
+        from repro.dist import ShardFaultPlan, shard_fault_injection
+
+        drill = ReliableSpMV(
+            matrix, method=args.method, policy=args.policy,
+            plan_cache=PlanCache(), auto_device=device,
+            shards=args.shards, grid=grid, recovery=True,
+        )
+        with shard_fault_injection(
+            ShardFaultPlan(seed=args.seed, corrupt_devices=(0,))
+        ) as sinj:
+            y_s = drill.spmv(x)
+        sc = drill.shard_recovery_counters or {}
+        localized = (
+            sinj.injected > 0
+            and sc.get("shard_retry", 0) > 0
+            and drill.counters["detected"] == 0
+        )
+        recovered_s = np.allclose(y_s, ref, rtol=1e-10, atol=1e-12)
+        print(
+            f"shard drill (seed={args.seed}): injected={sinj.injected}, "
+            f"localized retries={sc.get('shard_retry', 0)}, "
+            f"reconstructs={sc.get('shard_reconstruct', 0)}, "
+            f"quarantines={sc.get('device_quarantine', 0)}, "
+            f"contained below engine ladder: {localized}, "
+            f"recovered result correct: {recovered_s}"
+        )
+        ok = ok and localized and recovered_s
 
     plain = engine.engine.run_cost()
     protected = engine.run_cost()
@@ -571,6 +633,12 @@ def main(argv: list[str] | None = None) -> int:
     p_check.add_argument("--faults", action="store_true",
                          help="also run one fault-injected product and show the recovery")
     p_check.add_argument("--seed", type=int, default=7, help="fault-injection seed")
+    p_check.add_argument("--shards", type=int, default=1, metavar="N",
+                         help="check the sharded engine with the shard-level "
+                              "recovery ladder armed (default 1 = single device)")
+    p_check.add_argument("--grid", default=None, metavar="RxC",
+                         help="2D tile-grid partition for the sharded check: "
+                              "explicit shape like 2x2, or 'auto' (implies sharding)")
     p_check.set_defaults(func=_cmd_check)
 
     p_serve = sub.add_parser(

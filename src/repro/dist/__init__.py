@@ -10,8 +10,22 @@ tree for ``auto`` partials), and prices the result on P modelled
 devices through the interconnect-aware
 :class:`~repro.gpu.costmodel.MultiDeviceRunCost`.  See
 ``docs/SHARDING.md`` for the design and the exactness argument.
+
+Fault tolerance lives in two sibling modules: :mod:`repro.dist.faults`
+is the deterministic shard-level fault model (device loss, corrupted
+partials, stragglers, halo corruption — injected without forcing the
+engine sequential), and :mod:`repro.dist.recovery` is the localized
+recovery ladder (per-shard ABFT → retry/backoff → parity
+reconstruction → quarantine + repartition).  See the "Distributed
+fault tolerance" section of ``docs/RELIABILITY.md``.
 """
 
+from repro.dist.faults import (
+    DeviceLostError,
+    ShardFaultInjector,
+    ShardFaultPlan,
+    shard_fault_injection,
+)
 from repro.dist.partition import (
     GridPartition,
     GridShard,
@@ -20,6 +34,12 @@ from repro.dist.partition import (
     default_grid,
     partition_grid,
     partition_rows,
+)
+from repro.dist.recovery import (
+    RecoverableShardedSpMV,
+    RecoveryConfig,
+    ShardCheck,
+    ShardRecoveryError,
 )
 from repro.dist.reduce import replay_reduce, tree_reduce, tree_schedule
 from repro.dist.sharded import ShardedSpMV, best_shard_count, modelled_shard_sweep
@@ -41,4 +61,12 @@ __all__ = [
     "best_shard_count",
     "sharded_conjugate_gradient",
     "sharded_pagerank",
+    "DeviceLostError",
+    "ShardFaultPlan",
+    "ShardFaultInjector",
+    "shard_fault_injection",
+    "ShardCheck",
+    "RecoveryConfig",
+    "ShardRecoveryError",
+    "RecoverableShardedSpMV",
 ]

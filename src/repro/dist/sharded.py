@@ -17,11 +17,16 @@ measured (x window in, y block out, partial-y tree reduction for column
 cuts).
 
 Execution degrades to a sequential loop whenever the telemetry tracer
-or a fault-injection campaign is armed: both are deliberately
+or a **GPU-substrate** fault-injection campaign
+(:mod:`repro.gpu.faults`) is armed: both are deliberately
 process-global and order-dependent (byte-deterministic traces, one RNG
 stream), so threading them would corrupt exactly the determinism they
-exist to provide.  Results are identical either way — concurrency never
-decides a combine order (see below).
+exist to provide.  Shard-level campaigns (:mod:`repro.dist.faults`)
+derive every fault from ``(seed, device, attempt)`` instead of a
+consumed stream, so they run on the real concurrent path — the
+recovery ladder in :mod:`repro.dist.recovery` is exercised under the
+same threading it must survive in production.  Results are identical
+either way — concurrency never decides a combine order (see below).
 
 Exactness: shard boundaries never split a 16 x 16 tile, so each shard's
 plan is the unsharded plan restricted to its block — same tile
@@ -61,6 +66,7 @@ import scipy.sparse as sp
 from repro import telemetry as tele
 from repro.core.plancache import PlanCache
 from repro.core.tilespmv import METHODS, TileSpMV
+from repro.dist import faults as shard_faults
 from repro.dist.partition import (
     GridPartition,
     RowPartition,
@@ -139,6 +145,7 @@ class ShardedSpMV:
         max_workers: int | None = None,
         validation: ValidationPolicy | str = ValidationPolicy.REPAIR,
         grid: tuple[int, int] | str | int | None = None,
+        device_ranks: list[int] | None = None,
         **tile_kwargs,
     ) -> None:
         if method not in METHODS:
@@ -204,6 +211,29 @@ class ShardedSpMV:
         self.preprocessing_seconds = self.build_seconds + self.arbitration_seconds
         self._executor: ThreadPoolExecutor | None = None
         self._max_workers = max_workers or len(self.engines)
+        # Model-device identity per shard: the shard-level fault model
+        # and the recovery ladder's quarantine bookkeeping key on the
+        # *device rank*, which survives a repartition (the recovery
+        # engine rebuilds over the P-1 survivor ranks), while shard
+        # indices are renumbered.
+        if device_ranks is not None and len(device_ranks) != len(self.engines):
+            raise ValueError(
+                f"device_ranks must name one device per shard, got "
+                f"{len(device_ranks)}/{len(self.engines)}"
+            )
+        self.device_ranks = (
+            list(device_ranks)
+            if device_ranks is not None
+            else list(range(len(self.engines)))
+        )
+        # Per-shard execution counter: incremented on every shard task
+        # (product, stream collection).  Doubles as the fault model's
+        # attempt number and as the recovery suite's proof that a
+        # localized retry re-executed *only* the faulty shard.
+        self.shard_exec_counts = [0] * len(self.engines)
+        # Modelled straggler seconds accumulated per shard (virtual
+        # clock; the recovery ladder charges them to its deadline).
+        self.shard_delay_s = [0.0] * len(self.engines)
         if tele.ENABLED:
             tele.count("sharded_builds_total", shards=shards, method=method)
             tele.set_gauge("sharded_imbalance", self.partition.imbalance())
@@ -288,9 +318,14 @@ class ShardedSpMV:
         """Thread only when process-global state cannot be corrupted.
 
         The telemetry tracer (virtual clock, ordered span stack) and the
-        fault injector (single RNG stream) are process-global by design;
-        running shards concurrently under either would destroy the
-        byte-determinism they guarantee.
+        **GPU-substrate** fault injector (single RNG stream consumed in
+        execution order) are process-global by design; running shards
+        concurrently under either would destroy the byte-determinism
+        they guarantee.  A shard-level campaign
+        (:mod:`repro.dist.faults`) deliberately does **not** force the
+        sequential loop: its faults are pure functions of
+        ``(seed, device, attempt)``, schedule-independent by
+        construction, so campaigns exercise the real concurrent path.
         """
         return (
             len(self.engines) == 1
@@ -299,11 +334,42 @@ class ShardedSpMV:
             or faults.active_injector() is not None
         )
 
+    def shard_call(self, op: str, s, engine, fn):
+        """One shard execution through the shard-level fault hooks.
+
+        Increments the shard's execution counter (= the fault model's
+        attempt number), then consults the armed
+        :class:`~repro.dist.faults.ShardFaultInjector`, if any: the
+        device may be lost (raises
+        :class:`~repro.dist.faults.DeviceLostError`), straggle
+        (modelled delay recorded in :attr:`shard_delay_s`), or hand
+        back a corrupted partial.  Halo corruption hits inside
+        :meth:`_x_block` / the stream gather, where the x window is
+        actually sliced.  The recovery ladder calls this directly to
+        re-execute exactly one shard.
+        """
+        attempt = self.shard_exec_counts[s.index]
+        self.shard_exec_counts[s.index] = attempt + 1
+        inj = shard_faults.active_injector()
+        if inj is None:
+            return fn(s, engine)
+        rank = self.device_ranks[s.index]
+        inj.raise_if_lost(rank, attempt)
+        delay = inj.straggler_delay(rank, attempt)
+        if delay:
+            self.shard_delay_s[s.index] += delay
+        out = fn(s, engine)
+        if isinstance(out, np.ndarray):
+            out = inj.corrupt_partial(rank, attempt, out)
+        return out
+
     def _run_shards(self, op: str, fn) -> list[np.ndarray]:
         """Apply ``fn(shard, engine)`` per shard, concurrently when safe.
 
         Results come back in shard order regardless of completion order,
         so every combine downstream sees a schedule-independent input.
+        Every task routes through :meth:`shard_call`, so the shard-level
+        fault hooks apply on both the sequential and concurrent paths.
         """
         pairs = list(zip(self.partition.shards, self.engines))
         if self._sequential():
@@ -311,50 +377,101 @@ class ShardedSpMV:
             for s, engine in pairs:
                 with tele.span("shard_execute", cat="kernel", op=op,
                                shard=s.index, rows=s.rows, nnz=s.nnz):
-                    parts.append(fn(s, engine))
+                    parts.append(self.shard_call(op, s, engine, fn))
             return parts
-        return list(self._pool().map(lambda pair: fn(*pair), pairs))
+        return list(
+            self._pool().map(lambda pair: self.shard_call(op, *pair, fn), pairs)
+        )
 
     def _col_offset(self, s) -> int:
         """Global column of the shard block's first column (0 for 1D)."""
         return s.col_lo if self.grid is not None else 0
 
     def _x_block(self, s, x: np.ndarray) -> np.ndarray:
-        """The slice of x a shard's engine consumes."""
-        return x[s.col_lo:s.col_hi] if self.grid is not None else x
+        """The slice of x a shard's engine consumes.
+
+        An armed shard-level campaign corrupts the window here — the
+        modelled halo exchange is exactly this slice crossing the
+        interconnect.  The corrupted copy is private to the shard; the
+        caller's ``x`` is never mutated.
+        """
+        blk = x[s.col_lo:s.col_hi] if self.grid is not None else x
+        inj = shard_faults.active_injector()
+        if inj is not None:
+            attempt = max(self.shard_exec_counts[s.index] - 1, 0)
+            blk = inj.corrupt_halo(self.device_ranks[s.index], attempt, blk)
+        return blk
+
+    def _shard_raw_streams(self, s, e):
+        """One shard's decode streams, through the partial-fault hook.
+
+        Per half either ``None`` or ``(rows, cols, vals)`` in the
+        shard's local coordinates.  An armed shard-level campaign
+        corrupts the value stream — the shard's contribution *is* its
+        partial under replay reduction, so this is what "corrupted
+        shard partial" means on the replay path.
+        """
+        inj = shard_faults.active_injector()
+        attempt = max(self.shard_exec_counts[s.index] - 1, 0)
+        out = []
+        for salt, stream in zip(("tiled", "deferred"), e.decode_streams()):
+            if stream is None:
+                out.append(None)
+                continue
+            rows, cols, vals = stream
+            if inj is not None:
+                vals = inj.corrupt_partial(
+                    self.device_ranks[s.index], attempt, vals, salt=salt
+                )
+            out.append((rows, cols, vals))
+        return tuple(out)
+
+    def _stream_contrib(self, s, e, x: np.ndarray, transpose: bool):
+        """One shard's replay contribution: per half, (idx, x_gather, vals).
+
+        Indices are global output positions; the gather is the slice of
+        ``x`` the shard's entries touch (halo-corruptible, like
+        :meth:`_x_block`).  Called inside :meth:`shard_call` so the
+        device-loss/straggler hooks and the execution counter apply.
+        """
+        inj = shard_faults.active_injector()
+        attempt = max(self.shard_exec_counts[s.index] - 1, 0)
+        off = self._col_offset(s)
+        out = []
+        for salt, stream in zip(("tiled", "deferred"), self._shard_raw_streams(s, e)):
+            if stream is None:
+                out.append(None)
+                continue
+            rows, cols, vals = stream
+            if transpose:
+                idx, xg = off + cols, x[s.row_lo + rows]
+            else:
+                idx, xg = s.row_lo + rows, x[off + cols]
+            if inj is not None:
+                xg = inj.corrupt_halo(
+                    self.device_ranks[s.index], attempt, xg, salt=salt
+                )
+            out.append((idx, xg, vals))
+        return tuple(out)
 
     def _collect_streams(self, transpose: bool, x: np.ndarray):
-        """Concatenable contribution streams of both halves, grid order.
+        """Per-shard replay contributions, in grid order.
 
-        Returns ``(tiled, deferred)``; each is ``None`` when no shard
-        holds that half (structurally global: the per-tile format and
-        extraction decisions are identical to the unsharded plan's, so
-        shard-local absence means global absence) or a
-        ``(indices, x_gather, values)`` triple of concatenated arrays.
-        Streams are read live from the engines at call time — a
+        One :meth:`shard_call`-guarded :meth:`_stream_contrib` per
+        shard.  Streams are read live from the engines at call time — a
         preceding :meth:`update_values` swapped the value arrays, not
         the structure.
         """
-        halves = ([], [])  # (tiled, deferred): per-half [idx, x_gather, vals]
-        for s, e in zip(self.partition.shards, self.engines):
-            off = self._col_offset(s)
-            for half, stream in zip(halves, e.decode_streams()):
-                if stream is None:
-                    continue
-                rows, cols, vals = stream
-                if transpose:
-                    half.append((off + cols, x[s.row_lo + rows], vals))
-                else:
-                    half.append((s.row_lo + rows, x[off + cols], vals))
-        return tuple(
-            None
-            if not half
-            else tuple(np.concatenate(arrs) for arrs in zip(*half))
-            for half in halves
-        )
+        return [
+            self.shard_call(
+                "stream_collect", s, e,
+                lambda s_, e_: self._stream_contrib(s_, e_, x, transpose),
+            )
+            for s, e in zip(self.partition.shards, self.engines)
+        ]
 
-    def _replay(self, x: np.ndarray, transpose: bool) -> np.ndarray:
-        """Bit-for-bit product by ordered contribution replay.
+    def replay_contribs(self, contribs, length: int, transpose: bool) -> np.ndarray:
+        """Combine per-shard contributions by ordered replay (bit-for-bit).
 
         Concatenating the shards' canonical-order streams in grid order
         reconstructs, per output entry, the exact accumulation sequence
@@ -362,11 +479,22 @@ class ShardedSpMV:
         CSR-entry order for the deferred half); a single ``bincount``
         pass per half then replays the same left-to-right summation, and
         the halves combine by the same branch the single engine uses.
-        A fault-injection campaign corrupts the concatenated value
+        A GPU-substrate fault campaign corrupts the concatenated value
         stream exactly once per half, mirroring the unsharded kernels.
+        The recovery ladder calls this with its *verified* contribution
+        list, so a recovered product replays the same clean streams.
         """
-        length = self._n if transpose else self._m
-        tiled, deferred = self._collect_streams(transpose, x)
+        halves = ([], [])  # (tiled, deferred): per-half [idx, x_gather, vals]
+        for contrib in contribs:
+            for half, c in zip(halves, contrib):
+                if c is not None:
+                    half.append(c)
+        tiled, deferred = (
+            None
+            if not half
+            else tuple(np.concatenate(arrs) for arrs in zip(*half))
+            for half in halves
+        )
         inj = faults.active_injector()
         yt = yd = None
         if tiled is not None:
@@ -390,20 +518,27 @@ class ShardedSpMV:
         yt += yd
         return yt
 
-    def _replay_spmm(self, x: np.ndarray) -> np.ndarray:
-        """Bit-for-bit batched product for column-cut grids.
+    def _replay(self, x: np.ndarray, transpose: bool) -> np.ndarray:
+        """Bit-for-bit product: collect per-shard streams, replay them."""
+        length = self._n if transpose else self._m
+        return self.replay_contribs(self._collect_streams(transpose, x),
+                                    length, transpose)
+
+    def replay_spmm_streams(self, streams, x: np.ndarray) -> np.ndarray:
+        """Combine per-cell raw streams into the batched product.
 
         Per row block, the cells' streams assemble one CSR operand per
         half — scipy's canonicalization sorts the entries into exactly
         the (row, col) order the single-device inspector matrices hold,
         so each block product equals the corresponding row slice of the
-        unsharded :meth:`TileSpMV.spmm` bit-for-bit.
+        unsharded :meth:`TileSpMV.spmm` bit-for-bit.  Like
+        :meth:`replay_contribs`, the recovery ladder feeds this its
+        verified stream list.
         """
         k = x.shape[1]
         inj = faults.active_injector()
         part: GridPartition = self.partition
         grid_r, grid_c = part.grid
-        streams = [e.decode_streams() for e in self.engines]
         has_half = [
             any(streams[i][half] is not None for i in range(len(streams)))
             for half in (0, 1)
@@ -447,6 +582,14 @@ class ShardedSpMV:
             else:
                 blocks.append(bt + bd)
         return np.concatenate(blocks, axis=0) if blocks else np.zeros((0, k))
+
+    def _replay_spmm(self, x: np.ndarray) -> np.ndarray:
+        """Bit-for-bit batched product for column-cut grids."""
+        streams = [
+            self.shard_call("stream_collect", s, e, self._shard_raw_streams)
+            for s, e in zip(self.partition.shards, self.engines)
+        ]
+        return self.replay_spmm_streams(streams, x)
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
         """y = A @ x.

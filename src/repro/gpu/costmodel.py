@@ -321,6 +321,22 @@ class MultiDeviceRunCost:
       the largest partial block over the (contended) link bandwidth —
       exactly the schedule :func:`repro.dist.reduce.tree_schedule`
       executes.
+
+    The recovery terms (all zero/absent by default, so a fault-free
+    engine prices identically to before they existed) come from
+    :class:`~repro.dist.recovery.RecoverableShardedSpMV`:
+
+    * ``parity_cost``/``parity_bytes`` — the optional parity device's
+      kernel cost and the pairwise parity traffic (every shard's padded
+      y block crossing one link so the parity device can reconstruct).
+      The parity device computes concurrently with the data shards, so
+      it joins the makespan ``max`` rather than adding to it.
+    * ``retry_backoff_s``/``retry_costs`` — the recovery ladder's
+      actual localized-retry history: modelled backoff waits plus one
+      re-executed shard kernel per retry, charged serially (a retry
+      happens after the fault is detected).
+    * ``rebuild_cost`` — the full re-execution each quarantine-driven
+      repartition performs over the survivors.
     """
 
     shard_costs: list  # list[RunCost]
@@ -330,6 +346,11 @@ class MultiDeviceRunCost:
     links: int = 0  # shared physical links (0 = dedicated link per shard)
     reduce_bytes: list | None = None  # per-shard partial-y bytes entering the tree
     reduce_depth: int = 0  # rounds of the fixed-shape reduction tree
+    parity_cost: "RunCost | None" = None  # parity device's kernel cost
+    parity_bytes: float = 0.0  # pairwise parity traffic (shard blocks -> parity)
+    retry_backoff_s: float = 0.0  # recorded backoff waits (virtual seconds)
+    retry_costs: list | None = None  # one re-executed shard RunCost per retry
+    rebuild_cost: "RunCost | None" = None  # repartition full re-execution
 
     def __post_init__(self) -> None:
         if not (len(self.shard_costs) == len(self.halo_bytes) == len(self.y_bytes)):
@@ -346,6 +367,8 @@ class MultiDeviceRunCost:
             )
         if self.links < 0 or self.reduce_depth < 0:
             raise ValueError("links and reduce_depth must be >= 0")
+        if self.parity_bytes < 0 or self.retry_backoff_s < 0:
+            raise ValueError("parity_bytes and retry_backoff_s must be >= 0")
 
     @property
     def shards(self) -> int:
@@ -403,15 +426,49 @@ class MultiDeviceRunCost:
         """End-to-end seconds for one shard: comm + compute."""
         return self.comm_time(shard, device) + self.shard_costs[shard].time(device)
 
-    def time(self, device: DeviceSpec) -> float:
-        """Makespan: the slowest shard's chain, plus the tree reduction.
+    def parity_time(self, device: DeviceSpec) -> float:
+        """The parity device's chain: its kernel + the parity traffic.
 
-        The reduction is a barrier over each row block's cells, so it
-        starts after the slowest participant and adds its full depth to
-        the critical path.
+        Zero without a parity shard.  Runs concurrently with the data
+        shards, so it competes in the makespan ``max`` instead of
+        extending the critical path.
+        """
+        if self.parity_cost is None:
+            return 0.0
+        t = self.parity_cost.time(device)
+        if self.parity_bytes > 0:
+            latency = device.link_latency_us * 1e-6
+            bw = device.link_bandwidth_bytes / self.contention()
+            t += latency + self.parity_bytes / bw
+        return t
+
+    def recovery_time(self, device: DeviceSpec) -> float:
+        """Serial seconds the recovery ladder appended to this run.
+
+        Backoff waits, localized shard re-executions, and any
+        quarantine-driven repartition rebuild all happen *after* a
+        fault is detected, so they add to the makespan rather than
+        overlapping it.  Zero for a fault-free run.
+        """
+        t = self.retry_backoff_s
+        if self.retry_costs:
+            t += sum(c.time(device) for c in self.retry_costs)
+        if self.rebuild_cost is not None:
+            t += self.rebuild_cost.time(device)
+        return t
+
+    def time(self, device: DeviceSpec) -> float:
+        """Makespan: the slowest chain, plus reduction and recovery.
+
+        The slowest chain is over the data shards *and* the optional
+        parity device (which computes concurrently).  The tree
+        reduction is a barrier over each row block's cells, so it
+        starts after the slowest participant; recovery work (retries,
+        rebuilds) is inherently serial and appends.
         """
         chain = max(self.shard_time(p, device) for p in range(self.shards))
-        return chain + self.allreduce_time(device)
+        chain = max(chain, self.parity_time(device))
+        return chain + self.allreduce_time(device) + self.recovery_time(device)
 
     def compute_time(self, device: DeviceSpec) -> float:
         """Max per-shard compute time, ignoring the interconnect."""
@@ -419,7 +476,10 @@ class MultiDeviceRunCost:
 
     def total_comm_bytes(self) -> float:
         return float(
-            sum(self.halo_bytes) + sum(self.y_bytes) + self.reduce_comm_bytes()
+            sum(self.halo_bytes)
+            + sum(self.y_bytes)
+            + self.reduce_comm_bytes()
+            + self.parity_bytes
         )
 
     def speedup(self, baseline: RunCost, device: DeviceSpec) -> float:
@@ -449,5 +509,10 @@ class MultiDeviceRunCost:
                 if self.reduce_bytes is not None
                 else []
             ),
+            "parity_s": self.parity_time(device),
+            "parity_bytes": float(self.parity_bytes),
+            "retry_backoff_s": float(self.retry_backoff_s),
+            "retries": len(self.retry_costs) if self.retry_costs else 0,
+            "recovery_s": self.recovery_time(device),
             "label": self.label,
         }

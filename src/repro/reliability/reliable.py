@@ -80,6 +80,16 @@ class ReliableSpMV:
         non-``None`` grid implies a sharded engine even when ``shards``
         is 1; the fault-injection hooks run inside the grid's replay
         reduction, so detection coverage is unchanged.
+    recovery:
+        Opt into the shard-level recovery ladder
+        (:class:`~repro.dist.recovery.RecoverableShardedSpMV`): a
+        :class:`~repro.dist.recovery.RecoveryConfig`, or ``True`` for
+        the defaults.  Only meaningful with a sharded engine.  With
+        recovery on, a single corrupted or lost shard is localized by
+        per-shard checksums and only that shard retries; this wrapper's
+        assembled-``y`` ladder stays armed above it as the last line of
+        defence.  ``None``/``False`` (default) keeps the engine-level
+        ladder only.
     method, plan_cache, **tile_kwargs:
         Forwarded to :class:`~repro.core.tilespmv.TileSpMV` (or the
         sharded engine).
@@ -95,6 +105,7 @@ class ReliableSpMV:
         plan_cache=None,
         shards: int = 1,
         grid: tuple[int, int] | str | int | None = None,
+        recovery=None,
         **tile_kwargs,
     ) -> None:
         self.policy = ValidationPolicy.coerce(policy)
@@ -102,6 +113,7 @@ class ReliableSpMV:
         self._method = method
         self._shards = int(shards)
         self._grid = grid
+        self._recovery = recovery
         self._tile_kwargs = dict(tile_kwargs)
         self.plan_cache = plan_cache
         self.counters = {
@@ -157,6 +169,18 @@ class ReliableSpMV:
             return list(keys)
         return [self.engine.plan_key] if self.engine.plan_key else []
 
+    @property
+    def shard_recovery_counters(self) -> dict | None:
+        """The shard-level ladder's counters, or ``None`` without one.
+
+        Distinct from :attr:`counters` (this wrapper's assembled-``y``
+        ladder): these count the localized events — per-shard
+        detections, single-shard retries, parity reconstructions,
+        quarantines — that never surfaced to the engine-level ladder.
+        """
+        counters = getattr(self.engine, "counters", None)
+        return dict(counters) if counters is not None else None
+
     # -- the ladder --------------------------------------------------------
 
     def _check_x(self, x: np.ndarray) -> np.ndarray:
@@ -172,8 +196,26 @@ class ReliableSpMV:
 
     def _make_engine(self):
         """Build the protected engine: sharded when ``shards > 1`` or a
-        2D grid was requested."""
+        2D grid was requested, recoverable when ``recovery`` opts in."""
         if self._shards > 1 or self._grid is not None:
+            if self._recovery:
+                from repro.dist.recovery import RecoverableShardedSpMV, RecoveryConfig
+
+                config = (
+                    self._recovery
+                    if isinstance(self._recovery, RecoveryConfig)
+                    else None
+                )
+                return RecoverableShardedSpMV(
+                    self._csr,
+                    shards=self._shards,
+                    method=self._method,
+                    grid=self._grid,
+                    plan_cache=self.plan_cache,
+                    validation="trust",
+                    config=config,
+                    **self._tile_kwargs,
+                )
             from repro.dist.sharded import ShardedSpMV
 
             return ShardedSpMV(

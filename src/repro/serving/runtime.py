@@ -183,6 +183,7 @@ class ServingRuntime:
         policy: ValidationPolicy | str = ValidationPolicy.REPAIR,
         shards: int = 1,
         grid: tuple[int, int] | str | int | None = None,
+        recovery=None,
         **tile_kwargs,
     ) -> None:
         """Admit a matrix: canonicalize, build its plan, price its rungs.
@@ -195,13 +196,18 @@ class ServingRuntime:
         sequential single-device cost, the honest figure for a
         one-device runtime.  ``grid=(R, C)``/``"auto"`` serves the 2D
         tile-grid partition; served results stay bit-for-bit equal to
-        the single-device plan for the fixed methods.
+        the single-device plan for the fixed methods.  ``recovery``
+        (a :class:`~repro.dist.recovery.RecoveryConfig` or ``True``)
+        arms the shard-level recovery ladder under the served engine,
+        so a single faulty device retries locally instead of failing
+        the whole request up to this runtime's breaker.
         """
         if matrix_id in self._matrices:
             raise ValueError(f"matrix id {matrix_id!r} already registered")
         engine = ReliableSpMV(
             matrix, method=method, policy=policy, abft=True,
-            plan_cache=self.plan_cache, shards=shards, grid=grid, **tile_kwargs,
+            plan_cache=self.plan_cache, shards=shards, grid=grid,
+            recovery=recovery, **tile_kwargs,
         )
         sm = _Served(matrix_id, engine, self.device, self.config)
         self._matrices[matrix_id] = sm

@@ -145,3 +145,25 @@ def test_serve_sim_overload_with_faults_and_json(tmp_path, capsys):
     assert payload["stats"]["served"] + payload["stats"]["shed"] == 40
     out = capsys.readouterr().out
     assert "fault campaign" in out
+
+
+def test_check_sharded_fault_drill(capsys, mtx_file):
+    assert main(["check", mtx_file, "--faults", "--shards", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "verified spmv matches reference: True" in out
+    assert "shard drill" in out
+    assert "contained below engine ladder: True" in out
+    assert "recovered result correct: True" in out
+
+
+def test_check_grid_fault_drill(capsys, mtx_file):
+    assert main(["check", mtx_file, "--faults", "--grid", "2x2"]) == 0
+    out = capsys.readouterr().out
+    assert "shard drill" in out
+    assert "contained below engine ladder: True" in out
+
+
+def test_check_rejects_malformed_grid(capsys, mtx_file):
+    assert main(["check", mtx_file, "--grid", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "--grid must be RxC" in err
