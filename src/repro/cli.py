@@ -180,6 +180,8 @@ def _cmd_shard(args) -> int:
 
     matrix = read_matrix_market(args.matrix)
     print(f"matrix {args.matrix}: {matrix.shape[0]}x{matrix.shape[1]}, nnz={matrix.nnz}")
+    if args.backend == "process":
+        print("execution backend: process (supervised shared-memory workers)")
 
     baseline = TileSpMV(matrix, method=args.method, auto_device=device)
     x = np.ones(matrix.shape[1])
@@ -191,7 +193,8 @@ def _cmd_shard(args) -> int:
         # An explicit RxC grid fixes the shape; "auto" factors each count.
         eng_grid = grid if grid != "auto" else default_grid(p)
         with ShardedSpMV(matrix, shards=p, method=args.method,
-                         grid=eng_grid, auto_device=device) as eng:
+                         grid=eng_grid, auto_device=device,
+                         backend=args.backend) as eng:
             y = eng.spmv(x)
             yt = eng.spmv_transpose(np.ones(matrix.shape[0]))
             exact = bool(np.array_equal(y, y_ref) and np.array_equal(yt, yt_ref))
@@ -208,10 +211,14 @@ def _cmd_shard(args) -> int:
                 f"grid={eng.grid[0]}x{eng.grid[1]}" if eng.grid is not None
                 else f"P={p}"
             )
+            extra = ""
+            if args.backend == "process":
+                st = eng.supervisor.stats()
+                extra = f", workers={st['healthy']}/{st['workers']}"
             print(
                 f"  {shape}: {tag} vs single-device (spmv + transpose), "
                 f"imbalance={eng.partition.imbalance():.2f}, "
-                f"methods={','.join(eng.resolved_methods)}"
+                f"methods={','.join(eng.resolved_methods)}{extra}"
             )
         if grid is not None and grid != "auto":
             break  # one explicit shape, not a sweep
@@ -265,6 +272,9 @@ def _cmd_check(args) -> int:
                       file=sys.stderr)
                 return 2
     sharded = args.shards > 1 or grid is not None
+    # The process backend replaces the recovery ladder with its own
+    # supervisor (respawn/quarantine); the two are mutually exclusive.
+    use_recovery = sharded and args.backend != "process"
     matrix = read_matrix_market(args.matrix)
     try:
         engine = ReliableSpMV(
@@ -275,7 +285,8 @@ def _cmd_check(args) -> int:
             auto_device=device,
             shards=args.shards,
             grid=grid,
-            recovery=True if sharded else None,
+            recovery=True if use_recovery else None,
+            backend=args.backend,
         )
     except MatrixValidationError as exc:
         print(f"REJECTED ({exc.reason}): {exc}", file=sys.stderr)
@@ -309,7 +320,7 @@ def _cmd_check(args) -> int:
         )
         ok = ok and caught and recovered
 
-    if args.faults and sharded:
+    if args.faults and use_recovery:
         # Shard-level drill: corrupt one device's first partial and
         # require the recovery ladder to localize it (the engine-level
         # ladder above must never see it).  A fresh engine, so the
@@ -340,7 +351,93 @@ def _cmd_check(args) -> int:
             f"contained below engine ladder: {localized}, "
             f"recovered result correct: {recovered_s}"
         )
+        drill.close()
         ok = ok and localized and recovered_s
+
+    if args.faults and args.backend == "process":
+        # Process-backend drill: SIGKILL one worker mid-operation and
+        # require the supervisor to respawn it and replay only the lost
+        # shard — the process-level analogue of the shard drill above.
+        from repro.dist import ShardFaultPlan, shard_fault_injection
+
+        with ReliableSpMV(
+            matrix, method=args.method, policy=args.policy,
+            plan_cache=PlanCache(), auto_device=device,
+            shards=args.shards, grid=grid, backend="process",
+        ) as drill:
+            with shard_fault_injection(
+                ShardFaultPlan(seed=args.seed, kill_workers=(0,))
+            ) as kinj:
+                y_k = drill.spmv(x)
+            st = drill.engine.supervisor.stats()
+            recovered_k = np.allclose(y_k, ref, rtol=1e-10, atol=1e-12)
+            localized_k = (
+                kinj.injected > 0
+                and st["respawns"] >= 1
+                and st["replays"] >= 1
+                and drill.counters["detected"] == 0
+            )
+            print(
+                f"worker-kill drill (seed={args.seed}): "
+                f"killed={kinj.injected}, respawns={st['respawns']}, "
+                f"replays={st['replays']}, "
+                f"localized respawn+replay: {localized_k}, "
+                f"recovered result correct: {recovered_k}"
+            )
+            ok = ok and localized_k and recovered_k
+
+    if getattr(args, "drill_persistent", False):
+        # Persistent-failure drill: every device corrupts on every
+        # attempt, so the recovery ladder must run out of rungs.  The
+        # expected outcome is a *structured failure*: exit code 3 and a
+        # machine-readable report of how far the ladder got.
+        if not use_recovery:
+            print(
+                "error: --drill-persistent needs --shards/--grid on the "
+                "thread backend (the recovery ladder)",
+                file=sys.stderr,
+            )
+            engine.close()
+            return 2
+        import json as _json
+
+        from repro.dist import ShardFaultPlan, ShardRecoveryError, shard_fault_injection
+
+        with ReliableSpMV(
+            matrix, method=args.method, policy=args.policy,
+            plan_cache=PlanCache(), auto_device=device,
+            shards=args.shards, grid=grid, recovery=True, abft=False,
+        ) as drill:
+            ranks = tuple(range(drill.engine.shards))
+            plan = ShardFaultPlan(
+                seed=args.seed, corrupt_devices=ranks, fault_attempts=None
+            )
+            try:
+                with shard_fault_injection(plan) as pinj:
+                    drill.spmv(x)
+            except ShardRecoveryError as exc:
+                sc = drill.shard_recovery_counters or {}
+                report = {
+                    "outcome": "recovery_impossible",
+                    "error": str(exc),
+                    "seed": args.seed,
+                    "devices": list(ranks),
+                    "injected": pinj.injected,
+                    "quarantined": list(
+                        getattr(drill.engine, "quarantined", [])
+                    ),
+                    "counters": sc,
+                }
+                print(f"RECOVERY IMPOSSIBLE: {exc}")
+                print(_json.dumps(report, indent=2, sort_keys=True))
+                engine.close()
+                return 3
+        print(
+            "persistent drill unexpectedly recovered — the ladder should "
+            "have run out of rungs",
+            file=sys.stderr,
+        )
+        return 1
 
     plain = engine.engine.run_cost()
     protected = engine.run_cost()
@@ -353,6 +450,7 @@ def _cmd_check(args) -> int:
     )
     print()
     print(engine.describe())
+    engine.close()
     return 0 if ok else 1
 
 
@@ -621,6 +719,9 @@ def main(argv: list[str] | None = None) -> int:
     p_shard.add_argument("--method", default="adpt",
                          choices=("csr", "adpt", "deferred_coo", "auto"))
     p_shard.add_argument("--device", default="a100", choices=sorted(_DEVICES))
+    p_shard.add_argument("--backend", default="thread", choices=("thread", "process"),
+                         help="shard execution backend: in-process threads or "
+                              "supervised shared-memory worker processes")
     p_shard.set_defaults(func=_cmd_shard)
 
     p_check = sub.add_parser(
@@ -639,6 +740,12 @@ def main(argv: list[str] | None = None) -> int:
     p_check.add_argument("--grid", default=None, metavar="RxC",
                          help="2D tile-grid partition for the sharded check: "
                               "explicit shape like 2x2, or 'auto' (implies sharding)")
+    p_check.add_argument("--backend", default="thread", choices=("thread", "process"),
+                         help="shard execution backend; with --faults the process "
+                              "backend runs a worker-kill respawn drill")
+    p_check.add_argument("--drill-persistent", action="store_true",
+                         help="inject an unrecoverable all-device persistent fault "
+                              "and verify the structured failure path (exit 3)")
     p_check.set_defaults(func=_cmd_check)
 
     p_serve = sub.add_parser(

@@ -5,14 +5,28 @@ matrix across runs wants to pay it once.  ``save``/``load`` round-trip a
 built :class:`~repro.core.storage.TileMatrix` through a single ``.npz``
 file holding exactly the paper's arrays — the level-1 structure and the
 per-format payloads — and rebuild the gather indices on load.
+
+The same ``.npz`` container doubles as the **shard-plan wire format**
+of the process-pool backend (:mod:`repro.dist.procpool`):
+:func:`pack_shard_plan` freezes one shard's canonical CSR block plus
+its engine configuration into a ``bytes`` blob a worker process can
+rebuild from deterministically (same block + same kwargs → the same
+:class:`~repro.core.tilespmv.TileSpMV` plan, bit for bit), and
+:func:`unpack_shard_plan` is the worker-side inverse.  Only the
+configuration rides as a pickle; the arrays travel as raw npz entries,
+and the per-call x/y payloads never touch this path at all — they live
+in shared memory.
 """
 
 from __future__ import annotations
 
+import io
+import pickle
 from dataclasses import fields
 from pathlib import Path
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.storage import TileMatrix
 from repro.core.tiling import TileSet
@@ -29,7 +43,12 @@ from repro.formats import (
 )
 from repro.formats.base import TilesView
 
-__all__ = ["save_tile_matrix", "load_tile_matrix"]
+__all__ = [
+    "save_tile_matrix",
+    "load_tile_matrix",
+    "pack_shard_plan",
+    "unpack_shard_plan",
+]
 
 _PAYLOAD_TYPES = {
     FormatID.CSR: TileCSRData,
@@ -130,3 +149,53 @@ def load_tile_matrix(path: str | Path) -> TileMatrix:
     )
     tm._build_gathers()
     return tm
+
+
+# -- shard-plan wire format (process-pool backend) -------------------------
+
+_WIRE_VERSION = 1
+
+
+def pack_shard_plan(block: sp.csr_matrix, **config) -> bytes:
+    """Freeze one shard's CSR block + engine config into a wire blob.
+
+    The blob is a plain (uncompressed — spawn latency matters more than
+    wire size on a local socket) ``.npz`` archive holding the block's
+    canonical CSR arrays and a pickled configuration dict.  A worker
+    rebuilding a :class:`~repro.core.tilespmv.TileSpMV` from the
+    unpacked block with the unpacked kwargs produces the identical plan
+    the parent holds — tiling and format selection are deterministic —
+    which is what makes worker results bit-for-bit combinable.
+    """
+    buf = io.BytesIO()
+    np.savez(
+        buf,
+        **{
+            "wire.version": np.int64(_WIRE_VERSION),
+            "wire.m": np.int64(block.shape[0]),
+            "wire.n": np.int64(block.shape[1]),
+            "csr.data": np.asarray(block.data, dtype=np.float64),
+            "csr.indices": np.asarray(block.indices, dtype=np.int64),
+            "csr.indptr": np.asarray(block.indptr, dtype=np.int64),
+            "wire.config": np.frombuffer(
+                pickle.dumps(config, protocol=pickle.HIGHEST_PROTOCOL),
+                dtype=np.uint8,
+            ),
+        },
+    )
+    return buf.getvalue()
+
+
+def unpack_shard_plan(blob: bytes) -> tuple[sp.csr_matrix, dict]:
+    """Worker-side inverse of :func:`pack_shard_plan`."""
+    with np.load(io.BytesIO(blob), allow_pickle=False) as data:
+        version = int(data["wire.version"])
+        if version != _WIRE_VERSION:
+            raise ValueError(f"unsupported shard-plan wire version {version}")
+        shape = (int(data["wire.m"]), int(data["wire.n"]))
+        block = sp.csr_matrix(
+            (data["csr.data"], data["csr.indices"], data["csr.indptr"]),
+            shape=shape,
+        )
+        config = pickle.loads(data["wire.config"].tobytes())
+    return block, config

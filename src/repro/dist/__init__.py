@@ -13,11 +13,20 @@ devices through the interconnect-aware
 
 Fault tolerance lives in two sibling modules: :mod:`repro.dist.faults`
 is the deterministic shard-level fault model (device loss, corrupted
-partials, stragglers, halo corruption — injected without forcing the
-engine sequential), and :mod:`repro.dist.recovery` is the localized
-recovery ladder (per-shard ABFT → retry/backoff → parity
-reconstruction → quarantine + repartition).  See the "Distributed
-fault tolerance" section of ``docs/RELIABILITY.md``.
+partials, stragglers, halo corruption, worker kill/hang, segment
+corruption — injected without forcing the engine sequential), and
+:mod:`repro.dist.recovery` is the localized recovery ladder (per-shard
+ABFT → retry/backoff → parity reconstruction → quarantine +
+repartition).  See the "Distributed fault tolerance" section of
+``docs/RELIABILITY.md``.
+
+:mod:`repro.dist.procpool` is the true-parallel execution backend:
+:class:`~repro.dist.procpool.ProcessShardedSpMV` runs each shard in a
+supervised worker process over shared memory
+(``ShardedSpMV(matrix, backend="process")`` dispatches to it), with
+crashed/hung workers respawned deterministically and quarantined
+through a per-worker circuit breaker.  See the "Process backend &
+worker supervision" section of ``docs/SHARDING.md``.
 """
 
 from repro.dist.faults import (
@@ -34,6 +43,13 @@ from repro.dist.partition import (
     default_grid,
     partition_grid,
     partition_rows,
+)
+from repro.dist.procpool import (
+    ProcessConfig,
+    ProcessShardedSpMV,
+    WorkerCrash,
+    WorkerSupervisor,
+    sweep_orphans,
 )
 from repro.dist.recovery import (
     RecoverableShardedSpMV,
@@ -69,4 +85,9 @@ __all__ = [
     "RecoveryConfig",
     "ShardRecoveryError",
     "RecoverableShardedSpMV",
+    "ProcessConfig",
+    "ProcessShardedSpMV",
+    "WorkerSupervisor",
+    "WorkerCrash",
+    "sweep_orphans",
 ]

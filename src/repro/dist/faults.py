@@ -91,6 +91,22 @@ class ShardFaultPlan:
         persistent (every attempt fails) to exercise quarantine.
     min_magnitude:
         Lower bound on any injected perturbation (ABFT detectability).
+    kill_workers / hang_workers / segment_devices:
+        Process-level fault targets for the :mod:`repro.dist.procpool`
+        backend — the device ranks whose worker process is SIGKILL'd
+        mid-operation, stops responding (sleeps past the supervisor's
+        deadline), or writes a corrupted result into its shared-memory
+        output segment.  Like every other kind, the decision is a pure
+        function of ``(seed, kind, device, attempt)``: the worker
+        re-derives it from the plan shipped in the command, and the
+        parent re-derives it for bookkeeping, so both sides agree
+        without coordination.  Thread-backend engines ignore these.
+    worker_kill_prob / worker_hang_prob / segment_prob:
+        Probabilistic variants for untargeted device ranks.
+    hang_seconds:
+        Real (not virtual) seconds a hung worker sleeps — configure it
+        above the supervisor's ``op_timeout_s`` so the missed-heartbeat
+        detection actually fires.
     """
 
     seed: int = 0
@@ -106,6 +122,25 @@ class ShardFaultPlan:
     corruptions_per_partial: int = 1
     fault_attempts: int | None = 1
     min_magnitude: float = 1e3
+    kill_workers: tuple[int, ...] = ()
+    hang_workers: tuple[int, ...] = ()
+    segment_devices: tuple[int, ...] = ()
+    worker_kill_prob: float = 0.0
+    worker_hang_prob: float = 0.0
+    segment_prob: float = 0.0
+    hang_seconds: float = 0.5
+
+    @property
+    def has_process_faults(self) -> bool:
+        """Does this plan target any process-level fault kind?"""
+        return bool(
+            self.kill_workers
+            or self.hang_workers
+            or self.segment_devices
+            or self.worker_kill_prob > 0.0
+            or self.worker_hang_prob > 0.0
+            or self.segment_prob > 0.0
+        )
 
 
 @dataclass
@@ -209,6 +244,52 @@ class ShardFaultInjector:
         ):
             return x_window
         return self._bump("halo", device, attempt, x_window, salt)
+
+    # -- process-level hooks (repro.dist.procpool) -------------------------
+
+    def kill_worker(self, device: int, attempt: int) -> bool:
+        """Should this device's worker process die mid-operation?
+
+        In the worker the affirmative answer is followed by SIGKILL; in
+        the parent the same derivation records the event, so counters
+        match the thread backend's one-record-per-fired-fault contract.
+        """
+        if self._fires("worker_kill", device, attempt,
+                       self.plan.kill_workers, self.plan.worker_kill_prob):
+            self._record("worker_kill")
+            return True
+        return False
+
+    def worker_hang_s(self, device: int, attempt: int) -> float:
+        """Real seconds this device's worker sleeps before responding."""
+        if self._fires("worker_hang", device, attempt,
+                       self.plan.hang_workers, self.plan.worker_hang_prob):
+            self._record("worker_hang")
+            return float(self.plan.hang_seconds)
+        return 0.0
+
+    def segment_fires(self, device: int, attempt: int,
+                      record: bool = False) -> bool:
+        """Pure decision: does this execution corrupt its output segment?
+
+        The parent uses ``record=True`` for bookkeeping; the worker
+        applies the actual corruption through :meth:`corrupt_segment`.
+        """
+        fired = self._fires("segment", device, attempt,
+                            self.plan.segment_devices, self.plan.segment_prob)
+        if fired and record:
+            self._record("segment", self.plan.corruptions_per_partial)
+        return fired
+
+    def corrupt_segment(self, device: int, attempt: int,
+                        values: np.ndarray, salt: str = "") -> np.ndarray:
+        """Corrupted shared-memory write: the result a worker hands back."""
+        if values.size == 0 or not self._fires(
+            "segment", device, attempt,
+            self.plan.segment_devices, self.plan.segment_prob,
+        ):
+            return values
+        return self._bump("segment", device, attempt, values, salt)
 
     def stats(self) -> dict:
         with self._lock:

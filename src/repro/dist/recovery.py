@@ -185,6 +185,12 @@ class RecoverableShardedSpMV:
         config: RecoveryConfig | None = None,
         **tile_kwargs,
     ) -> None:
+        if tile_kwargs.pop("backend", "thread") == "process":
+            raise ValueError(
+                "RecoverableShardedSpMV runs on the thread backend; the "
+                "process backend (ProcessShardedSpMV) carries its own "
+                "supervisor ladder instead of the recovery ladder"
+            )
         self.config = config or RecoveryConfig()
         csr, self.validation_report = canonicalize_csr(matrix, validation)
         self._csr = csr

@@ -130,10 +130,24 @@ class ShardedSpMV:
     validation:
         Canonicalization policy for the input gate (applied once, before
         partitioning; shards are built with ``trust``).
+    backend:
+        ``"thread"`` (default) executes shards on the inherited
+        thread-pool path; ``"process"`` dispatches construction to
+        :class:`~repro.dist.procpool.ProcessShardedSpMV`, whose shards
+        run in supervised worker processes over shared memory.
     **tile_kwargs:
         Forwarded to every shard's :class:`TileSpMV` (``tile``,
         ``selection``, ``tbalance``, ``params``, ``auto_device``).
     """
+
+    _process_capable = False
+
+    def __new__(cls, *args, backend: str = "thread", **kwargs):
+        if backend == "process" and cls is ShardedSpMV:
+            from repro.dist.procpool import ProcessShardedSpMV
+
+            return super().__new__(ProcessShardedSpMV)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -146,8 +160,20 @@ class ShardedSpMV:
         validation: ValidationPolicy | str = ValidationPolicy.REPAIR,
         grid: tuple[int, int] | str | int | None = None,
         device_ranks: list[int] | None = None,
+        backend: str = "thread",
         **tile_kwargs,
     ) -> None:
+        if backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process', got {backend!r}"
+            )
+        if backend == "process" and not type(self)._process_capable:
+            raise ValueError(
+                "backend='process' is only supported on ShardedSpMV itself "
+                "(the process backend carries its own supervisor ladder); "
+                f"{type(self).__name__} runs on the thread backend"
+            )
+        self.backend = backend
         if method not in METHODS:
             raise ValueError(f"method must be one of {METHODS}, got {method!r}")
         if shards < 1:

@@ -337,6 +337,20 @@ class MultiDeviceRunCost:
       happens after the fault is detected).
     * ``rebuild_cost`` — the full re-execution each quarantine-driven
       repartition performs over the survivors.
+
+    The process-backend terms (zero by default, same contract) come
+    from :class:`~repro.dist.procpool.ProcessShardedSpMV`:
+
+    * ``spawn_s`` — modelled seconds spent spawning and respawning
+      worker processes, including the supervisor's deterministic
+      respawn backoff (its virtual-clock ledger).  Spawns gate the
+      first/replayed execution, so they charge serially.
+    * ``shm_bytes``/``shm_gbps`` — per-call x/y payload traffic through
+      ``multiprocessing.shared_memory``, priced at a cross-socket
+      bandwidth.  Zero-copy does not mean free: the pages still cross
+      the memory fabric between sockets.  ``shm_gbps = 0`` (the
+      default) prices the traffic at zero, keeping legacy costs
+      bit-identical.
     """
 
     shard_costs: list  # list[RunCost]
@@ -351,6 +365,9 @@ class MultiDeviceRunCost:
     retry_backoff_s: float = 0.0  # recorded backoff waits (virtual seconds)
     retry_costs: list | None = None  # one re-executed shard RunCost per retry
     rebuild_cost: "RunCost | None" = None  # repartition full re-execution
+    spawn_s: float = 0.0  # worker spawn/respawn seconds incl. respawn backoff
+    shm_bytes: float = 0.0  # shared-memory payload traffic (x in, y out)
+    shm_gbps: float = 0.0  # cross-socket shm bandwidth (0 = don't price it)
 
     def __post_init__(self) -> None:
         if not (len(self.shard_costs) == len(self.halo_bytes) == len(self.y_bytes)):
@@ -369,6 +386,8 @@ class MultiDeviceRunCost:
             raise ValueError("links and reduce_depth must be >= 0")
         if self.parity_bytes < 0 or self.retry_backoff_s < 0:
             raise ValueError("parity_bytes and retry_backoff_s must be >= 0")
+        if self.spawn_s < 0 or self.shm_bytes < 0 or self.shm_gbps < 0:
+            raise ValueError("spawn_s, shm_bytes and shm_gbps must be >= 0")
 
     @property
     def shards(self) -> int:
@@ -457,6 +476,16 @@ class MultiDeviceRunCost:
             t += self.rebuild_cost.time(device)
         return t
 
+    def shm_time(self) -> float:
+        """Seconds the shared-memory payload traffic costs (0 unpriced).
+
+        Device-independent: the transfer crosses the *host's* memory
+        fabric, not the accelerator interconnect.
+        """
+        if self.shm_bytes <= 0 or self.shm_gbps <= 0:
+            return 0.0
+        return self.shm_bytes / (self.shm_gbps * 1e9)
+
     def time(self, device: DeviceSpec) -> float:
         """Makespan: the slowest chain, plus reduction and recovery.
 
@@ -464,11 +493,18 @@ class MultiDeviceRunCost:
         parity device (which computes concurrently).  The tree
         reduction is a barrier over each row block's cells, so it
         starts after the slowest participant; recovery work (retries,
-        rebuilds) is inherently serial and appends.
+        rebuilds), worker spawning, and the shared-memory payload
+        transfers are inherently serial and append.
         """
         chain = max(self.shard_time(p, device) for p in range(self.shards))
         chain = max(chain, self.parity_time(device))
-        return chain + self.allreduce_time(device) + self.recovery_time(device)
+        return (
+            chain
+            + self.allreduce_time(device)
+            + self.recovery_time(device)
+            + self.spawn_s
+            + self.shm_time()
+        )
 
     def compute_time(self, device: DeviceSpec) -> float:
         """Max per-shard compute time, ignoring the interconnect."""
@@ -514,5 +550,8 @@ class MultiDeviceRunCost:
             "retry_backoff_s": float(self.retry_backoff_s),
             "retries": len(self.retry_costs) if self.retry_costs else 0,
             "recovery_s": self.recovery_time(device),
+            "spawn_s": float(self.spawn_s),
+            "shm_bytes": float(self.shm_bytes),
+            "shm_s": self.shm_time(),
             "label": self.label,
         }

@@ -89,7 +89,18 @@ class ReliableSpMV:
         per-shard checksums and only that shard retries; this wrapper's
         assembled-``y`` ladder stays armed above it as the last line of
         defence.  ``None``/``False`` (default) keeps the engine-level
-        ladder only.
+        ladder only.  Mutually exclusive with ``backend="process"``.
+    backend:
+        ``"thread"`` (default) or ``"process"``.  With ``"process"``
+        the protected engine is a
+        :class:`~repro.dist.procpool.ProcessShardedSpMV` (supervised
+        worker processes over shared memory) — even at ``shards=1``,
+        where it exercises the supervisor at P=1.  The process backend
+        carries its own respawn/quarantine ladder, so combining it with
+        ``recovery`` is rejected; this wrapper's assembled-``y`` ABFT
+        ladder stays armed above it either way (a corrupted
+        shared-memory segment is detected exactly like a corrupted
+        partial).
     method, plan_cache, **tile_kwargs:
         Forwarded to :class:`~repro.core.tilespmv.TileSpMV` (or the
         sharded engine).
@@ -106,14 +117,26 @@ class ReliableSpMV:
         shards: int = 1,
         grid: tuple[int, int] | str | int | None = None,
         recovery=None,
+        backend: str = "thread",
         **tile_kwargs,
     ) -> None:
+        if backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process', got {backend!r}"
+            )
+        if backend == "process" and recovery:
+            raise ValueError(
+                "recovery and backend='process' are mutually exclusive: the "
+                "process backend carries its own supervisor ladder "
+                "(respawn/quarantine); ABFT detection stays armed either way"
+            )
         self.policy = ValidationPolicy.coerce(policy)
         self.max_retries = int(max_retries)
         self._method = method
         self._shards = int(shards)
         self._grid = grid
         self._recovery = recovery
+        self._backend = backend
         self._tile_kwargs = dict(tile_kwargs)
         self.plan_cache = plan_cache
         self.counters = {
@@ -195,9 +218,10 @@ class ReliableSpMV:
         return x
 
     def _make_engine(self):
-        """Build the protected engine: sharded when ``shards > 1`` or a
-        2D grid was requested, recoverable when ``recovery`` opts in."""
-        if self._shards > 1 or self._grid is not None:
+        """Build the protected engine: sharded when ``shards > 1``, a 2D
+        grid was requested, or the process backend was picked;
+        recoverable when ``recovery`` opts in."""
+        if self._shards > 1 or self._grid is not None or self._backend == "process":
             if self._recovery:
                 from repro.dist.recovery import RecoverableShardedSpMV, RecoveryConfig
 
@@ -225,6 +249,7 @@ class ReliableSpMV:
                 grid=self._grid,
                 plan_cache=self.plan_cache,
                 validation="trust",
+                backend=self._backend,
                 **self._tile_kwargs,
             )
         return TileSpMV(
@@ -247,7 +272,13 @@ class ReliableSpMV:
                 keys = [self.engine.plan_key] if self.engine.plan_key else []
             for key in keys:
                 self.plan_cache.invalidate(key)
+        old = self.engine
         self.engine = self._make_engine()
+        # The suspect engine's executor/workers/segments must not leak
+        # behind the fresh one.
+        close = getattr(old, "close", None)
+        if close is not None:
+            close()
 
     def _reference_engine(self) -> CsrScalarSpMV:
         if self._reference is None:
@@ -357,6 +388,26 @@ class ReliableSpMV:
             self.checksum = AbftChecksum.from_csr(self._csr)
         self._reference = None
         return self
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the protected engine's resources (idempotent).
+
+        A sharded engine shuts its thread pool down; a process-backend
+        engine additionally terminates its workers and unlinks its
+        shared-memory segments.  The plain ``TileSpMV`` engine holds no
+        releasable resources, so this is a no-op for it.
+        """
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "ReliableSpMV":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- accounting --------------------------------------------------------
 

@@ -184,6 +184,7 @@ class ServingRuntime:
         shards: int = 1,
         grid: tuple[int, int] | str | int | None = None,
         recovery=None,
+        backend: str = "thread",
         **tile_kwargs,
     ) -> None:
         """Admit a matrix: canonicalize, build its plan, price its rungs.
@@ -201,13 +202,17 @@ class ServingRuntime:
         arms the shard-level recovery ladder under the served engine,
         so a single faulty device retries locally instead of failing
         the whole request up to this runtime's breaker.
+        ``backend="process"`` serves from supervised worker processes
+        (:class:`~repro.dist.procpool.ProcessShardedSpMV`) — mutually
+        exclusive with ``recovery``, which the process backend replaces
+        with its own respawn/quarantine ladder.
         """
         if matrix_id in self._matrices:
             raise ValueError(f"matrix id {matrix_id!r} already registered")
         engine = ReliableSpMV(
             matrix, method=method, policy=policy, abft=True,
             plan_cache=self.plan_cache, shards=shards, grid=grid,
-            recovery=recovery, **tile_kwargs,
+            recovery=recovery, backend=backend, **tile_kwargs,
         )
         sm = _Served(matrix_id, engine, self.device, self.config)
         self._matrices[matrix_id] = sm
@@ -236,6 +241,27 @@ class ServingRuntime:
             raise KeyError(
                 f"matrix id {matrix_id!r} is not registered with this runtime"
             ) from None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every registered engine's resources (idempotent).
+
+        Sharded engines shut their thread pools down; process-backend
+        engines terminate their workers and unlink their shared-memory
+        segments.  Registered matrices stay queryable — only execution
+        resources are released.
+        """
+        for sm in self._matrices.values():
+            close = getattr(sm.engine, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "ServingRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- the request path --------------------------------------------------
 

@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import os
+import sys
+
 import numpy as np
 import pytest
 import scipy.sparse as sp
+
+# CI runs from a read-only-ish checkout and uploads no caches; writing
+# __pycache__ there only pollutes the workspace diff.
+if os.environ.get("CI"):
+    sys.dont_write_bytecode = True
 
 from repro.matrices import (
     banded,
@@ -138,3 +146,25 @@ def overflow_matrix() -> sp.spmatrix:
 def hostile_matrix(request) -> tuple[str, sp.spmatrix]:
     """(defect-name, matrix) pairs of adversarial inputs."""
     return request.param
+
+
+# -- shared-memory hygiene (process backend) ------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_leaks():
+    """No test may leave a /dev/shm segment behind.
+
+    Cheap (one listdir) and only armed once the process backend has
+    actually been imported; leaked segments are reclaimed so one
+    failure doesn't cascade, then the leaking test is failed.
+    """
+    yield
+    procpool = sys.modules.get("repro.dist.procpool")
+    if procpool is None:
+        return
+    leaked = procpool.scan_owned_segments()
+    if leaked:
+        for name in leaked:
+            procpool.force_unlink(name)
+        pytest.fail(f"leaked shared-memory segments: {leaked}")

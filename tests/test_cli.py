@@ -167,3 +167,49 @@ def test_check_rejects_malformed_grid(capsys, mtx_file):
     assert main(["check", mtx_file, "--grid", "nope"]) == 2
     err = capsys.readouterr().err
     assert "--grid must be RxC" in err
+
+
+def test_shard_process_backend(capsys, mtx_file):
+    assert main(["shard", mtx_file, "--shards", "1,2",
+                 "--backend", "process"]) == 0
+    out = capsys.readouterr().out
+    assert "execution backend: process" in out
+    assert "workers=1/1" in out
+    assert "workers=2/2" in out
+    assert "verification: OK" in out
+
+
+def test_check_process_backend_worker_kill_drill(capsys, mtx_file):
+    assert main(["check", mtx_file, "--faults", "--shards", "2",
+                 "--backend", "process"]) == 0
+    out = capsys.readouterr().out
+    assert "worker-kill drill" in out
+    assert "respawns=1" in out
+    assert "localized respawn+replay: True" in out
+    assert "recovered result correct: True" in out
+    # The recovery-ladder shard drill belongs to the thread backend.
+    assert "shard drill" not in out
+
+
+def test_check_drill_persistent_structured_failure(capsys, mtx_file):
+    import json
+
+    assert main(["check", mtx_file, "--shards", "2",
+                 "--drill-persistent"]) == 3
+    out = capsys.readouterr().out
+    assert "RECOVERY IMPOSSIBLE" in out
+    payload = json.loads(out[out.index("{"):])
+    assert payload["outcome"] == "recovery_impossible"
+    assert payload["quarantined"] == [0, 1]
+    assert payload["counters"]["device_quarantine"] == 2
+    assert payload["injected"] > 0
+
+
+def test_check_drill_persistent_needs_recovery_ladder(capsys, mtx_file):
+    # Unsharded: no ladder to exhaust.
+    assert main(["check", mtx_file, "--drill-persistent"]) == 2
+    assert "--drill-persistent needs" in capsys.readouterr().err
+    # Process backend: the supervisor, not the ladder, owns faults.
+    assert main(["check", mtx_file, "--shards", "2", "--backend", "process",
+                 "--drill-persistent"]) == 2
+    assert "--drill-persistent needs" in capsys.readouterr().err
