@@ -1,0 +1,222 @@
+"""Online-tuning benchmark: residuals, re-arbitration, reorders, migration.
+
+Closes the telemetry → tuner loop on the deterministic cost model, so
+every number here replays byte-for-byte:
+
+* **Re-arbitration** — per-tile roofline residuals of a uniform-CSR
+  incumbent, then the capped greedy rewrite of the worst offenders.
+  Gate: the re-arbitrated plan's modelled time must not regress the
+  incumbent (ratio >= 1.0).
+* **Reorder sweep** — SELL-C-sigma (global and windowed) and CMRS
+  blocking on a scattered power-law matrix, scored end-to-end through
+  ``OnlineTuner.propose``.  Gate: the winning proposal must clear a
+  1.05x modelled speedup over the static paper-default ADPT plan, and
+  the tuned engine must answer bit-for-bit in the original row order.
+* **Live migration** — a request storm against a ``ServingRuntime``
+  with a retune dropped in the middle.  Gate: the swap pauses nothing —
+  zero requests shed, every response served on a single plan
+  generation, the superseded plan drained without a cache leak.
+
+Results land in JSON (default ``BENCH_tuning.json``) for CI to archive.
+Exits non-zero if any gate fails.
+
+    PYTHONPATH=src python benchmarks/bench_tuning.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.tilespmv import TileSpMV
+from repro.gpu.device import A100
+from repro.matrices import power_law
+from repro.matrices.reorder import apply_symmetric_permutation
+from repro.serving import RuntimeConfig, ServingRuntime
+from repro.serving.trace import Request
+from repro.tuning import OnlineTuner, TuningConfig
+
+REORDER_SWEEP = ("sell:0", "sell:512", "cmrs:16/64")
+GOOD_REORDER = "sell:0"
+
+
+def scattered(n: int, deg: float = 8.0, seed: int = 3, shuffle_seed: int = 42):
+    """Power-law matrix with a symmetric shuffle — the RCM/SELL target."""
+    rng = np.random.default_rng(shuffle_seed)
+    a = power_law(n, avg_degree=deg, seed=seed).tocsr()
+    return apply_symmetric_permutation(a, rng.permutation(n))
+
+
+def run_rearbitration(n: int) -> dict:
+    """Greedy rewrite of a uniform-CSR incumbent's worst tiles."""
+    a = scattered(n)
+    eng = TileSpMV(a, method="csr")
+    tuner = OnlineTuner(config=TuningConfig(residual_threshold=-1.0))
+    report = tuner.residuals(eng)
+    formats = tuner.rearbitrate(eng, report=report)
+    incumbent_time = eng.run_cost().time(A100)
+    if formats is None:
+        return {
+            "n": n,
+            "tiles": eng.tiled.n_tiles,
+            "changed_tiles": 0,
+            "incumbent_time": incumbent_time,
+            "candidate_time": incumbent_time,
+            "ratio": 1.0,
+            "total_residual": report.total_residual(),
+        }
+    cand = TileSpMV(a, method="csr", formats_override=formats)
+    candidate_time = cand.run_cost().time(A100)
+    changed = int(np.count_nonzero(formats != np.asarray(eng.tiled.formats)))
+    return {
+        "n": n,
+        "tiles": eng.tiled.n_tiles,
+        "changed_tiles": changed,
+        "incumbent_time": incumbent_time,
+        "candidate_time": candidate_time,
+        "ratio": incumbent_time / candidate_time if candidate_time else 1.0,
+        "total_residual": report.total_residual(),
+    }
+
+
+def run_reorder_sweep(n: int) -> dict:
+    """Every reorder in the sweep scored against the ADPT incumbent."""
+    a = scattered(n)
+    eng = TileSpMV(a, method="adpt")
+    incumbent_time = eng.run_cost().time(A100)
+    per_spec = {}
+    for spec in REORDER_SWEEP:
+        t = TileSpMV(a, method="adpt", reorder=spec).run_cost().time(A100)
+        per_spec[spec] = {
+            "modelled_time": t,
+            "speedup": incumbent_time / t if t else 1.0,
+        }
+    tuner = OnlineTuner(config=TuningConfig(reorders=REORDER_SWEEP))
+    prop = tuner.propose(a, engine=eng)
+    bit_for_bit = True
+    if not prop.is_incumbent:
+        tuned = TileSpMV(a, method="adpt", **prop.engine_kwargs())
+        x = np.random.default_rng(1).standard_normal(a.shape[1])
+        bit_for_bit = bool(np.array_equal(tuned.spmv(x), eng.spmv(x)))
+    return {
+        "n": n,
+        "nnz": int(a.nnz),
+        "incumbent_time": incumbent_time,
+        "sweep": per_spec,
+        "winner": prop.label,
+        "winner_reorder": prop.reorder,
+        "winner_gain": prop.gain if np.isfinite(prop.gain) else None,
+        "is_incumbent": prop.is_incumbent,
+        "bit_for_bit": bit_for_bit,
+    }
+
+
+def run_migration_storm(n: int) -> dict:
+    """Requests straddling a mid-stream retune: nothing may pause."""
+    rt = ServingRuntime(RuntimeConfig(queue_limit=8))
+    rt.register("pl", scattered(n, deg=6.0))
+    outcomes = [
+        rt.submit(Request(rid=i, arrival=i * 1e-3, matrix_id="pl",
+                          deadline=5e-3, x_seed=i))
+        for i in range(6)
+    ]
+    out = rt.retune("pl", reorder=GOOD_REORDER)
+    outcomes += [
+        rt.submit(Request(rid=6 + i, arrival=0.01 + i * 1e-3, matrix_id="pl",
+                          deadline=5e-3, x_seed=6 + i))
+        for i in range(7)
+    ]
+    gens = [o.plan_generation for o in outcomes]
+    stats = rt.stats()
+    row = {
+        "n": n,
+        "requests": len(outcomes),
+        "served": rt.counters["served"],
+        "shed_during_swap": rt.counters["shed_queue_full"]
+        + rt.counters["shed_deadline"],
+        "migration_status": out.status,
+        "migration_gain": out.gain if np.isfinite(out.gain) else None,
+        "generations": sorted(set(gens)),
+        "monotone_generations": gens == sorted(gens),
+        "plans_drained": rt.counters["plans_drained"],
+        "still_draining": stats["draining"],
+        "old_plan_cached": rt.plan_cache.peek(out.plan_key_old) is not None,
+    }
+    rt.close()
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller fixture (CI smoke)")
+    parser.add_argument("--out", default="BENCH_tuning.json", help="JSON output path")
+    args = parser.parse_args(argv)
+
+    n_tuner = 12000 if args.quick else 20000
+    n_storm = 2000 if args.quick else 3000
+
+    rearb = run_rearbitration(4000 if args.quick else 8000)
+    print(
+        f"re-arbitration  n={rearb['n']:6d} tiles={rearb['tiles']:5d} "
+        f"changed={rearb['changed_tiles']:4d} ratio={rearb['ratio']:.4f}x"
+    )
+
+    sweep = run_reorder_sweep(n_tuner)
+    for spec, row in sweep["sweep"].items():
+        print(f"  reorder {spec:12s} speedup={row['speedup']:.4f}x")
+    print(
+        f"reorder sweep   n={sweep['n']:6d} winner={sweep['winner']:20s} "
+        f"gain={sweep['winner_gain']:.4f}x bit_for_bit={sweep['bit_for_bit']}"
+    )
+
+    storm = run_migration_storm(n_storm)
+    print(
+        f"migration storm n={storm['n']:6d} served={storm['served']:3d}/"
+        f"{storm['requests']:3d} shed={storm['shed_during_swap']} "
+        f"status={storm['migration_status']} drained={storm['plans_drained']}"
+    )
+
+    rearb_holds = rearb["ratio"] >= 1.0
+    tuner_gains = (
+        not sweep["is_incumbent"]
+        and sweep["winner_gain"] is not None
+        and sweep["winner_gain"] >= 1.05
+        and sweep["bit_for_bit"]
+    )
+    migration_pauses_nothing = (
+        storm["shed_during_swap"] == 0
+        and storm["served"] == storm["requests"]
+        and storm["migration_status"] == "migrated"
+        and storm["monotone_generations"]
+        and storm["still_draining"] == 0
+        and not storm["old_plan_cached"]
+    )
+    ok = rearb_holds and tuner_gains and migration_pauses_nothing
+
+    payload = {
+        "quick": args.quick,
+        "rearbitration": rearb,
+        "reorder_sweep": sweep,
+        "migration_storm": storm,
+        "rearbitration_no_regression": rearb_holds,
+        "tuner_clears_1p05x": tuner_gains,
+        "migration_pauses_nothing": migration_pauses_nothing,
+        "pass": ok,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nre-arbitration gate {'holds' if rearb_holds else 'BROKEN'}; "
+        f"1.05x tuner gate {'clears' if tuner_gains else 'MISSED'}; "
+        f"migration-pause gate {'holds' if migration_pauses_nothing else 'BROKEN'} "
+        f"-> {'PASS' if ok else 'FAIL'}"
+    )
+    print(f"results written to {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

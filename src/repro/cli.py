@@ -11,6 +11,7 @@ Working with your own matrices (Matrix Market files):
     python -m repro shard matrix.mtx [--shards 1,2,4,8] [--grid 2x2|auto] [--device a100]
     python -m repro inspect matrix.mtx
     python -m repro check matrix.mtx [--policy strict] [--faults --seed 7]
+    python -m repro tune matrix.mtx [--reorders sell:0,rcm+sell:0]
 
 Serving simulation (synthetic trace through the self-healing runtime):
 
@@ -623,6 +624,69 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    """Online-tune one matrix: residuals, proposal, exactness check."""
+    from repro.core.tilespmv import TileSpMV
+    from repro.matrices.io import read_matrix_market
+    from repro.tuning import OnlineTuner, TuningConfig
+
+    device = _get_device(args.device)
+    matrix = read_matrix_market(args.matrix)
+    engine = TileSpMV(matrix, method=args.method)
+    config = TuningConfig()
+    if args.reorders:
+        specs = tuple(s.strip() for s in args.reorders.split(",") if s.strip())
+        config = TuningConfig(
+            residual_threshold=args.threshold, reorders=specs
+        )
+    elif args.threshold != 0.05:
+        config = TuningConfig(residual_threshold=args.threshold)
+    tuner = OnlineTuner(device=device, config=config)
+
+    print(f"matrix {args.matrix}: {matrix.shape[0]}x{matrix.shape[1]}, nnz={matrix.nnz}")
+    report = tuner.residuals(engine)
+    print(report.describe())
+    proposal = tuner.propose(matrix, engine=engine)
+    print(proposal.describe())
+
+    ok = True
+    if not proposal.is_incumbent:
+        # The tuned plan must answer in the original index order,
+        # bit-for-bit against the incumbent for the single-half methods.
+        tuned = TileSpMV(matrix, method=engine.method, **proposal.engine_kwargs())
+        x = np.ones(matrix.shape[1])
+        y0, y1 = engine.spmv(x), tuned.spmv(x)
+        exact = bool(np.array_equal(y0, y1))
+        close = bool(np.allclose(y0, y1, rtol=1e-10, atol=1e-12))
+        ok = exact if engine.method != "deferred_coo" else close
+        tag = "bit-exact" if exact else ("allclose" if close else "MISMATCH")
+        print(f"tuned plan vs incumbent result: {tag}")
+
+    if args.json:
+        import json
+        from pathlib import Path
+
+        payload = {
+            "matrix": args.matrix,
+            "method": engine.method,
+            "device": device.name,
+            "total_residual": report.total_residual(),
+            "tiles": len(report.residuals),
+            "proposal": {
+                "label": proposal.label,
+                "reorder": proposal.reorder,
+                "retiled": proposal.retiled,
+                "modelled_time": proposal.modelled_time,
+                "incumbent_time": proposal.incumbent_time,
+                "gain": proposal.gain,
+            },
+            "worst": [r.as_dict() for r in report.worst(config.residual_threshold, 8)],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[json written to {args.json}]")
+    return 0 if ok else 1
+
+
 def _cmd_verify(args) -> int:
     from repro.experiments.verify import run_verification
     from repro.analysis.tables import format_table
@@ -785,6 +849,23 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("--hotspots", action="store_true",
                          help="also print the roofline-annotated hotspot report")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="online-tune a .mtx file: per-tile residuals + the best candidate plan",
+    )
+    p_tune.add_argument("matrix", help="path to a .mtx file")
+    p_tune.add_argument("--method", default="adpt",
+                        choices=("csr", "adpt", "deferred_coo", "auto"))
+    p_tune.add_argument("--device", default="a100", choices=sorted(_DEVICES))
+    p_tune.add_argument("--reorders", default=None, metavar="SPEC,SPEC",
+                        help="candidate reorder specs (e.g. 'sell:0,rcm+sell:0,"
+                             "cmrs:16/64'); default sell:0,sell:512,cmrs:16/64")
+    p_tune.add_argument("--threshold", type=float, default=0.05,
+                        help="re-arbitration residual threshold (default 0.05)")
+    p_tune.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the residuals + proposal as JSON")
+    p_tune.set_defaults(func=_cmd_tune)
 
     p_verify = sub.add_parser("verify", help="run the end-to-end cross-validation sweep")
     p_verify.set_defaults(func=_cmd_verify)

@@ -62,7 +62,7 @@ def canonical_csr(matrix: sp.spmatrix) -> sp.csr_matrix:
 
 
 def structural_fingerprint(
-    csr: sp.csr_matrix, tile: int, selection, tbalance: int
+    csr: sp.csr_matrix, tile: int, selection, tbalance: int, extra: str = ""
 ) -> str:
     """Digest of everything the preprocessing depends on except values.
 
@@ -71,7 +71,11 @@ def structural_fingerprint(
     interchangeable up to values.  The value *dtype* is part of the key:
     a float32 matrix must not silently reuse payloads cached for a
     float64 twin of the same pattern (their value digests are computed
-    after a float64 cast and can collide).
+    after a float64 cast and can collide).  ``extra`` folds additional
+    plan-shaping inputs into the key — the reorder tag and the per-tile
+    format-override digest of a tuned plan — so a re-tuned plan never
+    aliases the plan it was derived from (the serving layer keys
+    circuit breakers and live-migration bookkeeping on this).
     """
     h = hashlib.blake2b(digest_size=16)
     h.update(
@@ -79,6 +83,8 @@ def structural_fingerprint(
     )
     h.update(str(np.dtype(csr.dtype)).encode())
     h.update(repr(selection).encode())
+    if extra:
+        h.update(extra.encode())
     h.update(np.ascontiguousarray(csr.indptr, dtype=np.int64).tobytes())
     h.update(np.ascontiguousarray(csr.indices, dtype=np.int64).tobytes())
     return h.hexdigest()

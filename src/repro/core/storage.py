@@ -80,6 +80,9 @@ class TileMatrix:
     # Permutation applied to the concatenated decode streams to put the
     # gathers in canonical tile-major order (set by _build_gathers).
     _gather_order: np.ndarray | None = field(default=None, repr=False)
+    # Lazy (col, row)-sorted view of the gathers for the canonical
+    # transpose accumulation order (structural; shared by value clones).
+    _t_order: np.ndarray | None = field(default=None, repr=False)
 
     # -- construction ------------------------------------------------------
 
@@ -211,6 +214,7 @@ class TileMatrix:
         clone._value_maps = maps
         clone._decode_perm = perm
         clone._gather_order = self._gather_order
+        clone._t_order = self._t_order
         return clone
 
     def _build_gathers(self) -> None:
@@ -289,12 +293,25 @@ class TileMatrix:
         swap roles), so the transposed product costs the same single
         bincount — the benefit of keeping tiles as 2D objects rather
         than row fragments.
+
+        Accumulation runs in **canonical (col, row) order** via a cached
+        structural sort.  Tile-major order is already ascending-column
+        *per row* for every format (which is what makes :meth:`spmv`
+        format-independent), but per *column* the ELL/HYB slot-major
+        decode interleaves rows; sorting makes the transposed summation
+        a pure function of the sparsity structure too, so reordered and
+        sharded plans can replay it bit-for-bit.
         """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.tileset.m,):
             raise ValueError(f"x must have shape ({self.tileset.m},)")
+        if self._t_order is None:
+            self._t_order = np.lexsort((self._y_idx, self._x_idx))
+        o = self._t_order
         return np.bincount(
-            self._x_idx, weights=self._vals * x[self._y_idx], minlength=self.tileset.n
+            self._x_idx[o],
+            weights=(self._vals * x[self._y_idx])[o],
+            minlength=self.tileset.n,
         )
 
     def spmm(self, x: np.ndarray) -> np.ndarray:

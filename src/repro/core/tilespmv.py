@@ -39,6 +39,7 @@ True
 
 from __future__ import annotations
 
+import hashlib
 import time
 
 import numpy as np
@@ -56,6 +57,7 @@ from repro.core.plancache import (
     structural_fingerprint,
     value_digest,
 )
+from repro.matrices.reorder import ReorderPlan, build_reorder
 from repro.reliability.validation import ValidationPolicy, canonicalize_csr
 from repro.core.scheduler import DEFAULT_TBALANCE, build_schedule
 from repro.core.selection import SelectionConfig, select_formats
@@ -102,6 +104,21 @@ class TileSpMV:
         record them in ``validation_report``; ``strict`` raises
         :class:`~repro.reliability.validation.MatrixValidationError`;
         ``trust`` skips inspection for known-canonical inputs).
+    reorder:
+        Optional plan-time reordering: a
+        :class:`~repro.matrices.reorder.ReorderPlan`, a spec string
+        (``"rcm"``, ``"sell:32"``, ``"cmrs:16/64"``, chains via ``+``)
+        or a token list.  The plan is built on the permuted matrix;
+        ``spmv``/``spmm``/``spmv_transpose`` accept and return vectors
+        in the *original* index order (bit-for-bit equal to the
+        unreordered plan for the row-only transforms under the
+        single-half methods).  The reorder tag joins the structural
+        fingerprint, so reordered plans never alias natural-order ones.
+    formats_override:
+        Optional per-tile format vector (uint8 ``FormatID`` values, one
+        per occupied tile) replacing the ADPT flowchart's selection —
+        the adoption hook for :class:`~repro.tuning.OnlineTuner`
+        re-arbitration.  Its digest joins the structural fingerprint.
 
     Timing attributes: ``build_seconds`` covers tiling, selection and
     the kept representation's encode; ``arbitration_seconds`` covers the
@@ -120,6 +137,8 @@ class TileSpMV:
         auto_device: DeviceSpec | None = None,
         plan_cache: PlanCache | None = None,
         validation: ValidationPolicy | str = ValidationPolicy.REPAIR,
+        reorder: ReorderPlan | str | list | None = None,
+        formats_override: np.ndarray | None = None,
     ) -> None:
         if method not in METHODS:
             raise ValueError(f"method must be one of {METHODS}, got {method!r}")
@@ -138,11 +157,37 @@ class TileSpMV:
 
         with tele.span("canonicalize", cat="build", policy=str(validation)):
             csr, self.validation_report = canonicalize_csr(matrix, validation)
+
+        # Plan-time reordering: build on the permuted matrix, answer in
+        # the caller's original index space (bit-for-bit for row-only
+        # transforms — see docs/TUNING.md and the metamorphic suite).
+        self.reorder: ReorderPlan | None = None
+        self._orig_indptr: np.ndarray | None = None
+        self._orig_indices: np.ndarray | None = None
+        self._data_perm: np.ndarray | None = None
+        self._t_replay: dict = {}
+        if reorder is not None:
+            rp = build_reorder(csr, reorder)
+            with tele.span("reorder", cat="build", tag=rp.tag):
+                self.reorder = rp
+                self._orig_indptr, self._orig_indices = csr.indptr, csr.indices
+                self._data_perm = rp.data_permutation(csr)
+                csr = rp.apply(csr)
+
+        self._formats_override: np.ndarray | None = None
+        if formats_override is not None:
+            self._formats_override = np.ascontiguousarray(
+                formats_override, dtype=np.uint8
+            )
+
         self._indptr = csr.indptr
         self._indices = csr.indices
+        fp_extra = self._fingerprint_extra()
         plan = None
         if plan_cache is not None:
-            self.plan_key = structural_fingerprint(csr, tile, self.selection, tbalance)
+            self.plan_key = structural_fingerprint(
+                csr, tile, self.selection, tbalance, extra=fp_extra
+            )
             plan = plan_cache.get(self.plan_key)
 
         build_seconds = 0.0
@@ -200,10 +245,44 @@ class TileSpMV:
 
     # -- plan construction ---------------------------------------------------
 
+    def _fingerprint_extra(self) -> str:
+        """Reorder tag + format-override digest for the plan key.
+
+        Both change what the built plan *is* without changing the input
+        pattern, so they must be part of the structural fingerprint —
+        a tuned candidate plan and its incumbent may share a matrix but
+        never a cache slot or a circuit breaker.
+        """
+        parts = []
+        if self.reorder is not None:
+            parts.append(f"reorder={self.reorder.tag}")
+        if self._formats_override is not None:
+            digest = hashlib.blake2b(
+                self._formats_override.tobytes(), digest_size=8
+            ).hexdigest()
+            parts.append(f"formats={digest}")
+        return ";".join(parts)
+
     def _plan_formats(self, plan: CachedPlan) -> np.ndarray:
-        """The ADPT format vector, selected once per plan."""
+        """The ADPT format vector, selected once per plan.
+
+        A ``formats_override`` (an :class:`OnlineTuner
+        <repro.tuning.OnlineTuner>` re-arbitration) replaces the
+        flowchart's choice wholesale; the override digest is part of the
+        plan fingerprint, so the cached plan can adopt it as *its*
+        format vector without aliasing the flowchart-selected plan.
+        """
         if plan.formats is None:
-            plan.formats = select_formats(plan.tileset, self.selection)
+            if self._formats_override is not None:
+                fo = self._formats_override
+                if fo.size != plan.tileset.n_tiles:
+                    raise ValueError(
+                        f"formats_override has {fo.size} entries for "
+                        f"{plan.tileset.n_tiles} tiles"
+                    )
+                plan.formats = fo
+            else:
+                plan.formats = select_formats(plan.tileset, self.selection)
         return plan.formats
 
     def _plan_schedule(self, plan: CachedPlan):
@@ -292,10 +371,22 @@ class TileSpMV:
         return self._nnz
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
-        """y = A @ x."""
+        """y = A @ x (in original index order when the plan is reordered).
+
+        A reordered plan gathers ``x`` into the permuted column order,
+        runs the permuted kernels, and scatters the result back through
+        the inverse row permutation — pure index gathers, so for the
+        row-only transforms the summation per output row is the exact
+        sequence the unreordered plan runs (every format decodes each
+        row's entries in ascending column order) and the result is
+        bit-for-bit identical.
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self._shape[1],):
             raise ValueError(f"x must have shape ({self._shape[1]},)")
+        rp = self.reorder
+        if rp is not None and rp.col_perm is not None:
+            x = x[rp.col_perm]
         with tele.span("kernel_execute", cat="kernel", method=self.method,
                        nnz=self._nnz):
             # Single-half strategies (csr/adpt, or a fully deferred split)
@@ -311,6 +402,8 @@ class TileSpMV:
             else:
                 y = self.tiled.spmv(x)
                 y += self.deferred_engine.spmv(x)
+        if rp is not None:
+            y = y[rp.inv_row]
         if tele.ENABLED:
             tele.count("tilespmv_spmv_total", method=self.method)
         return y
@@ -322,6 +415,8 @@ class TileSpMV:
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self._shape[0],):
             raise ValueError(f"x must have shape ({self._shape[0]},)")
+        if self.reorder is not None:
+            return self._reordered_transpose(x)
         with tele.span("kernel_execute", cat="kernel", method=self.method,
                        nnz=self._nnz, transpose=True):
             if self.deferred_engine is not None and self._deferred_transpose is None:
@@ -346,6 +441,48 @@ class TileSpMV:
             tele.count("tilespmv_spmv_total", method=self.method)
         return y
 
+    def _reordered_transpose(self, x: np.ndarray) -> np.ndarray:
+        """Transpose through a reordered plan, replayed canonically.
+
+        The permuted plan's streams are mapped back to original indices
+        and accumulated in (original col, original row) order — exactly
+        the canonical order :meth:`TileMatrix.spmv_transpose
+        <repro.core.storage.TileMatrix.spmv_transpose>` uses — so the
+        summation sequence per output entry is a pure function of the
+        original structure and the result is bit-for-bit equal to the
+        unreordered engine's (per half; the DeferredCOO split may place
+        entries differently under a reorder, so only the single-half
+        methods carry the bit-for-bit guarantee end to end).  The sort
+        permutation is structural and cached across value updates.
+        """
+        rp = self.reorder
+        x_work = x[rp.row_perm]
+        n = self._shape[1]
+        with tele.span("kernel_execute", cat="kernel", method=self.method,
+                       nnz=self._nnz, transpose=True, reorder=rp.tag):
+            y: np.ndarray | None = None
+            for half, stream in enumerate(self.decode_streams()):
+                if stream is None:
+                    continue
+                rows, cols, vals = stream
+                cached = self._t_replay.get(half)
+                if cached is None:
+                    orig_cols = (
+                        cols if rp.col_perm is None else rp.col_perm[cols]
+                    )
+                    order = np.lexsort((rp.row_perm[rows], orig_cols))
+                    cached = (orig_cols[order], order)
+                    self._t_replay[half] = cached
+                sorted_cols, order = cached
+                w = (vals * x_work[rows])[order]
+                yh = np.bincount(sorted_cols, weights=w, minlength=n)
+                y = yh if y is None else y + yh
+            if y is None:
+                y = np.zeros(n)
+        if tele.ENABLED:
+            tele.count("tilespmv_spmv_total", method=self.method)
+        return y
+
     def spmm(self, x: np.ndarray) -> np.ndarray:
         """Y = A @ X for a dense block of vectors (batched multi-RHS SpMM).
 
@@ -356,6 +493,9 @@ class TileSpMV:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[0] != self._shape[1]:
             raise ValueError(f"X must have shape ({self._shape[1]}, k)")
+        rp = self.reorder
+        if rp is not None and rp.col_perm is not None:
+            x = x[rp.col_perm]
         with tele.span("kernel_execute", cat="kernel", method=self.method,
                        nnz=self._nnz, k=x.shape[1]):
             if self.deferred_engine is None:
@@ -367,6 +507,8 @@ class TileSpMV:
                 out = self.deferred_engine.spmm(x)
             else:
                 out = self.tiled.spmm(x) + self.deferred_engine.spmm(x)
+        if rp is not None:
+            out = out[rp.inv_row]
         if tele.ENABLED:
             tele.count("tilespmv_spmv_total", method=self.method)
         return out
@@ -408,13 +550,19 @@ class TileSpMV:
         re-encoded.  Returns ``self`` (updated in place; the previous
         payloads are left untouched for any cached plan sharing them).
         """
+        ref_indptr = (
+            self._orig_indptr if self.reorder is not None else self._indptr
+        )
+        ref_indices = (
+            self._orig_indices if self.reorder is not None else self._indices
+        )
         if sp.issparse(values):
             csr = canonical_csr(values)
             if (
                 csr.shape != self._shape
                 or csr.nnz != self._nnz
-                or not np.array_equal(csr.indptr, self._indptr)
-                or not np.array_equal(csr.indices, self._indices)
+                or not np.array_equal(csr.indptr, ref_indptr)
+                or not np.array_equal(csr.indices, ref_indices)
             ):
                 raise ValueError(
                     "sparsity pattern differs from the prepared matrix; "
@@ -425,6 +573,10 @@ class TileSpMV:
             data = np.asarray(values, dtype=np.float64)
             if data.shape != (self._nnz,):
                 raise ValueError(f"expected {self._nnz} values, got {data.shape}")
+        if self.reorder is not None:
+            # Values arrive in the caller's (original) canonical entry
+            # order; the plan stores them in permuted canonical order.
+            data = data[self._data_perm]
         new_view_val = data[self._plan.tileset.entry_perm]
         if self._tiled_src is not None or self._deferred_src is not None:
             if self.tiled is not None:
@@ -496,6 +648,10 @@ class TileSpMV:
                 else ""
             )
         ]
+        if self.reorder is not None:
+            lines.append(self.reorder.describe())
+        if self._formats_override is not None:
+            lines.append("per-tile formats: tuned override")
         hist = self.format_histogram()
         total = sum(h["tiles"] for h in hist.values())
         mix = ", ".join(

@@ -19,6 +19,8 @@ Two granularities:
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass
 from itertools import product
 
@@ -33,7 +35,14 @@ from repro.core.tiling import TileSet, tile_decompose
 from repro.formats import FormatID, encode_coo, encode_csr, encode_dns, encode_ell, encode_hyb
 from repro.gpu.device import A100, DeviceSpec
 
-__all__ = ["TuneResult", "tune_selection", "greedy_per_tile", "DEFAULT_GRID"]
+__all__ = [
+    "TuneResult",
+    "tune_selection",
+    "greedy_per_tile",
+    "greedy_scores",
+    "default_byte_weight",
+    "DEFAULT_GRID",
+]
 
 DEFAULT_GRID = {
     "te": (0.0, 0.2, 0.4),
@@ -53,8 +62,17 @@ class TuneResult:
 
     @property
     def improvement(self) -> float:
-        """Speedup of the tuned config over the paper defaults."""
-        return self.baseline_time / self.predicted_time if self.predicted_time else 1.0
+        """Speedup of the tuned config over the paper defaults.
+
+        ``inf``-safe at the degenerate ends: a zero predicted time with
+        a zero baseline (an empty matrix — nothing to run under either
+        config) is a neutral ``1.0``; a zero predicted time against a
+        positive baseline is honestly ``inf`` rather than a silent
+        "no improvement".
+        """
+        if self.predicted_time == 0.0:
+            return 1.0 if self.baseline_time == 0.0 else math.inf
+        return self.baseline_time / self.predicted_time
 
 
 def tune_selection(
@@ -73,6 +91,13 @@ def tune_selection(
     grid = grid or DEFAULT_GRID
     params = params or KernelCostParams()
     tileset = tile_decompose(matrix, tile=tile)
+    if tileset.n_tiles == 0:
+        # Empty tileset (0-nnz matrix): every configuration selects the
+        # same nothing — skip the grid search instead of re-encoding an
+        # empty payload dozens of times.
+        return TuneResult(
+            config=SelectionConfig(), predicted_time=0.0, baseline_time=0.0
+        )
     baseline = _score(tileset, SelectionConfig(), device, params)
     best_cfg, best_t = SelectionConfig(), baseline
     for te, th, coo_max, dns_min in product(
@@ -106,6 +131,42 @@ _ENCODERS = {
 }
 
 
+def default_byte_weight(device: DeviceSpec) -> float:
+    """Warp-issue slots per DRAM byte — the roofline exchange rate."""
+    return device.clock_hz * device.sm_count * device.warps_per_scheduler / (
+        device.mem_bandwidth_bytes
+    )
+
+
+def greedy_scores(
+    tileset: TileSet,
+    device: DeviceSpec = A100,
+    params: KernelCostParams | None = None,
+    byte_weight: float | None = None,
+) -> np.ndarray:
+    """Per-tile greedy score under every universal format.
+
+    Returns a ``(len(_UNIVERSAL), n_tiles)`` matrix of
+    ``cycles + byte_weight * bytes`` scores — row ``k`` prices the whole
+    tileset encoded as ``_UNIVERSAL[k]``.  Shared by
+    :func:`greedy_per_tile` (argmin over rows) and the online tuner's
+    re-arbitration (which replaces only the worst-offending tiles'
+    formats with their argmin).
+    """
+    params = params or KernelCostParams()
+    n = tileset.n_tiles
+    if byte_weight is None:
+        byte_weight = default_byte_weight(device)
+    eff_w = tileset.view.eff_w
+    scores = np.full((len(_UNIVERSAL), n), np.inf)
+    for k, fmt in enumerate(_UNIVERSAL):
+        payload = _ENCODERS[fmt](tileset.view)
+        cost = costs_for_format(fmt, payload, params, eff_w)
+        per_tile_bytes = _per_tile_bytes(fmt, payload, tileset)
+        scores[k] = cost.cycles + byte_weight * per_tile_bytes
+    return scores
+
+
 def greedy_per_tile(
     matrix: sp.spmatrix,
     device: DeviceSpec = A100,
@@ -120,21 +181,8 @@ def greedy_per_tile(
     device's cycles-per-byte, so the score is a per-tile proxy for the
     roofline); the cheapest format wins.  Returns the built TileMatrix.
     """
-    params = params or KernelCostParams()
     tileset = tile_decompose(matrix, tile=tile)
-    n = tileset.n_tiles
-    if byte_weight is None:
-        byte_weight = device.clock_hz * device.sm_count * device.warps_per_scheduler / (
-            device.mem_bandwidth_bytes
-        )  # warp-issue slots per DRAM byte
-    all_ids = np.arange(n)
-    eff_w = tileset.view.eff_w
-    scores = np.full((len(_UNIVERSAL), n), np.inf)
-    for k, fmt in enumerate(_UNIVERSAL):
-        payload = _ENCODERS[fmt](tileset.view)
-        cost = costs_for_format(fmt, payload, params, eff_w)
-        per_tile_bytes = _per_tile_bytes(fmt, payload, tileset)
-        scores[k] = cost.cycles + byte_weight * per_tile_bytes
+    scores = greedy_scores(tileset, device, params, byte_weight)
     choice = np.asarray(_UNIVERSAL, dtype=np.uint8)[np.argmin(scores, axis=0)]
     return TileMatrix.build(tileset, choice)
 

@@ -1041,12 +1041,16 @@ class ProcessShardedSpMV(ShardedSpMV):
                 out.append(None)
                 continue
             rows, cols, _vals = stream
-            if transpose:
-                idx = off + cols
-            else:
-                idx = s.row_lo + rows
             w = buf[pos:pos + ln]
             pos += ln
+            if transpose:
+                # Mirror _stream_contrib's canonical (col, row) sort; the
+                # worker multiplied element-wise in stream order, and IEEE
+                # multiplication commutes with the permutation.
+                o = np.lexsort((rows, cols))
+                idx, w = (off + cols)[o], w[o]
+            else:
+                idx = s.row_lo + rows
             out.append((idx, w))
         return tuple(out)
 

@@ -477,6 +477,13 @@ class ShardedSpMV:
                 xg = inj.corrupt_halo(
                     self.device_ranks[s.index], attempt, xg, salt=salt
                 )
+            if transpose:
+                # Canonical (col, row) accumulation order, matching the
+                # single-device transpose: shards own contiguous ascending
+                # row/column blocks, so grid-order concatenation of sorted
+                # shard streams replays the global order per output entry.
+                o = np.lexsort((rows, cols))
+                idx, xg, vals = idx[o], xg[o], vals[o]
             out.append((idx, xg, vals))
         return tuple(out)
 

@@ -1,4 +1,4 @@
-"""Bandwidth-reducing reordering (reverse Cuthill-McKee).
+"""Plan-time reordering transforms: RCM, SELL-C-σ row sorting, CMRS blocking.
 
 TileSpMV's motivation (§II.B) is 2D spatial structure: nonzeros
 clustered into tiles.  A bandwidth-reducing symmetric permutation
@@ -7,6 +7,30 @@ so RCM is the classic preprocessing companion of any tiled format.
 Implemented from scratch (BFS from a pseudo-peripheral vertex, visiting
 neighbours in increasing-degree order, reversed); validated against
 scipy's implementation in the tests.
+
+Two row-only transforms join it, in the spirit of the SELL-C-σ and CMRS
+storage schemes:
+
+* :func:`sort_rows_by_length` — SELL-C-σ-style windowed row sorting
+  (Kreutzer et al., arXiv:1112.5588): within each window of ``sigma``
+  rows, sort rows by descending nonzero count, so rows of similar
+  length land in the same tile strip and ELL-like tiles pad less.
+* :func:`blocking_reorder` — CMRS-style row compression (Koza et al.,
+  arXiv:1203.2946): pack rows into blocks of ``block`` rows with
+  balanced nonzero load (longest-processing-time assignment), bounding
+  the heaviest strip a warp has to carry.
+
+Both are *row-only* permutations, so a plan built on the permuted
+matrix can return results in original row order bit-for-bit (the
+property suite in ``tests/properties/test_reorder_metamorphic.py``
+holds the engine to that).  Because each row moves only within its
+window, bandwidth grows by at most ``window - 1`` — the monotonicity
+bound that makes them safe to chain after RCM.
+
+:class:`ReorderPlan` packages the composed permutations plus a
+canonical ``tag`` (part of the plan-cache fingerprint);
+:func:`build_reorder` parses specs like ``"rcm"``, ``"sell:32"``,
+``"cmrs:16/64"`` or chains like ``"rcm+sell:32"``.
 """
 
 from __future__ import annotations
@@ -14,7 +38,15 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["reverse_cuthill_mckee", "apply_symmetric_permutation", "bandwidth"]
+__all__ = [
+    "reverse_cuthill_mckee",
+    "apply_symmetric_permutation",
+    "bandwidth",
+    "sort_rows_by_length",
+    "blocking_reorder",
+    "ReorderPlan",
+    "build_reorder",
+]
 
 
 def bandwidth(matrix: sp.spmatrix) -> int:
@@ -44,7 +76,11 @@ def _pseudo_peripheral(indptr: np.ndarray, indices: np.ndarray, start: int) -> i
                         nxt.append(int(v))
             frontier = nxt
             d += 1
-        far = int(np.argmax(depth))
+        # Unreached vertices keep depth == -1; the eccentricity argmax
+        # must only consider this component (an isolated start vertex
+        # would otherwise hand the walk to a different component).
+        reached = np.flatnonzero(depth >= 0)
+        far = int(reached[np.argmax(depth[reached])])
         if depth[far] <= last_depth:
             return current
         last_depth = int(depth[far])
@@ -98,3 +134,219 @@ def apply_symmetric_permutation(matrix: sp.spmatrix, perm: np.ndarray) -> sp.csr
     """Return ``A[perm][:, perm]`` as CSR."""
     csr = matrix.tocsr()
     return csr[perm][:, perm].tocsr()
+
+
+def sort_rows_by_length(matrix: sp.spmatrix, sigma: int = 0) -> np.ndarray:
+    """SELL-C-σ-style windowed row sort; returns the row permutation.
+
+    Within each consecutive window of ``sigma`` rows, rows are sorted by
+    descending nonzero count (stable, so equal-length rows keep their
+    relative order).  ``sigma <= 0`` (or ``sigma >= m``) sorts globally.
+    Row displacement is bounded by the window, so chaining after a
+    bandwidth reducer grows bandwidth by at most ``sigma - 1``.
+    """
+    csr = matrix.tocsr()
+    m = csr.shape[0]
+    counts = np.diff(csr.indptr)
+    if sigma <= 0 or sigma >= m:
+        return np.argsort(-counts, kind="stable").astype(np.int64)
+    perm = np.empty(m, dtype=np.int64)
+    for lo in range(0, m, sigma):
+        hi = min(lo + sigma, m)
+        perm[lo:hi] = lo + np.argsort(-counts[lo:hi], kind="stable")
+    return perm
+
+
+def blocking_reorder(
+    matrix: sp.spmatrix, block: int = 16, window: int = 0
+) -> np.ndarray:
+    """CMRS-style balanced row blocking; returns the row permutation.
+
+    Within each window of ``window`` rows (``0`` = the whole matrix),
+    rows are packed into blocks of ``block`` rows so block nonzero loads
+    balance: rows are taken in descending-count order and each goes to
+    the lightest block that still has room (longest-processing-time
+    assignment — deterministic, ties to the lowest block index).  Inside
+    a block the rows are emitted in ascending original index, which
+    keeps the permutation stable for equal layouts.
+
+    The output strips of ``block`` rows then carry near-equal work, so a
+    warp-per-strip schedule stops being hostage to one heavy row — the
+    row-compression idea of CMRS expressed as a permutation.  Row
+    displacement is bounded by the window, the same monotonicity bound
+    as :func:`sort_rows_by_length`.
+    """
+    if block < 1:
+        raise ValueError("block must be >= 1")
+    csr = matrix.tocsr()
+    m = csr.shape[0]
+    counts = np.diff(csr.indptr).astype(np.int64)
+    if window <= 0 or window > m:
+        window = m
+    perm = np.empty(m, dtype=np.int64)
+    out = 0
+    for lo in range(0, m, window):
+        hi = min(lo + window, m)
+        rows = np.arange(lo, hi, dtype=np.int64)
+        n_blocks = -(-rows.size // block)
+        loads = np.zeros(n_blocks, dtype=np.int64)
+        fill = np.zeros(n_blocks, dtype=np.int64)
+        members: list[list[int]] = [[] for _ in range(n_blocks)]
+        for r in rows[np.argsort(-counts[lo:hi], kind="stable")]:
+            open_blocks = np.flatnonzero(fill < block)
+            b = int(open_blocks[np.argmin(loads[open_blocks])])
+            members[b].append(int(r))
+            loads[b] += counts[r]
+            fill[b] += 1
+        for b in range(n_blocks):
+            chunk = np.sort(np.asarray(members[b], dtype=np.int64))
+            perm[out : out + chunk.size] = chunk
+            out += chunk.size
+    return perm
+
+
+class ReorderPlan:
+    """A composed plan-time permutation with its cache tag.
+
+    ``row_perm`` (and ``col_perm`` when the chain included a symmetric
+    transform) map *new* positions to *original* indices: the permuted
+    matrix is ``A[row_perm][:, col_perm]``.  ``tag`` is the canonical
+    spec string and is folded into the plan-cache structural
+    fingerprint, so a reordered plan never aliases the natural-order
+    plan of the same pattern.
+    """
+
+    def __init__(self, tag: str, row_perm: np.ndarray,
+                 col_perm: np.ndarray | None = None) -> None:
+        self.tag = tag
+        self.row_perm = np.asarray(row_perm, dtype=np.int64)
+        self.col_perm = (
+            None if col_perm is None else np.asarray(col_perm, dtype=np.int64)
+        )
+        self._inv_row: np.ndarray | None = None
+        self._inv_col: np.ndarray | None = None
+
+    @property
+    def inv_row(self) -> np.ndarray:
+        """Inverse row permutation (``row_perm[inv_row]`` is identity)."""
+        if self._inv_row is None:
+            self._inv_row = np.argsort(self.row_perm)
+        return self._inv_row
+
+    @property
+    def inv_col(self) -> np.ndarray | None:
+        if self.col_perm is None:
+            return None
+        if self._inv_col is None:
+            self._inv_col = np.argsort(self.col_perm)
+        return self._inv_col
+
+    @property
+    def is_row_only(self) -> bool:
+        return self.col_perm is None
+
+    @property
+    def is_identity(self) -> bool:
+        ident = bool(np.array_equal(self.row_perm, np.arange(self.row_perm.size)))
+        if self.col_perm is not None:
+            ident = ident and bool(
+                np.array_equal(self.col_perm, np.arange(self.col_perm.size))
+            )
+        return ident
+
+    def apply(self, csr: sp.csr_matrix) -> sp.csr_matrix:
+        """``A[row_perm][:, col_perm]`` in canonical (sorted) CSR form."""
+        out = csr[self.row_perm]
+        if self.col_perm is not None:
+            out = out[:, self.col_perm]
+        out = out.tocsr()
+        out.sort_indices()
+        return out
+
+    def data_permutation(self, csr: sp.csr_matrix) -> np.ndarray:
+        """Map canonical original entries to canonical permuted entries.
+
+        ``permuted.data == csr.data[data_permutation(csr)]`` — the hook
+        ``update_values`` uses to accept values in original entry order.
+        """
+        tagged = sp.csr_matrix(
+            (np.arange(csr.nnz, dtype=np.int64), csr.indices, csr.indptr),
+            shape=csr.shape,
+        )
+        return np.asarray(self.apply(tagged).data, dtype=np.int64)
+
+    def describe(self) -> str:
+        kind = "rows" if self.is_row_only else "rows+cols"
+        return f"reorder[{self.tag}] ({kind}, n={self.row_perm.size})"
+
+
+def _parse_token(token: str) -> tuple[str, tuple]:
+    """Normalise one spec token to (kind, args)."""
+    name, _, rest = token.strip().partition(":")
+    name = name.lower()
+    if name == "rcm":
+        if rest:
+            raise ValueError(f"rcm takes no argument, got {token!r}")
+        return "rcm", ()
+    if name == "sell":
+        sigma = int(rest) if rest else 0
+        if sigma < 0:
+            raise ValueError(f"sell window must be >= 0, got {sigma}")
+        return "sell", (sigma,)
+    if name == "cmrs":
+        block, _, window = rest.partition("/") if rest else ("", "", "")
+        b = int(block) if block else 16
+        w = int(window) if window else 0
+        if b < 1 or w < 0:
+            raise ValueError(f"bad cmrs spec {token!r}")
+        return "cmrs", (b, w)
+    raise ValueError(
+        f"unknown reorder token {token!r}; expected rcm, sell[:sigma] "
+        f"or cmrs[:block[/window]]"
+    )
+
+
+def build_reorder(matrix: sp.spmatrix, spec) -> ReorderPlan:
+    """Build a :class:`ReorderPlan` from a spec.
+
+    ``spec`` is a :class:`ReorderPlan` (returned as-is), a single token,
+    a ``+``-joined chain, or a sequence of tokens.  Transforms compose
+    left to right, each computed on the matrix the previous ones
+    produced (so ``"rcm+sell:32"`` sorts rows *of the RCM-ordered
+    matrix*).
+    """
+    if isinstance(spec, ReorderPlan):
+        return spec
+    if isinstance(spec, str):
+        tokens = [t for t in spec.split("+") if t.strip()]
+    else:
+        tokens = [str(t) for t in spec]
+    if not tokens:
+        raise ValueError("empty reorder spec")
+    csr = matrix.tocsr()
+    m, n = csr.shape
+    row_perm = np.arange(m, dtype=np.int64)
+    col_perm: np.ndarray | None = None
+    work = csr
+    tags = []
+    for token in tokens:
+        kind, args = _parse_token(token)
+        if kind == "rcm":
+            p = reverse_cuthill_mckee(work)
+            work = apply_symmetric_permutation(work, p)
+            row_perm = row_perm[p]
+            col_perm = p if col_perm is None else col_perm[p]
+            tags.append("rcm")
+        elif kind == "sell":
+            (sigma,) = args
+            p = sort_rows_by_length(work, sigma)
+            work = work[p].tocsr()
+            row_perm = row_perm[p]
+            tags.append(f"sell:{sigma}")
+        else:
+            b, w = args
+            p = blocking_reorder(work, block=b, window=w)
+            work = work[p].tocsr()
+            row_perm = row_perm[p]
+            tags.append(f"cmrs:{b}/{w}")
+    return ReorderPlan("+".join(tags), row_perm, col_perm)

@@ -130,6 +130,14 @@ class ReliableSpMV:
                 "process backend carries its own supervisor ladder "
                 "(respawn/quarantine); ABFT detection stays armed either way"
             )
+        if (shards > 1 or grid is not None or backend == "process") and (
+            "reorder" in tile_kwargs or "formats_override" in tile_kwargs
+        ):
+            raise ValueError(
+                "reorder/formats_override apply to the single-device engine "
+                "only: a per-shard reorder would permute each shard "
+                "independently and break the global result order"
+            )
         self.policy = ValidationPolicy.coerce(policy)
         self.max_retries = int(max_retries)
         self._method = method

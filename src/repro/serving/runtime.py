@@ -47,6 +47,19 @@ Per request, in order:
    work are read off the wrapper's counters and charged to the virtual
    clock, so a fault storm shows up as deadline misses — which is
    exactly what trips the breaker.
+
+**Live plan migration** (:meth:`ServingRuntime.retune`): a registered
+matrix can be re-tuned without pausing traffic.  The candidate plan is
+built *warm* — encoded and cached entirely off the request path, the
+virtual clock never advances — then atomically swapped in (one dict
+assignment; ``submit`` captures its registration record once at entry,
+so no request ever observes a half-swapped plan).  The old record moves
+to a drain list and is released — engine closed, cached plan
+invalidated unless another registration shares it — only once the
+virtual work queued against it has completed.  A candidate whose
+modelled fast path regresses the incumbent's is rolled back instead:
+closed, its cache entries dropped, the incumbent untouched.  See
+``docs/TUNING.md`` for the full state machine.
 """
 
 from __future__ import annotations
@@ -67,7 +80,13 @@ from repro.reliability.validation import ValidationPolicy
 from repro.serving.breaker import BreakerConfig, BreakerState, CircuitBreaker
 from repro.serving.trace import Request
 
-__all__ = ["RuntimeConfig", "RequestOutcome", "ServingRuntime", "LEVEL_NAMES"]
+__all__ = [
+    "RuntimeConfig",
+    "RequestOutcome",
+    "MigrationOutcome",
+    "ServingRuntime",
+    "LEVEL_NAMES",
+]
 
 LEVEL_NAMES = ("full", "no_arbitration", "cached_plan", "scalar")
 
@@ -121,19 +140,56 @@ class RequestOutcome:
     recovered: int = 0         # retries + reference fallbacks that fixed them
     breaker_forced: bool = False  # scalar because the breaker denied fast
     verified: bool = False
+    plan_generation: int = 0   # generation of the plan that served it (0 = shed)
+    y: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     @property
     def latency(self) -> float:
         return self.completion - self.arrival
 
 
+@dataclass
+class MigrationOutcome:
+    """What one :meth:`ServingRuntime.retune` call did."""
+
+    matrix_id: str
+    status: str               # "migrated" | "rolled_back" | "no_improvement"
+    from_generation: int
+    to_generation: int        # == from_generation unless migrated
+    incumbent_time: float     # modelled fast-path seconds (ABFT included)
+    candidate_time: float     # same for the candidate (== incumbent when none built)
+    label: str = ""           # tuner proposal label, or "explicit"
+    reorder: str | None = None
+    retiled: int = 0          # tiles whose format the candidate re-arbitrated
+    plan_key_old: str = ""
+    plan_key_new: str = ""
+
+    @property
+    def gain(self) -> float:
+        if self.candidate_time == 0.0:
+            return 1.0 if self.incumbent_time == 0.0 else math.inf
+        return self.incumbent_time / self.candidate_time
+
+    def describe(self) -> str:
+        return (
+            f"retune[{self.matrix_id}] {self.status}: "
+            f"gen {self.from_generation} -> {self.to_generation}, "
+            f"modelled {self.candidate_time * 1e6:.1f} us vs "
+            f"{self.incumbent_time * 1e6:.1f} us (gain {self.gain:.2f}x"
+            + (f", reorder {self.reorder}" if self.reorder else "")
+            + (f", {self.retiled} tiles re-arbitrated" if self.retiled else "")
+            + ")"
+        )
+
+
 class _Served:
     """Registration record: engine, scalar twin, costs, breaker key."""
 
     def __init__(self, matrix_id: str, engine: ReliableSpMV, device: DeviceSpec,
-                 config: RuntimeConfig) -> None:
+                 config: RuntimeConfig, generation: int = 1) -> None:
         self.matrix_id = matrix_id
         self.engine = engine
+        self.generation = generation
         self.scalar = CsrScalarSpMV(engine._csr, validation="trust")
         self.plan_key = engine.plan_key or matrix_id
         # Cache-warm probes: per-shard fingerprints for a sharded engine,
@@ -158,6 +214,9 @@ class ServingRuntime:
         self.plan_cache = plan_cache or PlanCache(self.config.plan_cache_capacity)
         self._matrices: dict[str, _Served] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
+        # Superseded registrations waiting for their queued virtual work
+        # to complete before release: (release_at, record).
+        self._draining: list[tuple[float, _Served]] = []
         self.now = 0.0
         self.busy_until = 0.0
         self._in_flight: deque[float] = deque()  # completion times of queued work
@@ -170,6 +229,10 @@ class ServingRuntime:
             "downgrades": 0,        # ladder rungs dropped across all served requests
             "faults_detected": 0,
             "recoveries": 0,
+            "migrations_started": 0,
+            "migrations_completed": 0,
+            "migrations_rolled_back": 0,
+            "plans_drained": 0,     # superseded plans fully released
         }
         self.level_counts = [0, 0, 0, 0]
 
@@ -242,6 +305,152 @@ class ServingRuntime:
                 f"matrix id {matrix_id!r} is not registered with this runtime"
             ) from None
 
+    # -- live migration ----------------------------------------------------
+
+    def retune(
+        self,
+        matrix_id: str,
+        tuner=None,
+        reorder: str | None = None,
+        formats_override=None,
+        collector=None,
+    ) -> MigrationOutcome:
+        """Re-tune one registration and migrate live traffic onto it.
+
+        Without explicit ``reorder``/``formats_override`` an
+        :class:`~repro.tuning.online.OnlineTuner` (``tuner``, or a
+        default on this runtime's device) proposes the candidate from
+        the incumbent's residuals (scaled by ``collector`` measurements
+        when given).  The candidate plan is built and cached *warm* —
+        the virtual clock never advances, no request is paused or shed —
+        then swapped in atomically; requests already priced against the
+        old plan complete on it, and the old record is only released
+        (engine closed, cached plan dropped unless shared) once the
+        virtual work queued at swap time has completed.  A candidate
+        whose modelled fast path is no better than the incumbent's is
+        rolled back instead, leaving the incumbent serving.
+        """
+        sm = self._served(matrix_id)
+        eng = sm.engine
+        if eng._shards > 1 or eng._grid is not None or eng._backend == "process":
+            raise ValueError(
+                "retune applies to single-device registrations only: "
+                "reorder/formats_override cannot be pushed into a sharded "
+                "or process-backed engine"
+            )
+        self.counters["migrations_started"] += 1
+        out = MigrationOutcome(
+            matrix_id=matrix_id, status="no_improvement",
+            from_generation=sm.generation, to_generation=sm.generation,
+            incumbent_time=sm.t_fast, candidate_time=sm.t_fast,
+            plan_key_old=sm.plan_key, plan_key_new=sm.plan_key,
+        )
+        if reorder is not None or formats_override is not None:
+            out.label = "explicit"
+            out.reorder = reorder
+        else:
+            from repro.tuning import OnlineTuner
+
+            tuner = tuner or OnlineTuner(device=self.device)
+            proposal = tuner.propose(eng._csr, engine=eng.engine, collector=collector)
+            if proposal.is_incumbent:
+                self._publish_migration(out)
+                return out
+            out.label = proposal.label
+            out.reorder = proposal.reorder
+            out.retiled = proposal.retiled
+            kwargs = proposal.engine_kwargs()
+            reorder = kwargs.get("reorder")
+            formats_override = kwargs.get("formats_override")
+
+        # Build the candidate warm, off the request path (the virtual
+        # clock does not advance): the plan lands in this runtime's
+        # cache before any request can route to it.
+        tile_kwargs = dict(eng._tile_kwargs)
+        tile_kwargs.pop("reorder", None)
+        tile_kwargs.pop("formats_override", None)
+        if reorder is not None:
+            tile_kwargs["reorder"] = reorder
+        if formats_override is not None:
+            tile_kwargs["formats_override"] = formats_override
+        candidate = ReliableSpMV(
+            eng._csr, method=eng._method, policy=eng.policy,
+            abft=eng.checksum is not None, max_retries=eng.max_retries,
+            plan_cache=self.plan_cache, **tile_kwargs,
+        )
+        cand = _Served(
+            matrix_id, candidate, self.device, self.config,
+            generation=sm.generation + 1,
+        )
+        out.candidate_time = cand.t_fast
+        out.plan_key_new = cand.plan_key
+        if cand.t_fast >= sm.t_fast:
+            # Regression gate: the incumbent keeps serving, the candidate
+            # is closed and its cache entries dropped.
+            candidate.close()
+            self._release_plan(cand)
+            out.status = "rolled_back"
+            out.to_generation = sm.generation
+            out.plan_key_new = sm.plan_key
+            self.counters["migrations_rolled_back"] += 1
+            self._publish_migration(out)
+            return out
+
+        # The atomic swap: one dict assignment.  submit() reads the
+        # record once at entry, so every request serves end-to-end on
+        # the plan it was admitted against.
+        self._breakers.setdefault(
+            cand.plan_key, CircuitBreaker(self.config.breaker, cand.plan_key)
+        )
+        self._draining.append((max(self.now, self.busy_until), sm))
+        self._matrices[matrix_id] = cand
+        out.status = "migrated"
+        out.to_generation = cand.generation
+        self.counters["migrations_completed"] += 1
+        self._publish_migration(out)
+        self._drain(self.now)
+        return out
+
+    def _drain(self, now: float) -> None:
+        """Release superseded records whose queued work has completed."""
+        if not self._draining:
+            return
+        keep = []
+        for release_at, old in self._draining:
+            if release_at <= now:
+                old.engine.close()
+                self._release_plan(old)
+                self.counters["plans_drained"] += 1
+                if tele.ENABLED:
+                    tele.count("serving_plans_drained_total")
+            else:
+                keep.append((release_at, old))
+        self._draining = keep
+
+    def _release_plan(self, served: _Served) -> None:
+        """Drop a record's cached plans unless another record shares them."""
+        live = list(self._matrices.values()) + [s for _, s in self._draining]
+        shared = {
+            k for s in live if s is not served for k in s.probe_keys
+        }
+        for key in served.probe_keys:
+            if key not in shared:
+                self.plan_cache.invalidate(key)
+
+    def _publish_migration(self, out: MigrationOutcome) -> None:
+        """One retune attempt: counter plus an instant trace marker."""
+        if not tele.ENABLED:
+            return
+        tele.count("serving_migrations_total", status=out.status)
+        tracer = tele.tracer()
+        if tracer is not None:
+            tracer.clock.set_at_least(self.now)
+            tracer.instant(
+                "retune", cat="tune",
+                matrix=out.matrix_id, status=out.status,
+                generation=out.to_generation, label=out.label,
+            )
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
@@ -256,6 +465,9 @@ class ServingRuntime:
             close = getattr(sm.engine, "close", None)
             if close is not None:
                 close()
+        for _, old in self._draining:
+            old.engine.close()
+        self._draining = []
 
     def __enter__(self) -> "ServingRuntime":
         return self
@@ -271,6 +483,7 @@ class ServingRuntime:
         self.counters["submitted"] += 1
         t = max(self.now, req.arrival)
         self.now = t
+        self._drain(t)
         while self._in_flight and self._in_flight[0] <= t:
             self._in_flight.popleft()
         depth = len(self._in_flight)
@@ -320,7 +533,7 @@ class ServingRuntime:
         detected = recovered = 0
         if level <= 2:
             before = dict(sm.engine.counters)
-            sm.engine.spmv(x)
+            y = sm.engine.spmv(x)
             detected = sm.engine.counters["detected"] - before["detected"]
             retries = sm.engine.counters["retries"] - before["retries"]
             fallbacks = sm.engine.counters["fallbacks"] - before["fallbacks"]
@@ -331,7 +544,7 @@ class ServingRuntime:
                 + fallbacks * sm.t_scalar
             )
         else:
-            self._scalar_verified(sm, x)
+            y = self._scalar_verified(sm, x)
             service = preds[3]
 
         completion = start + service
@@ -362,6 +575,8 @@ class ServingRuntime:
         out.detected = detected
         out.recovered = recovered
         out.verified = True
+        out.plan_generation = sm.generation
+        out.y = y
         if tele.ENABLED:
             self._publish_served(out, service)
         return out
@@ -436,6 +651,10 @@ class ServingRuntime:
             "breaker_fast_denied": sum(b["fast_denied"] for b in breakers.values()),
             "breakers": breakers,
             "plan_cache": self.plan_cache.stats(),
+            "draining": len(self._draining),
+            "generations": {
+                mid: sm.generation for mid, sm in self._matrices.items()
+            },
             "virtual_time": self.now,
         }
 
@@ -454,6 +673,10 @@ class ServingRuntime:
             f"faults: detected={s['faults_detected']} recoveries={s['recoveries']}; "
             f"breakers: trips={s['breaker_trips']} reopens={s['breaker_reopens']} "
             f"closes={s['breaker_closes']} fast_denied={s['breaker_fast_denied']}",
+            f"migrations: started={s['migrations_started']} "
+            f"completed={s['migrations_completed']} "
+            f"rolled_back={s['migrations_rolled_back']} "
+            f"plans_drained={s['plans_drained']} draining={s['draining']}",
             self.plan_cache.describe(),
         ]
         for b in self._breakers.values():

@@ -1,0 +1,29 @@
+"""Online tuning: close the telemetry → tuner loop.
+
+`repro.core.tuner` does the *offline* half of learned selection (grid
+search and the greedy per-tile bound, both purely modelled).  This
+package does the *online* half: consume the observability layer's
+per-tile profiles and measured warp records, locate the tiles whose
+format choice wastes the most modelled time against the per-tile
+roofline floor, re-arbitrate exactly those tiles via the greedy
+scoring, optionally stack a plan-time reorder under the new format
+vector, and score the candidate plan against the incumbent before
+anything adopts it.  `ServingRuntime.retune` swaps an adopted candidate
+into live traffic without pausing it (see ``docs/TUNING.md``).
+"""
+
+from repro.tuning.online import (
+    OnlineTuner,
+    ResidualReport,
+    TileResidual,
+    TuningConfig,
+    TuningProposal,
+)
+
+__all__ = [
+    "OnlineTuner",
+    "ResidualReport",
+    "TileResidual",
+    "TuningConfig",
+    "TuningProposal",
+]

@@ -74,3 +74,35 @@ class TestGreedyPerTile:
             t_flow = TileSpMV(a, method="adpt").predicted_time(A100)
             t_greedy = greedy_per_tile(a).run_cost().time(A100)
             assert t_greedy <= t_flow * 1.1
+
+
+class TestDegenerateInputs:
+    def test_zero_nnz_matrix_short_circuits(self):
+        import scipy.sparse as sp
+
+        result = tune_selection(sp.csr_matrix((64, 64)))
+        assert result.predicted_time == 0.0
+        assert result.baseline_time == 0.0
+        assert result.improvement == 1.0  # neutral, not 0/0
+        assert isinstance(result.config, SelectionConfig)
+
+    def test_improvement_inf_safe(self):
+        from repro.core.tuner import TuneResult
+
+        neutral = TuneResult(SelectionConfig(), predicted_time=0.0, baseline_time=0.0)
+        assert neutral.improvement == 1.0
+        free = TuneResult(SelectionConfig(), predicted_time=0.0, baseline_time=1e-6)
+        assert free.improvement == np.inf
+        normal = TuneResult(SelectionConfig(), predicted_time=1e-6, baseline_time=2e-6)
+        assert normal.improvement == pytest.approx(2.0)
+
+    def test_greedy_scores_shape_and_finiteness(self):
+        from repro.core.tiling import tile_decompose
+        from repro.core.tuner import _UNIVERSAL, greedy_scores
+
+        a = random_uniform(120, 120, nnz_per_row=4, seed=3)
+        ts = tile_decompose(a, tile=16)
+        scores = greedy_scores(ts)
+        assert scores.shape == (len(_UNIVERSAL), ts.n_tiles)
+        assert np.isfinite(scores).all()
+        assert (scores > 0).all()

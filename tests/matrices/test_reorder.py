@@ -82,3 +82,49 @@ class TestReorderingHelpsTiling:
         t_scr = TileSpMV(scrambled, method="adpt").predicted_time(A100)
         t_res = TileSpMV(restored, method="adpt").predicted_time(A100)
         assert t_res < t_scr
+
+
+class TestPseudoPeripheralRegression:
+    """The eccentricity argmax must stay inside the BFS's component.
+
+    Before the fix, an isolated (or small-component) start vertex left
+    every other vertex at depth -1 and ``np.argmax(depth)`` handed the
+    walk to an arbitrary vertex of a *different* component — from which
+    RCM's BFS numbering then silently skipped the seed's own component
+    until the outer restart loop papered over it.
+    """
+
+    def test_isolated_vertex_seed(self):
+        # Vertex 0 is isolated; vertices 1..5 form a path.  The
+        # lowest-degree seed is the isolated vertex.
+        rows = [1, 2, 2, 3, 3, 4, 4, 5]
+        cols = [2, 1, 3, 2, 4, 3, 5, 4]
+        a = sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(6, 6))
+        perm = reverse_cuthill_mckee(a)
+        assert np.array_equal(np.sort(perm), np.arange(6))
+
+    def test_many_isolated_vertices(self):
+        core = stencil_2d(5, seed=1)
+        n = core.shape[0] + 7  # 7 isolated vertices appended
+        a = sp.lil_matrix((n, n))
+        a[: core.shape[0], : core.shape[0]] = core
+        perm = reverse_cuthill_mckee(a.tocsr())
+        assert np.array_equal(np.sort(perm), np.arange(n))
+
+    def test_all_isolated(self):
+        a = sp.csr_matrix((12, 12))
+        perm = reverse_cuthill_mckee(a)
+        assert np.array_equal(np.sort(perm), np.arange(12))
+
+    def test_component_is_numbered_contiguously(self):
+        # Two components: the seed's component must be exhausted before
+        # the walk restarts in the other one.
+        blocks = sp.block_diag(
+            [stencil_2d(4, seed=2), stencil_2d(6, seed=3)], format="csr"
+        )
+        n1 = stencil_2d(4, seed=2).shape[0]
+        perm = reverse_cuthill_mckee(blocks)
+        comp = (perm < n1).astype(int)
+        # One transition at most: each component occupies one contiguous
+        # stretch of the ordering.
+        assert np.count_nonzero(np.diff(comp)) <= 1
