@@ -1,0 +1,223 @@
+"""Request-coalescing benchmark: amortisation, round trips, deadlines.
+
+Three gates, all deterministic (virtual clock + counted pipe traffic):
+
+* **Throughput** — a scattered power-law serving workload (bursty
+  arrivals across a fleet of scale-free matrices) replayed through the
+  coalescing runtime vs request-at-a-time serving.  With batches of
+  k >= 8 forming, modelled batched throughput must be >= 1.3x the
+  sequential replay, and the cost-model amortisation curve
+  ``k * spmv / spmm(k)`` must clear the same bar at k = 8.
+* **Round-trip economy** — on the process backend a k-column fused
+  ``spmm`` must cross the pipe once per shard (one command, one
+  shared-memory block back), so round trips per request fall to 1/k of
+  the sequential replay.  Counted exactly, not estimated.
+* **Deadline safety** — the deadline-bound flush schedule never blows
+  a deadline the batch could have met: the coalescing replay must
+  finish with **zero** deadline misses.
+
+Results land in JSON (default ``BENCH_coalesce.json``) for CI to
+archive; exits non-zero if any gate fails.
+
+    PYTHONPATH=src python benchmarks/bench_coalesce.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.dist import ProcessShardedSpMV
+from repro.matrices import generators as g
+from repro.serving import (
+    CoalesceConfig,
+    Request,
+    RuntimeConfig,
+    ServingRuntime,
+)
+
+MIN_SPEEDUP = 1.3
+GATE_K = 8
+
+
+def _fleet(quick: bool):
+    sizes = (800, 1200) if quick else (2000, 3500, 5000)
+    return {
+        f"powerlaw{n}": g.power_law(n, avg_degree=6, seed=10 + i)
+        for i, n in enumerate(sizes)
+    }
+
+
+def _scattered_trace(fleet: dict, bursts: int, burst_size: int) -> list[Request]:
+    """Bursts of same-matrix requests scattered across the fleet."""
+    rng = np.random.default_rng(17)
+    reqs, rid, t = [], 0, 0.0
+    mids = list(fleet)
+    for b in range(bursts):
+        mid = mids[b % len(mids)]
+        t += float(rng.exponential(2e-3))
+        for j in range(burst_size):
+            reqs.append(
+                Request(
+                    rid=rid,
+                    arrival=t + j * 1e-8,
+                    matrix_id=mid,
+                    deadline=0.5,
+                    x_seed=1000 + rid,
+                )
+            )
+            rid += 1
+    return reqs
+
+
+def run_serving(fleet: dict, trace: list[Request], coalesce: bool) -> dict:
+    cfg = RuntimeConfig(queue_limit=64)
+    if coalesce:
+        cfg = RuntimeConfig(
+            queue_limit=64,
+            coalesce=CoalesceConfig(window_s=1e-3, max_batch=GATE_K * 2),
+        )
+    rt = ServingRuntime(cfg)
+    for mid, m in fleet.items():
+        rt.register(mid, m)
+    outs = rt.run_trace(trace)
+    served = [o for o in outs if o.status == "served"]
+    total_service = sum(o.service_share for o in served)
+    s = rt.stats()
+    return {
+        "served": len(served),
+        "shed": len(outs) - len(served),
+        "deadline_misses": s["deadline_misses"],
+        "total_service": total_service,
+        "throughput_rps": len(served) / total_service if total_service else 0.0,
+        "batch_sizes": s["coalesce"]["batch_sizes"] if coalesce else {},
+        "flush_reasons": s["coalesce"]["flush_reasons"] if coalesce else {},
+        "max_batch": max((o.batch_size for o in served), default=0),
+    }
+
+
+def amortisation_curve(fleet: dict) -> dict:
+    """Cost-model view: k standalone spmv vs one k-wide spmm."""
+    rt = ServingRuntime()
+    mid, m = next(iter(fleet.items()))
+    rt.register(mid, m)
+    sm = rt._matrices[mid]
+    return {
+        str(k): k * sm.t_fast / sm.t_fast_batched(k) for k in (2, 4, 8, 16)
+    }
+
+
+def run_round_trips(quick: bool) -> dict:
+    a = g.power_law(800 if quick else 3000, avg_degree=6, seed=3)
+    shards, k = 4, GATE_K
+    x = np.random.default_rng(5).standard_normal((a.shape[1], k))
+    with ProcessShardedSpMV(a, shards=shards, method="adpt") as eng:
+        if eng.backend != "process":
+            return {"skipped": "process backend unavailable"}
+        sup = eng._supervisor
+        base = sup.counters["round_trips"]
+        fused = eng.spmm(x)
+        batched = sup.counters["round_trips"] - base
+        base = sup.counters["round_trips"]
+        ref = np.column_stack([eng.spmv(x[:, j]) for j in range(k)])
+        sequential = sup.counters["round_trips"] - base
+    return {
+        "shards": shards,
+        "k": k,
+        "batched_trips": batched,
+        "sequential_trips": sequential,
+        "trips_per_request_batched": batched / k,
+        "trips_per_request_sequential": sequential / k,
+        "ratio": batched / sequential,
+        "bit_for_bit": fused.tobytes() == ref.tobytes(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small fleet (CI smoke)")
+    parser.add_argument("--out", default="BENCH_coalesce.json", help="JSON output path")
+    args = parser.parse_args(argv)
+
+    fleet = _fleet(args.quick)
+    bursts = 6 if args.quick else 18
+    trace = _scattered_trace(fleet, bursts=bursts, burst_size=GATE_K + 2)
+
+    batched = run_serving(fleet, trace, coalesce=True)
+    solo = run_serving(fleet, trace, coalesce=False)
+    speedup = (
+        solo["total_service"] / batched["total_service"]
+        if batched["total_service"]
+        else 0.0
+    )
+    curve = amortisation_curve(fleet)
+    trips = run_round_trips(args.quick)
+
+    print(
+        f"coalesced  served={batched['served']:3d} misses={batched['deadline_misses']} "
+        f"max_batch={batched['max_batch']} sizes={batched['batch_sizes']}"
+    )
+    print(
+        f"sequential served={solo['served']:3d} misses={solo['deadline_misses']}"
+    )
+    print(
+        f"modelled speedup {speedup:.2f}x "
+        f"(amortisation k=8: {curve['8']:.2f}x, k=16: {curve['16']:.2f}x)"
+    )
+    if "skipped" not in trips:
+        print(
+            f"process round trips: batched={trips['batched_trips']} "
+            f"sequential={trips['sequential_trips']} "
+            f"per-request {trips['trips_per_request_batched']:.2f} vs "
+            f"{trips['trips_per_request_sequential']:.2f} "
+            f"(1/k target {trips['shards'] / trips['k']:.2f})"
+        )
+
+    gate_speedup = speedup >= MIN_SPEEDUP and batched["max_batch"] >= GATE_K
+    gate_amort = curve[str(GATE_K)] >= MIN_SPEEDUP
+    gate_trips = (
+        "skipped" in trips
+        or (
+            trips["ratio"] == 1.0 / trips["k"]
+            and trips["batched_trips"] == trips["shards"]
+            and trips["bit_for_bit"]
+        )
+    )
+    gate_deadlines = (
+        batched["deadline_misses"] == 0
+        and batched["served"] == solo["served"] + solo["shed"] == len(trace)
+    )
+    ok = gate_speedup and gate_amort and gate_trips and gate_deadlines
+
+    payload = {
+        "quick": args.quick,
+        "min_speedup": MIN_SPEEDUP,
+        "gate_k": GATE_K,
+        "coalesced": batched,
+        "sequential": solo,
+        "speedup": speedup,
+        "amortisation": curve,
+        "round_trips": trips,
+        "gate_speedup": gate_speedup,
+        "gate_amortisation": gate_amort,
+        "gate_round_trips": gate_trips,
+        "gate_zero_deadline_violations": gate_deadlines,
+        "pass": ok,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nspeedup gate {'holds' if gate_speedup else 'FAILS'}; "
+        f"round-trip economy {'holds' if gate_trips else 'FAILS'}; "
+        f"zero deadline-violating flushes {'holds' if gate_deadlines else 'BROKEN'} "
+        f"-> {'PASS' if ok else 'FAIL'}"
+    )
+    print(f"results written to {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

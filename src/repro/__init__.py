@@ -61,7 +61,7 @@ from repro.serving import (
     synthetic_trace,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "TileSpMV",

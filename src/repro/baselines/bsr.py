@@ -81,6 +81,33 @@ class BsrSpMV:
         np.add.at(y_pad, rows, partial.ravel())
         return y_pad[: self.m]
 
+    def spmm(self, x: np.ndarray) -> np.ndarray:
+        """Y = A @ X from the dense block payload, all columns per pass.
+
+        Each block's x window is gathered once and multiplied against
+        every column — the dense-block analogue of row reuse.  k=1
+        short-circuits to the exact :meth:`spmv` path, k=0 to a typed
+        empty block.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != self.n:
+            raise ValueError(f"X must have shape ({self.n}, k)")
+        k = x.shape[1]
+        if k == 0:
+            return np.zeros((self.m, 0))
+        if k == 1:
+            return self.spmv(x[:, 0]).reshape(self.m, 1)
+        b = self.block
+        x_pad = np.zeros((self.nb * b, k))
+        x_pad[: self.n] = x
+        xw = x_pad[(self.block_col[:, None] * b + np.arange(b)[None, :])]
+        blocks = self.val.reshape(self.n_blocks, b, b)
+        partial = np.einsum("pij,pjc->pic", blocks, xw)  # (nblocks, b, k)
+        y_pad = np.zeros((self.mb * b, k))
+        rows = (self.block_row[:, None] * b + np.arange(b)[None, :]).ravel()
+        np.add.at(y_pad, rows, partial.reshape(-1, k))
+        return y_pad[: self.m]
+
     def nbytes_model(self) -> int:
         """Device footprint: dense values + block colidx + block rowptr."""
         return self.n_blocks * self.block * self.block * 8 + self.n_blocks * 4 + (self.mb + 1) * 4

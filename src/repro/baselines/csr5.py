@@ -156,6 +156,13 @@ class Csr5SpMV:
         if x.ndim != 2 or x.shape[0] != self.n:
             raise ValueError(f"X must have shape ({self.n}, k)")
         k = x.shape[1]
+        if k == 0:
+            return np.zeros((self.m, 0))
+        if k == 1:
+            # Degenerate batch: the exact spmv path (segmented bincount
+            # over the stored payload), reshaped — bit-for-bit with a
+            # standalone product.
+            return self.spmv(x[:, 0]).reshape(self.m, 1)
         if self.nnz == 0:
             return np.zeros((self.m, k))
         if self._spmm_csr is None:

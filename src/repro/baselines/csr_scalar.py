@@ -52,6 +52,31 @@ class CsrScalarSpMV:
             y[nonempty] = sums
         return y
 
+    def spmm(self, x: np.ndarray) -> np.ndarray:
+        """Y = A @ X: the row-sum reduceat applied to a column block.
+
+        Degenerate widths short-circuit to the exact :meth:`spmv` path
+        (k=1) or a typed empty block (k=0), so a batch of one is
+        bit-for-bit a standalone product.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != self.n:
+            raise ValueError(f"X must have shape ({self.n}, k)")
+        k = x.shape[1]
+        if k == 0:
+            return np.zeros((self.m, 0))
+        if k == 1:
+            return self.spmv(x[:, 0]).reshape(self.m, 1)
+        products = self.data[:, None] * x[self.indices]
+        y = np.zeros((self.m, k))
+        lens = np.diff(self.indptr)
+        nonempty = lens > 0
+        if products.size:
+            y[nonempty] = np.add.reduceat(
+                products, self.indptr[:-1][nonempty], axis=0
+            )
+        return y
+
     def nbytes_model(self) -> int:
         return csr_payload_bytes(self.m, self.nnz)
 

@@ -63,6 +63,19 @@ class _EllPart:
         cols = self.colidx.reshape(self.k, self.m)
         return (vals * x[cols]).sum(axis=0)
 
+    def spmm(self, x: np.ndarray) -> np.ndarray:
+        """Block product over the slab: one gather, every column of X.
+
+        The reduction runs over the same slab axis with the same length
+        as :meth:`spmv`, so each column reduces in the identical
+        pairwise order.
+        """
+        if self.k == 0:
+            return np.zeros((self.m, x.shape[1]))
+        vals = self.val.reshape(self.k, self.m)
+        cols = self.colidx.reshape(self.k, self.m)
+        return (vals[:, :, None] * x[cols]).sum(axis=0)
+
     def nbytes_model(self) -> int:
         return self.m * self.k * (VALUE_BYTES + INDEX_BYTES)
 
@@ -87,6 +100,18 @@ class EllGlobalSpMV:
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
         return self.ell.spmv(np.asarray(x, dtype=np.float64))
+
+    def spmm(self, x: np.ndarray) -> np.ndarray:
+        """Y = A @ X over the padded slab; degenerate widths exact."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != self.n:
+            raise ValueError(f"X must have shape ({self.n}, k)")
+        k = x.shape[1]
+        if k == 0:
+            return np.zeros((self.m, 0))
+        if k == 1:
+            return self.spmv(x[:, 0]).reshape(self.m, 1)
+        return self.ell.spmm(x)
 
     def nbytes_model(self) -> int:
         return self.ell.nbytes_model() + INDEX_BYTES * self.m  # + per-row length
@@ -146,6 +171,35 @@ class HybGlobalSpMV:
         if self.coo_nnz:
             y = y + np.bincount(
                 self.coo_row, weights=self.coo_val * x[self.coo_col], minlength=self.m
+            )
+        return y
+
+    def spmm(self, x: np.ndarray) -> np.ndarray:
+        """Y = A @ X: ELL slab product plus the bucketed COO tail.
+
+        Per column this is exactly :meth:`spmv`'s two-kernel sum (slab
+        reduction, then one bincount added on top); the slab gather and
+        the COO products are shared across columns.  k=1 routes through
+        :meth:`spmv` unchanged, k=0 returns a typed empty block.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != self.n:
+            raise ValueError(f"X must have shape ({self.n}, k)")
+        k = x.shape[1]
+        if k == 0:
+            return np.zeros((self.m, 0))
+        if k == 1:
+            return self.spmv(x[:, 0]).reshape(self.m, 1)
+        y = self.ell.spmm(x)
+        if self.coo_nnz:
+            prods = self.coo_val[:, None] * x[self.coo_col]
+            y = y + np.column_stack(
+                [
+                    np.bincount(
+                        self.coo_row, weights=prods[:, j], minlength=self.m
+                    )
+                    for j in range(k)
+                ]
             )
         return y
 

@@ -83,6 +83,31 @@ class MergeSpMV:
         rows = np.searchsorted(self.indptr, np.arange(self.nnz), side="right") - 1
         return np.bincount(rows, weights=products, minlength=self.m)
 
+    def spmm(self, x: np.ndarray) -> np.ndarray:
+        """Y = A @ X: one row derivation, one bucketed pass per column.
+
+        The merge-path row assignment is computed once for the whole
+        block — every column rides the same index traffic.  k=1 routes
+        through :meth:`spmv` unchanged and k=0 returns a typed empty
+        block, keeping degenerate batches bit-for-bit.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != self.n:
+            raise ValueError(f"X must have shape ({self.n}, k)")
+        k = x.shape[1]
+        if k == 0:
+            return np.zeros((self.m, 0))
+        if k == 1:
+            return self.spmv(x[:, 0]).reshape(self.m, 1)
+        products = self.data[:, None] * x[self.indices]
+        rows = np.searchsorted(self.indptr, np.arange(self.nnz), side="right") - 1
+        return np.column_stack(
+            [
+                np.bincount(rows, weights=products[:, j], minlength=self.m)
+                for j in range(k)
+            ]
+        )
+
     def nbytes_model(self) -> int:
         return csr_payload_bytes(self.m, self.nnz)
 

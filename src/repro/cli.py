@@ -456,10 +456,16 @@ def _cmd_check(args) -> int:
 
 
 def _build_serving_fleet(matrices: int, seed: int, queue_limit: int, device: str,
-                         method: str = "adpt"):
+                         method: str = "adpt", coalesce_window: float | None = None,
+                         max_batch: int = 16):
     """The deterministic serve-sim fleet: runtime + registered matrix ids."""
     from repro.matrices import banded, power_law, random_uniform, stencil_2d
-    from repro.serving import BreakerConfig, RuntimeConfig, ServingRuntime
+    from repro.serving import (
+        BreakerConfig,
+        CoalesceConfig,
+        RuntimeConfig,
+        ServingRuntime,
+    )
 
     rt = ServingRuntime(
         RuntimeConfig(
@@ -467,6 +473,11 @@ def _build_serving_fleet(matrices: int, seed: int, queue_limit: int, device: str
             device=_DEVICES[device],
             plan_cache_capacity=max(2, matrices // 2),
             breaker=BreakerConfig(failure_threshold=2, cooldown_seconds=1e-4),
+            coalesce=(
+                CoalesceConfig(window_s=coalesce_window, max_batch=max_batch)
+                if coalesce_window is not None
+                else None
+            ),
         )
     )
     gens = [stencil_2d, power_law, banded, random_uniform]
@@ -491,7 +502,8 @@ def _cmd_serve_sim(args) -> int:
     from repro.serving import synthetic_trace
 
     rt, ids = _build_serving_fleet(
-        args.matrices, args.seed, args.queue_limit, args.device
+        args.matrices, args.seed, args.queue_limit, args.device,
+        coalesce_window=args.coalesce, max_batch=args.max_batch,
     )
     est = rt.estimate(ids[0])
     base = est["no_arbitration"] if est["no_arbitration"] is not None else est["full"]
@@ -515,6 +527,13 @@ def _cmd_serve_sim(args) -> int:
         outcomes = rt.run_trace(trace)
 
     print(rt.describe())
+    cs = rt.stats()["coalesce"]
+    if cs["enabled"]:
+        print(
+            f"coalesce: batches={rt.counters['batches_flushed']} "
+            f"fused_requests={rt.counters['coalesced']} "
+            f"sizes={cs['batch_sizes']} reasons={cs['flush_reasons']}"
+        )
     served = [o for o in outcomes if o.status == "served"]
     unverified = [o for o in served if not o.verified]
     lat = sorted(o.latency for o in served)
@@ -826,6 +845,11 @@ def main(argv: list[str] | None = None) -> int:
     p_serve.add_argument("--faults", type=int, default=0, metavar="N",
                          help="arm a fault campaign with budget N during the trace")
     p_serve.add_argument("--fault-seed", type=int, default=7)
+    p_serve.add_argument("--coalesce", type=float, default=None, metavar="SECONDS",
+                         help="fuse same-plan requests into batched spmm inside "
+                              "this modelled batching window")
+    p_serve.add_argument("--max-batch", type=int, default=16,
+                         help="widest fused batch when --coalesce is set")
     p_serve.add_argument("--json", default=None, metavar="PATH",
                          help="also write the summary as JSON")
     p_serve.set_defaults(func=_cmd_serve_sim)

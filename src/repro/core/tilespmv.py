@@ -493,6 +493,13 @@ class TileSpMV:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[0] != self._shape[1]:
             raise ValueError(f"X must have shape ({self._shape[1]}, k)")
+        if x.shape[1] == 0:
+            return np.zeros((self._shape[0], 0))
+        if x.shape[1] == 1:
+            # Degenerate batch: route through the exact spmv path
+            # (including any reorder handling) so a batch of one is
+            # bit-for-bit a standalone product.
+            return self.spmv(x[:, 0]).reshape(self._shape[0], 1)
         rp = self.reorder
         if rp is not None and rp.col_perm is not None:
             x = x[rp.col_perm]

@@ -76,6 +76,7 @@ __all__ = [
     "WorkerSupervisor",
     "WorkerCrash",
     "scan_owned_segments",
+    "shutdown_persistent_pools",
     "sweep_orphans",
 ]
 
@@ -353,8 +354,11 @@ def _worker_execute(engine, rank, cmd, attached, attach):  # pragma: no cover
             xg = xwin[rows] if transpose else xwin[cols]
             if inj is not None:
                 xg = inj.corrupt_halo(rank, attempt, xg, salt=salt)
-            w = vals * xg
-            halves.append(int(w.size))
+            # A batched x block gathers (entries, k); the per-entry
+            # weights are the same elementwise products, one column per
+            # member of the batch.
+            w = vals[:, None] * xg if xg.ndim == 2 else vals * xg
+            halves.append(int(w.shape[0]))
             parts.append(w)
         out = (
             np.concatenate(parts)
@@ -365,7 +369,7 @@ def _worker_execute(engine, rank, cmd, attached, attach):  # pragma: no cover
             out = inj.corrupt_segment(rank, attempt, out)
         out_seg = attach(cmd["out_seg"])
         view = np.ndarray((out.size,), dtype=np.float64, buffer=out_seg.buf)
-        view[: out.size] = out
+        view[: out.size] = out.ravel()
         return {"ok": True, "op": op, "halves": halves}
 
     if inj is not None:
@@ -508,6 +512,7 @@ class WorkerSupervisor:
             "replays": 0,
             "heartbeats": 0,
             "quarantines": 0,
+            "round_trips": 0,
         }
         self.respawn_log: list[dict] = []
         self.clock_s = 0.0  # virtual seconds (respawn backoff)
@@ -710,6 +715,7 @@ class WorkerSupervisor:
         engine; a worker whose breaker trips is quarantined and its slot
         returns ``None`` so the engine can fall back in-process.
         """
+        self.counters["round_trips"] += len(commands)
         sent_ok = []
         for i, cmd in commands:
             sent_ok.append(self._send(i, cmd))
@@ -774,6 +780,53 @@ class WorkerSupervisor:
         }
 
 
+# -- persistent pools ------------------------------------------------------
+#
+# Coalesced serving traffic constructs the same sharded engine over and
+# over (one engine per generation, identical structure between retunes).
+# Spawning workers and shipping wires each time would dominate the
+# batching win, so a pool built under ``persistent=True`` is *parked*
+# here on ``close()`` instead of shut down, keyed by the exact plan it
+# holds (per-shard wire digests + device ranks + process config), and
+# adopted by the next engine constructed with an identical plan — live
+# workers, pre-registered segments, zero re-shipping.
+
+_POOL_REGISTRY: dict[str, list[WorkerSupervisor]] = {}
+_POOL_LOCK = threading.Lock()
+pool_counters = {"parked": 0, "adopted": 0, "shutdown": 0}
+
+
+def _pool_key(wires: list[bytes], ranks: list[int],
+              config: ProcessConfig) -> str:
+    """Digest of everything a parked pool's workers already hold."""
+    import hashlib
+
+    h = hashlib.blake2b(digest_size=16)
+    for w in wires:
+        h.update(hashlib.blake2b(w, digest_size=16).digest())
+    h.update(repr((tuple(ranks), config)).encode())
+    return h.hexdigest()
+
+
+def shutdown_persistent_pools() -> int:
+    """Close every parked worker pool; returns how many were shut down.
+
+    Registered ``atexit`` (before the janitor's segment sweep, which
+    runs after it under LIFO ordering); call explicitly in tests so the
+    shared-memory hygiene checks see a clean slate.
+    """
+    with _POOL_LOCK:
+        sups = [s for pool in _POOL_REGISTRY.values() for s in pool]
+        _POOL_REGISTRY.clear()
+    for sup in sups:
+        sup.close()
+    pool_counters["shutdown"] += len(sups)
+    return len(sups)
+
+
+atexit.register(shutdown_persistent_pools)
+
+
 # -- the engine ------------------------------------------------------------
 
 
@@ -810,9 +863,12 @@ class ProcessShardedSpMV(ShardedSpMV):
         *args,
         process_config: ProcessConfig | None = None,
         backend: str = "process",
+        persistent: bool = False,
         **kwargs,
     ) -> None:
         self._pcfg = process_config or ProcessConfig()
+        self._persistent = bool(persistent)
+        self.pool_adopted = False
         self._shard_blocks: list = []
         self._shm_traffic_bytes = 0.0
         self._backend_state = "process"
@@ -831,16 +887,49 @@ class ProcessShardedSpMV(ShardedSpMV):
             8 * max(s.rows, n_local[i], s.nnz, 1)
             for i, s in enumerate(self.partition.shards)
         ]
-        sup = WorkerSupervisor(
-            self._make_wire,
-            self.device_ranks,
-            x_cap,
-            out_caps,
-            self._pcfg,
-        )
-        sup.begin_attempt = self._begin_attempt
-        self._supervisor = sup
-        sup.start()
+        sup: WorkerSupervisor | None = None
+        if self._persistent:
+            key = _pool_key(
+                [self._make_wire(i) for i in range(len(self.engines))],
+                self.device_ranks,
+                self._pcfg,
+            )
+            with _POOL_LOCK:
+                pool = _POOL_REGISTRY.get(key)
+                cand = pool.pop() if pool else None
+                if pool is not None and not pool:
+                    _POOL_REGISTRY.pop(key, None)
+            if cand is not None:
+                # The parked workers already hold this exact plan; only
+                # the parent-side callbacks need rebinding.  A worker
+                # that died while parked is respawned by the heartbeat.
+                cand._wire_provider = self._make_wire
+                cand.begin_attempt = self._begin_attempt
+                cand.heartbeat()
+                if (
+                    cand.mode == "process"
+                    and cand.healthy_count() == len(self.engines)
+                ):
+                    sup = cand
+                else:
+                    cand.close()
+        if sup is not None:
+            self._supervisor = sup
+            self.pool_adopted = True
+            pool_counters["adopted"] += 1
+            if tele.ENABLED:
+                tele.count("procpool_adoptions_total")
+        else:
+            sup = WorkerSupervisor(
+                self._make_wire,
+                self.device_ranks,
+                x_cap,
+                out_caps,
+                self._pcfg,
+            )
+            sup.begin_attempt = self._begin_attempt
+            self._supervisor = sup
+            sup.start()
 
     def _build_engine(self, s, block, tile: int, **tile_kwargs) -> None:
         # Stash the canonical shard block: it is the payload of the
@@ -1018,22 +1107,28 @@ class ProcessShardedSpMV(ShardedSpMV):
                 out.append(None)
             else:
                 idx, xg, vals = c
-                out.append((idx, vals * xg))
+                w = vals[:, None] * xg if xg.ndim == 2 else vals * xg
+                out.append((idx, w))
         return tuple(out)
 
     def _worker_weight_contrib(self, s, e, halves: list[int],
-                               transpose: bool):
+                               transpose: bool, k: int | None = None):
         """Pair the worker's weight buffer with the parent's index streams.
 
         Indices are structural (they never change between calls), so the
         parent's engine supplies them; the worker supplies the weights
         ``vals * x_gather`` it computed from shared memory.  Multiplying
         per shard is bit-identical to the thread backend's one big
-        elementwise multiply — IEEE multiplication is per-element.
+        elementwise multiply — IEEE multiplication is per-element.  A
+        batched call (``k``) ships one ``(entries, k)`` weight block per
+        shard over the same single round trip.
         """
         off = self._col_offset(s)
         total = sum(h for h in halves if h > 0)
-        buf = self._read_out(s.index, total)
+        if k is None:
+            buf = self._read_out(s.index, total)
+        else:
+            buf = self._read_out(s.index, total * k).reshape(total, k)
         pos = 0
         out = []
         for stream, ln in zip(e.decode_streams(), halves):
@@ -1054,7 +1149,8 @@ class ProcessShardedSpMV(ShardedSpMV):
             out.append((idx, w))
         return tuple(out)
 
-    def _proc_replay(self, x: np.ndarray, transpose: bool) -> np.ndarray:
+    def _proc_replay(self, x: np.ndarray, transpose: bool,
+                     k: int | None = None) -> np.ndarray:
         sup = self._supervisor
         self._write_x(x)
         contribs: list = [None] * len(self.engines)
@@ -1063,10 +1159,11 @@ class ProcessShardedSpMV(ShardedSpMV):
             if not sup.healthy(s.index):
                 contribs[s.index] = self._local_weight_contrib(s, e, x, transpose)
                 continue
-            sup.ensure_out(s.index, 8 * max(s.nnz, 1))
+            sup.ensure_out(s.index, 8 * max(s.nnz * (k or 1), 1))
             commands.append(
                 (s.index,
-                 self._command(s, "weights", x.shape[0], transpose=transpose))
+                 self._command(s, "weights", x.shape[0], transpose=transpose,
+                               k=k))
             )
         replies = sup.run(commands)
         for (i, _cmd), reply in zip(commands, replies):
@@ -1075,7 +1172,7 @@ class ProcessShardedSpMV(ShardedSpMV):
                 contribs[i] = self._local_weight_contrib(s, e, x, transpose)
             else:
                 contribs[i] = self._worker_weight_contrib(
-                    s, e, reply["halves"], transpose
+                    s, e, reply["halves"], transpose, k=k
                 )
         length = self._n if transpose else self._m
         halves = ([], [])  # (tiled, deferred): per-half [(idx, w), ...]
@@ -1088,14 +1185,28 @@ class ProcessShardedSpMV(ShardedSpMV):
             if not half:
                 continue
             idx = np.concatenate([c[0] for c in half])
-            w = np.concatenate([c[1] for c in half])
-            y = np.bincount(idx, weights=w, minlength=length)
+            w = np.concatenate([c[1] for c in half], axis=0)
+            if k is None:
+                y = np.bincount(idx, weights=w, minlength=length)
+            else:
+                # One bincount per column over the shared structural
+                # index stream: column j is bit-for-bit the spmv replay
+                # of x[:, j] (elementwise weights, identical concat and
+                # accumulation order).
+                y = np.column_stack(
+                    [
+                        np.bincount(idx, weights=w[:, j], minlength=length)
+                        for j in range(k)
+                    ]
+                )
             if out_idx == 0:
                 yt = y
             else:
                 yd = y
         if yt is None and yd is None:
-            return np.zeros(length)
+            return (
+                np.zeros(length) if k is None else np.zeros((length, k))
+            )
         if yd is None:
             return yt
         if yt is None:
@@ -1140,11 +1251,25 @@ class ProcessShardedSpMV(ShardedSpMV):
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[0] != self._n:
             raise ValueError(f"X must have shape ({self._n}, k)")
-        if self.grid_cols > 1 and self.method != "auto":
-            # The batched replay combine consumes the full index
-            # streams; it stays on the inherited in-process path.
-            return super().spmm(x)
         k = x.shape[1]
+        if k == 0:
+            return np.zeros((self._m, 0))
+        if k == 1:
+            return self.spmv(x[:, 0]).reshape(self._m, 1)
+        if self.grid_cols > 1 and self.method != "auto":
+            if shard_faults.active_injector() is not None:
+                # Campaign replays consume the full per-call streams;
+                # keep the inherited in-process path under injection.
+                return super().spmm(x)
+            # Batched replay: each worker ships one (entries, k) weight
+            # block per round trip; the parent combines per column over
+            # the shared structural index streams.
+            with tele.span("sharded_spmm", cat="kernel", shards=self.shards,
+                           nnz=self._nnz, k=k, backend="process"):
+                out = self._proc_replay(x, transpose=False, k=k)
+            if tele.ENABLED:
+                tele.count("sharded_spmv_total", shards=self.shards)
+            return out
         with tele.span("sharded_spmm", cat="kernel", shards=self.shards,
                        nnz=self._nnz, k=k, backend="process"):
             parts = self._proc_blocks("spmm", x, k=k)
@@ -1246,8 +1371,30 @@ class ProcessShardedSpMV(ShardedSpMV):
 
     def close(self) -> None:
         sup = getattr(self, "_supervisor", None)
+        self._supervisor = None
         if sup is not None:
-            sup.close()
+            if (
+                getattr(self, "_persistent", False)
+                and self._backend_state == "process"
+                and sup.mode == "process"
+                and sup.healthy_count() == len(sup.workers)
+            ):
+                # Park the healthy pool for the next engine with the
+                # same plan.  The key is recomputed from the *current*
+                # wires so an update_values since construction can only
+                # match an adopter holding those exact values.
+                key = _pool_key(
+                    [self._make_wire(i) for i in range(len(self.engines))],
+                    self.device_ranks,
+                    self._pcfg,
+                )
+                with _POOL_LOCK:
+                    _POOL_REGISTRY.setdefault(key, []).append(sup)
+                pool_counters["parked"] += 1
+                if tele.ENABLED:
+                    tele.count("procpool_parks_total")
+            else:
+                sup.close()
         super().close()
 
     def __del__(self) -> None:

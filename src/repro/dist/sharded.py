@@ -260,6 +260,10 @@ class ShardedSpMV:
         # Modelled straggler seconds accumulated per shard (virtual
         # clock; the recovery ladder charges them to its deadline).
         self.shard_delay_s = [0.0] * len(self.engines)
+        # Assembled per-row-block CSR operands for the batched replay
+        # path, cached across spmm batches on the fault-free path and
+        # invalidated by update_values (values live inside the operand).
+        self._spmm_replay: list | None = None
         if tele.ENABLED:
             tele.count("sharded_builds_total", shards=shards, method=method)
             tele.set_gauge("sharded_imbalance", self.partition.imbalance())
@@ -616,13 +620,89 @@ class ShardedSpMV:
                 blocks.append(bt + bd)
         return np.concatenate(blocks, axis=0) if blocks else np.zeros((0, k))
 
-    def _replay_spmm(self, x: np.ndarray) -> np.ndarray:
-        """Bit-for-bit batched product for column-cut grids."""
-        streams = [
-            self.shard_call("stream_collect", s, e, self._shard_raw_streams)
-            for s, e in zip(self.partition.shards, self.engines)
+    def _assemble_spmm_blocks(self, streams) -> list:
+        """Per-row-block CSR operands from raw streams (no injection).
+
+        Exactly the assembly :meth:`replay_spmm_streams` performs —
+        including the empty-but-present half (a zero block that still
+        joins the final add, preserving the reference's bit pattern) —
+        hoisted out so consecutive batches reuse the canonicalized
+        operands instead of re-sorting the streams per call.
+        """
+        part: GridPartition = self.partition
+        grid_r, grid_c = part.grid
+        has_half = [
+            any(streams[i][half] is not None for i in range(len(streams)))
+            for half in (0, 1)
         ]
-        return self.replay_spmm_streams(streams, x)
+        blocks = []
+        for r in range(grid_r):
+            rows_r = int(part.row_bounds[r + 1] - part.row_bounds[r])
+            mats: list = [None, None]
+            for half in (0, 1):
+                if not has_half[half]:
+                    continue
+                idxs, cols, vals = [], [], []
+                for c in range(grid_c):
+                    i = r * grid_c + c
+                    stream = streams[i][half]
+                    if stream is None:
+                        continue
+                    srows, scols, svals = stream
+                    idxs.append(srows)
+                    cols.append(part.shards[i].col_lo + scols)
+                    vals.append(svals)
+                if idxs:
+                    mats[half] = sp.csr_matrix(
+                        (
+                            np.concatenate(vals),
+                            (np.concatenate(idxs), np.concatenate(cols)),
+                        ),
+                        shape=(rows_r, self._n),
+                    )
+                else:
+                    mats[half] = sp.csr_matrix((rows_r, self._n))
+            blocks.append((rows_r, mats))
+        return blocks
+
+    def _replay_spmm(self, x: np.ndarray) -> np.ndarray:
+        """Bit-for-bit batched product for column-cut grids.
+
+        One stream gather per shard per *batch* — never per column —
+        and, on the fault-free path, the assembled per-row-block CSR
+        operands are cached across batches (a coalesced serving burst
+        pays the canonicalization sort once).  An armed fault campaign
+        bypasses the cache: corruption must hit fresh streams per call.
+        """
+        if (
+            shard_faults.active_injector() is not None
+            or faults.active_injector() is not None
+        ):
+            streams = [
+                self.shard_call("stream_collect", s, e, self._shard_raw_streams)
+                for s, e in zip(self.partition.shards, self.engines)
+            ]
+            return self.replay_spmm_streams(streams, x)
+        if self._spmm_replay is None:
+            streams = [
+                self.shard_call("stream_collect", s, e, self._shard_raw_streams)
+                for s, e in zip(self.partition.shards, self.engines)
+            ]
+            self._spmm_replay = self._assemble_spmm_blocks(streams)
+        k = x.shape[1]
+        blocks = []
+        for rows_r, mats in self._spmm_replay:
+            bt = None if mats[0] is None else np.asarray(mats[0] @ x)
+            bd = None if mats[1] is None else np.asarray(mats[1] @ x)
+            if bt is None and bd is None:
+                blocks.append(np.zeros((rows_r, k)))
+            elif bd is None:
+                blocks.append(bt)
+            elif bt is None:
+                blocks.append(bd)
+            else:
+                blocks.append(bt + bd)
+        return np.concatenate(blocks, axis=0) if blocks else np.zeros((0, k))
 
     def spmv(self, x: np.ndarray) -> np.ndarray:
         """y = A @ x.
@@ -673,6 +753,12 @@ class ShardedSpMV:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[0] != self._n:
             raise ValueError(f"X must have shape ({self._n}, k)")
+        if x.shape[1] == 0:
+            return np.zeros((self._m, 0))
+        if x.shape[1] == 1:
+            # Degenerate batch: the exact spmv combine (concatenation /
+            # ordered replay / tree), bit-for-bit a standalone product.
+            return self.spmv(x[:, 0]).reshape(self._m, 1)
         with tele.span("sharded_spmm", cat="kernel", shards=self.shards,
                        nnz=self._nnz, k=x.shape[1]):
             if self.grid_cols > 1:
@@ -774,6 +860,8 @@ class ShardedSpMV:
             else:
                 for s, engine in zip(self.partition.shards, self.engines):
                     engine.update_values(data[s.nnz_lo:s.nnz_hi])
+        # The cached batched-replay operands hold the old values.
+        self._spmm_replay = None
         return self
 
     # -- lifecycle ---------------------------------------------------------

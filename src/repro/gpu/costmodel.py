@@ -486,6 +486,44 @@ class MultiDeviceRunCost:
             return 0.0
         return self.shm_bytes / (self.shm_gbps * 1e9)
 
+    def batched(self, k: int) -> "MultiDeviceRunCost":
+        """Amortised cost of one k-vector batched ``spmm`` on this layout.
+
+        Per-shard kernels take their :meth:`RunCost.batched` price (the
+        sparse payload is read once, per-column gather/write/flops scale
+        by ``k``), and every per-column traffic term — halo windows, y
+        gathers, reduction partials, the shared-memory block — ships k
+        columns.  The per-*batch* overheads are paid once: ``spawn_s``
+        (live workers serve the whole batch — the coalescing win on the
+        process backend) and the recovery/parity terms, which record
+        history rather than per-column work.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if k == 1:
+            return self
+        return MultiDeviceRunCost(
+            shard_costs=[c.batched(k) for c in self.shard_costs],
+            halo_bytes=[float(b) * k for b in self.halo_bytes],
+            y_bytes=[float(b) * k for b in self.y_bytes],
+            label=f"{self.label}[k={k}]" if self.label else f"batched[k={k}]",
+            links=self.links,
+            reduce_bytes=(
+                [float(b) * k for b in self.reduce_bytes]
+                if self.reduce_bytes is not None
+                else None
+            ),
+            reduce_depth=self.reduce_depth,
+            parity_cost=self.parity_cost,
+            parity_bytes=self.parity_bytes,
+            retry_backoff_s=self.retry_backoff_s,
+            retry_costs=self.retry_costs,
+            rebuild_cost=self.rebuild_cost,
+            spawn_s=self.spawn_s,
+            shm_bytes=self.shm_bytes * k,
+            shm_gbps=self.shm_gbps,
+        )
+
     def time(self, device: DeviceSpec) -> float:
         """Makespan: the slowest chain, plus reduction and recovery.
 

@@ -363,10 +363,20 @@ class ReliableSpMV:
     __matmul__ = spmv
 
     def spmm(self, x: np.ndarray) -> np.ndarray:
-        """Y = A @ X for a dense block, verified per column."""
+        """Y = A @ X for a dense block, verified per column.
+
+        Degenerate widths short-circuit: k=1 runs the exact verified
+        :meth:`spmv` path (same detection/retry accounting as a
+        standalone request), k=0 returns a typed empty block with
+        nothing to verify.
+        """
         x = self._check_x(x)
         if x.ndim != 2 or x.shape[0] != self.shape[1]:
             raise ValueError(f"X must have shape ({self.shape[1]}, k)")
+        if x.shape[1] == 0:
+            return np.zeros((self.shape[0], 0))
+        if x.shape[1] == 1:
+            return self._protected(x[:, 0], None).reshape(self.shape[0], 1)
         return self._protected(x, x.shape[1])
 
     def update_values(self, values) -> "ReliableSpMV":

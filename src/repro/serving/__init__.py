@@ -18,6 +18,7 @@ PR 2 made one product trustworthy; this package makes a *service* and a
 """
 
 from repro.serving.breaker import BreakerConfig, BreakerState, CircuitBreaker
+from repro.serving.coalesce import BatchQueue, CoalesceConfig
 from repro.serving.checkpoint import (
     CheckpointConfig,
     FtPageRankResult,
@@ -39,9 +40,11 @@ from repro.serving.runtime import (
 from repro.serving.trace import Request, synthetic_trace
 
 __all__ = [
+    "BatchQueue",
     "BreakerConfig",
     "BreakerState",
     "CircuitBreaker",
+    "CoalesceConfig",
     "CheckpointConfig",
     "FtPageRankResult",
     "FtSolveResult",

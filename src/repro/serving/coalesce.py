@@ -1,0 +1,157 @@
+"""Request coalescing: same-plan SpMV traffic fused into batched SpMM.
+
+Independent requests against the same registered matrix gather the same
+payload and the same structural indices; only their dense vectors
+differ.  :class:`BatchQueue` exploits that: requests sharing a
+structural fingerprint *and* a plan generation accumulate in an open
+batch for at most a batching window, then flush as **one**
+``ReliableSpMV.spmm`` call — the matrix traffic is paid once and every
+member rides it (the k-vector amortisation priced by
+:meth:`RunCost.batched <repro.gpu.costmodel.RunCost.batched>`).
+
+The queue is pure bookkeeping on the runtime's virtual clock.  The
+:class:`~repro.serving.runtime.ServingRuntime` owns admission, pricing,
+execution and per-request accounting; the queue owns membership and the
+flush schedule:
+
+* a batch opens when its first member arrives and must flush by
+  ``opened + window_s``;
+* every enqueue *tightens* the schedule: the runtime re-prices the
+  batched service for the new size and the queue clamps ``flush_at`` so
+  the batch still completes inside the tightest member's deadline —
+  a flush is never scheduled late enough to blow a deadline it could
+  have met;
+* reaching ``max_batch`` flushes immediately (capacity);
+* a :meth:`~repro.serving.runtime.ServingRuntime.retune` flushes the
+  matrix's open batch *before* the atomic generation swap, so no batch
+  ever forms across a migration boundary.
+
+Results are bit-for-bit: column ``j`` of the fused product equals the
+standalone ``spmv`` of member ``j``'s vector (the engines' batched
+paths share the exact per-column accumulation order with their
+single-vector paths).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.serving.trace import Request
+
+__all__ = ["CoalesceConfig", "BatchQueue", "OpenBatch"]
+
+
+@dataclass(frozen=True)
+class CoalesceConfig:
+    """Batching knobs (times in modelled seconds).
+
+    ``window_s`` is the longest a member may wait for co-travellers;
+    ``max_batch`` caps the fused width (one column per member).
+    """
+
+    window_s: float = 5e-5
+    max_batch: int = 32
+
+    def __post_init__(self) -> None:
+        if self.window_s < 0.0:
+            raise ValueError("window_s must be >= 0")
+        if self.max_batch < 2:
+            raise ValueError("max_batch must be >= 2 (1 never coalesces)")
+
+
+@dataclass
+class OpenBatch:
+    """One accumulating batch: same matrix, same plan generation."""
+
+    matrix_id: str
+    plan_key: str
+    generation: int
+    opened: float              # virtual time the first member arrived
+    flush_at: float            # scheduled flush (window- or deadline-bound)
+    bound: str = "window"      # which constraint set flush_at
+    members: list[Request] = field(default_factory=list)
+    depths: list[int] = field(default_factory=list)  # queue depth at enqueue
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def tightest_deadline(self) -> float:
+        """Earliest absolute deadline across members (inf if best-effort)."""
+        return min(
+            (m.arrival + m.deadline for m in self.members), default=math.inf
+        )
+
+
+class BatchQueue:
+    """Open batches keyed by matrix id, with a deadline-aware schedule."""
+
+    def __init__(self, config: CoalesceConfig) -> None:
+        self.config = config
+        self._open: dict[str, OpenBatch] = {}
+
+    def __len__(self) -> int:
+        return len(self._open)
+
+    def pending(self) -> int:
+        """Members waiting in open batches (they occupy the queue)."""
+        return sum(b.size for b in self._open.values())
+
+    def get(self, matrix_id: str) -> OpenBatch | None:
+        return self._open.get(matrix_id)
+
+    def batches(self) -> list[OpenBatch]:
+        return sorted(
+            self._open.values(), key=lambda b: (b.flush_at, b.matrix_id)
+        )
+
+    def enqueue(
+        self,
+        req: Request,
+        depth: int,
+        plan_key: str,
+        generation: int,
+        now: float,
+    ) -> OpenBatch:
+        """Add one request to its matrix's open batch (opening one)."""
+        b = self._open.get(req.matrix_id)
+        if b is None:
+            b = OpenBatch(
+                matrix_id=req.matrix_id,
+                plan_key=plan_key,
+                generation=generation,
+                opened=now,
+                flush_at=now + self.config.window_s,
+            )
+            self._open[req.matrix_id] = b
+        b.members.append(req)
+        b.depths.append(depth)
+        return b
+
+    def reschedule(self, b: OpenBatch, latest_safe_start: float) -> None:
+        """Clamp the flush so the batched service fits every deadline.
+
+        ``latest_safe_start`` is the runtime's re-priced bound: the
+        latest virtual time the batch (at its current size) can start
+        and still complete inside the tightest member's deadline.  The
+        window is an upper bound, ``opened`` a lower one (a batch never
+        flushes before it exists).
+        """
+        window_end = b.opened + self.config.window_s
+        if latest_safe_start < window_end:
+            b.flush_at = max(b.opened, latest_safe_start)
+            b.bound = "deadline"
+        else:
+            b.flush_at = window_end
+            b.bound = "window"
+
+    def due(self, now: float) -> list[OpenBatch]:
+        """Batches whose schedule has expired, tightest first."""
+        return sorted(
+            (b for b in self._open.values() if b.flush_at <= now),
+            key=lambda b: (b.flush_at, b.matrix_id),
+        )
+
+    def pop(self, matrix_id: str) -> OpenBatch | None:
+        return self._open.pop(matrix_id, None)

@@ -78,6 +78,7 @@ from repro.gpu.device import A100, TITAN_RTX, DeviceSpec
 from repro.reliability.reliable import ReliabilityError, ReliableSpMV
 from repro.reliability.validation import ValidationPolicy
 from repro.serving.breaker import BreakerConfig, BreakerState, CircuitBreaker
+from repro.serving.coalesce import BatchQueue, CoalesceConfig, OpenBatch
 from repro.serving.trace import Request
 
 __all__ = [
@@ -110,6 +111,9 @@ class RuntimeConfig:
     arbitration_factor: float = 2.0
     plan_cache_capacity: int = 16
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    # Request coalescing (None = every request served solo, the
+    # pre-coalescing behaviour, byte-for-byte).
+    coalesce: CoalesceConfig | None = None
 
     def __post_init__(self) -> None:
         if self.queue_limit < 1:
@@ -141,6 +145,9 @@ class RequestOutcome:
     breaker_forced: bool = False  # scalar because the breaker denied fast
     verified: bool = False
     plan_generation: int = 0   # generation of the plan that served it (0 = shed)
+    batch_size: int = 1        # members of the fused spmm that served it
+    batch_wait: float = 0.0    # queueing delay inside the batching window
+    service_share: float = 0.0  # this request's share of the (batched) service
     y: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     @property
@@ -189,6 +196,7 @@ class _Served:
                  config: RuntimeConfig, generation: int = 1) -> None:
         self.matrix_id = matrix_id
         self.engine = engine
+        self.device = device
         self.generation = generation
         self.scalar = CsrScalarSpMV(engine._csr, validation="trust")
         self.plan_key = engine.plan_key or matrix_id
@@ -202,6 +210,22 @@ class _Served:
             config.build_base_seconds + config.build_seconds_per_nnz * engine.nnz
         )
         self.arb_surcharge = config.arbitration_factor * self.build_surcharge
+        self._t_fast_batched: dict[int, float] = {}
+
+    def t_fast_batched(self, k: int) -> float:
+        """Modelled seconds of one ABFT-verified ``spmm`` over k columns.
+
+        The batched fast path: payload traffic once, per-column gather
+        and verification k times (:meth:`RunCost.batched` pricing).
+        ``k == 1`` is exactly :attr:`t_fast`.
+        """
+        if k <= 1:
+            return self.t_fast
+        t = self._t_fast_batched.get(k)
+        if t is None:
+            t = self.engine.spmm_cost(k).time(self.device)
+            self._t_fast_batched[k] = t
+        return t
 
 
 class ServingRuntime:
@@ -233,8 +257,24 @@ class ServingRuntime:
             "migrations_completed": 0,
             "migrations_rolled_back": 0,
             "plans_drained": 0,     # superseded plans fully released
+            "coalesced": 0,         # requests served as members of a fused spmm
+            "batches_flushed": 0,
+            "flush_window": 0,      # batching window expired
+            "flush_deadline": 0,    # tightest member deadline forced the flush
+            "flush_capacity": 0,    # max_batch reached
+            "flush_migration": 0,   # retune flushed before the generation swap
+            "flush_drain": 0,       # explicit flush()
         }
         self.level_counts = [0, 0, 0, 0]
+        self._batches: BatchQueue | None = (
+            BatchQueue(self.config.coalesce)
+            if self.config.coalesce is not None
+            else None
+        )
+        # Outcomes finalized by flushes that happen inside retune();
+        # delivered by the next offer()/flush() call.
+        self._backlog: list[RequestOutcome] = []
+        self.batch_sizes: dict[int, int] = {}  # flushed size -> count
 
     # -- registration ------------------------------------------------------
 
@@ -338,6 +378,13 @@ class ServingRuntime:
                 "reorder/formats_override cannot be pushed into a sharded "
                 "or process-backed engine"
             )
+        if self._batches is not None:
+            # A batch never forms across a migration boundary: the open
+            # batch (admitted against the incumbent generation) flushes
+            # on the incumbent *before* any swap can happen.
+            b = self._batches.pop(matrix_id)
+            if b is not None:
+                self._backlog += self._flush_batch(b, "migration", self.now)
         self.counters["migrations_started"] += 1
         out = MigrationOutcome(
             matrix_id=matrix_id, status="no_improvement",
@@ -487,19 +534,35 @@ class ServingRuntime:
         while self._in_flight and self._in_flight[0] <= t:
             self._in_flight.popleft()
         depth = len(self._in_flight)
-        out = RequestOutcome(
-            rid=req.rid, matrix_id=req.matrix_id, status="shed",
-            arrival=req.arrival, deadline=req.deadline, queue_depth=depth,
-        )
+        if self._batches is not None:
+            depth += self._batches.pending()
         if tele.ENABLED:
             tele.set_gauge("serving_queue_depth", depth)
         if depth >= self.config.queue_limit:
+            out = RequestOutcome(
+                rid=req.rid, matrix_id=req.matrix_id, status="shed",
+                arrival=req.arrival, deadline=req.deadline, queue_depth=depth,
+            )
             self.counters["shed_queue_full"] += 1
             out.shed_reason = "queue_full"
             if tele.ENABLED:
                 self._publish_shed(out, t)
             return out
+        return self._serve_one(sm, req, t, depth)
 
+    def _serve_one(self, sm: _Served, req: Request, t: float,
+                   depth: int) -> RequestOutcome:
+        """Ladder placement, execution and accounting for one request.
+
+        The post-admission core of :meth:`submit`, shared with the
+        coalescer (batch members that cannot ride a fused flush are
+        routed here individually, so shedding, the degradation ladder
+        and the breakers stay per-request correct).
+        """
+        out = RequestOutcome(
+            rid=req.rid, matrix_id=req.matrix_id, status="shed",
+            arrival=req.arrival, deadline=req.deadline, queue_depth=depth,
+        )
         start = max(t, self.busy_until)
         budget = req.deadline - (start - req.arrival)
         breaker = self._breakers[sm.plan_key]
@@ -576,10 +639,264 @@ class ServingRuntime:
         out.recovered = recovered
         out.verified = True
         out.plan_generation = sm.generation
+        out.service_share = service
         out.y = y
         if tele.ENABLED:
             self._publish_served(out, service)
         return out
+
+    # -- the coalescing path -----------------------------------------------
+
+    def offer(self, req: Request) -> list[RequestOutcome]:
+        """Admit one request through the coalescer.
+
+        With coalescing disabled this is exactly one :meth:`submit`.
+        Otherwise the request joins (or opens) its matrix's batch and
+        the call returns every outcome that became *final* — batches
+        whose schedule expired at or before this arrival, a capacity
+        or deadline flush this enqueue triggered, and any backlog from
+        flushes inside :meth:`retune` — usually none for the request
+        itself, whose outcome arrives with a later call.
+        """
+        if self._batches is None:
+            return [self.submit(req)]
+        sm = self._served(req.matrix_id)
+        self.counters["submitted"] += 1
+        t = max(self.now, req.arrival)
+        done = self._take_backlog()
+        done += self._flush_due(t)
+        t = max(self.now, t)
+        self.now = t
+        self._drain(t)
+        while self._in_flight and self._in_flight[0] <= t:
+            self._in_flight.popleft()
+        depth = len(self._in_flight) + self._batches.pending()
+        if tele.ENABLED:
+            tele.set_gauge("serving_queue_depth", depth)
+        if depth >= self.config.queue_limit:
+            out = RequestOutcome(
+                rid=req.rid, matrix_id=req.matrix_id, status="shed",
+                arrival=req.arrival, deadline=req.deadline, queue_depth=depth,
+            )
+            self.counters["shed_queue_full"] += 1
+            out.shed_reason = "queue_full"
+            if tele.ENABLED:
+                self._publish_shed(out, t)
+            done.append(out)
+            return done
+        b = self._batches.enqueue(req, depth, sm.plan_key, sm.generation, t)
+        # Re-price the schedule for the new size: the batch must start
+        # early enough that the fused service fits every member's
+        # deadline (the window only ever moves the flush *earlier*).
+        est = self._est_batched(sm, b.size)
+        latest = min(m.arrival + m.deadline - est for m in b.members)
+        # Shave a relative sliver so (deadline - est) + est cannot round
+        # above the deadline and shed a member the schedule promised.
+        latest -= 1e-12 * max(1.0, abs(latest))
+        self._batches.reschedule(b, latest)
+        if b.size >= self.config.coalesce.max_batch:
+            self._batches.pop(b.matrix_id)
+            done += self._flush_batch(b, "capacity", t)
+        elif b.flush_at <= t:
+            self._batches.pop(b.matrix_id)
+            done += self._flush_batch(b, b.bound, t)
+        return done
+
+    def flush(self) -> list[RequestOutcome]:
+        """Flush every open batch at the current virtual time.
+
+        An early flush is always deadline-safe (waiting never helps a
+        deadline); call at end-of-trace so no member is left pending.
+        """
+        done = self._take_backlog()
+        if self._batches is None:
+            return done
+        for b in self._batches.batches():
+            self._batches.pop(b.matrix_id)
+            done += self._flush_batch(b, "drain", self.now)
+        return done
+
+    def _take_backlog(self) -> list[RequestOutcome]:
+        done, self._backlog = self._backlog, []
+        return done
+
+    def _est_batched(self, sm: _Served, k: int) -> float:
+        """Cheapest admissible fast-path service for a k-wide batch."""
+        plan_ready = all(
+            self.plan_cache.peek(key) is not None for key in sm.probe_keys
+        )
+        t = sm.t_fast_batched(k)
+        return t if plan_ready else sm.build_surcharge + t
+
+    def _batched_pred(self, sm: _Served, level: int, k: int,
+                      plan_ready: bool) -> float:
+        """Ladder rung pricing with the fused fast path substituted in."""
+        t = sm.t_fast_batched(k)
+        if level == 0:
+            return (
+                sm.arb_surcharge
+                + (0.0 if plan_ready else sm.build_surcharge)
+                + t
+            )
+        if level == 1:
+            return sm.build_surcharge + t
+        return t
+
+    def _flush_due(self, t: float) -> list[RequestOutcome]:
+        """Flush every batch whose schedule expires at or before ``t``.
+
+        Batches flush in ``flush_at`` order — the deadline-ordered
+        drain — each at its own scheduled time on the virtual clock.
+        """
+        done: list[RequestOutcome] = []
+        if self._batches is None:
+            return done
+        while True:
+            due = self._batches.due(t)
+            if not due:
+                return done
+            b = due[0]
+            self._batches.pop(b.matrix_id)
+            tf = max(self.now, b.flush_at)
+            self.now = tf
+            done += self._flush_batch(b, b.bound, tf)
+
+    def _flush_batch(self, b: OpenBatch, why: str,
+                     t: float) -> list[RequestOutcome]:
+        """Execute one batch: fused spmm for the riders, solo for the rest.
+
+        Members are considered in deadline order.  A fixed point shrinks
+        the rider set until the fused service fits every remaining
+        member's deadline — a member that cannot ride **never blocks the
+        batch**; it is routed through the ordinary single-request ladder
+        (where it may still be served on a cheaper rung, or shed).  The
+        breaker observes one event per fused execution, matching one
+        fast-path run.
+        """
+        self.counters["batches_flushed"] += 1
+        self.counters[f"flush_{why}"] += 1
+        self.batch_sizes[b.size] = self.batch_sizes.get(b.size, 0) + 1
+        if tele.ENABLED:
+            tele.observe("serving_batch_size", float(b.size))
+            tele.count("serving_batches_flushed_total", reason=why)
+        self._drain(t)
+        while self._in_flight and self._in_flight[0] <= t:
+            self._in_flight.popleft()
+        sm = self._matrices.get(b.matrix_id)
+        order = sorted(
+            range(b.size),
+            key=lambda i: (
+                b.members[i].arrival + b.members[i].deadline,
+                b.members[i].rid,
+            ),
+        )
+        members = [b.members[i] for i in order]
+        depths = [b.depths[i] for i in order]
+
+        riders: list[int] = []
+        level: int | None = None
+        if sm is not None and sm.generation == b.generation:
+            start = max(t, self.busy_until)
+            breaker = self._breakers[b.plan_key]
+            if breaker.allow_fast(start):
+                plan_ready = all(
+                    self.plan_cache.peek(key) is not None
+                    for key in sm.probe_keys
+                )
+                for lv in (0, 1, 2):
+                    if lv == 1 and plan_ready:
+                        continue
+                    if lv == 2 and not plan_ready:
+                        continue
+                    sel = list(range(len(members)))
+                    while sel:
+                        service = self._batched_pred(
+                            sm, lv, len(sel), plan_ready
+                        )
+                        completion = start + service
+                        keep = [
+                            i for i in sel
+                            if completion
+                            <= members[i].arrival + members[i].deadline
+                        ]
+                        if len(keep) == len(sel):
+                            break
+                        sel = keep
+                    if len(sel) >= 2:
+                        level = lv
+                        riders = sel
+                        break
+
+        out_batch: list[RequestOutcome] = []
+        if level is not None:
+            k = len(riders)
+            n = sm.engine.shape[1]
+            x = np.column_stack(
+                [
+                    np.random.default_rng(members[i].x_seed).standard_normal(n)
+                    for i in riders
+                ]
+            )
+            before = dict(sm.engine.counters)
+            with tele.span("serving_batch", cat="serve", matrix=b.matrix_id,
+                           k=k, level=LEVEL_NAMES[level]):
+                y_block = sm.engine.spmm(x)
+            detected = sm.engine.counters["detected"] - before["detected"]
+            retries = sm.engine.counters["retries"] - before["retries"]
+            fallbacks = sm.engine.counters["fallbacks"] - before["fallbacks"]
+            recovered = retries + fallbacks
+            service = (
+                self._batched_pred(sm, level, k, plan_ready)
+                + retries * (sm.build_surcharge + sm.t_fast_batched(k))
+                + fallbacks * k * sm.t_scalar
+            )
+            completion = start + service
+            self.busy_until = completion
+            met_all = True
+            for j, i in enumerate(riders):
+                m = members[i]
+                self._in_flight.append(completion)
+                met = completion <= m.arrival + m.deadline
+                met_all = met_all and met
+                out = RequestOutcome(
+                    rid=m.rid, matrix_id=m.matrix_id, status="served",
+                    level=level, level_name=LEVEL_NAMES[level],
+                    arrival=m.arrival, start=start, completion=completion,
+                    deadline=m.deadline, deadline_met=met,
+                    queue_depth=depths[i], detected=detected,
+                    recovered=recovered, verified=True,
+                    plan_generation=sm.generation, batch_size=k,
+                    batch_wait=start - m.arrival, service_share=service / k,
+                    y=np.ascontiguousarray(y_block[:, j]),
+                )
+                self.counters["served"] += 1
+                self.counters["downgrades"] += level
+                self.counters["deadline_misses"] += 0 if met else 1
+                self.level_counts[level] += 1
+                if tele.ENABLED:
+                    self._publish_served(out, service / k)
+                out_batch.append(out)
+            self.counters["coalesced"] += k
+            self.counters["faults_detected"] += detected
+            self.counters["recoveries"] += recovered
+            # One breaker event per fused execution (one fast-path run).
+            if detected:
+                breaker.record_failure(completion, "abft")
+            elif not met_all:
+                breaker.record_failure(completion, "deadline")
+            else:
+                breaker.record_success(completion)
+
+        rider_set = set(riders) if level is not None else set()
+        for i in range(len(members)):
+            if i in rider_set:
+                continue
+            m = members[i]
+            smc = self._matrices.get(m.matrix_id)
+            if smc is None:
+                smc = sm
+            out_batch.append(self._serve_one(smc, m, t, depths[i]))
+        return out_batch
 
     # -- telemetry ---------------------------------------------------------
 
@@ -630,9 +947,21 @@ class ServingRuntime:
         return y
 
     def run_trace(self, requests: list[Request]) -> list[RequestOutcome]:
-        """Replay a trace in arrival order; returns per-request outcomes."""
+        """Replay a trace in arrival order; returns per-request outcomes.
+
+        With coalescing enabled, requests route through :meth:`offer`
+        and every batch still open at end-of-trace is flushed; outcomes
+        come back in ``(arrival, rid)`` order either way.
+        """
         ordered = sorted(requests, key=lambda r: (r.arrival, r.rid))
-        return [self.submit(r) for r in ordered]
+        if self._batches is None:
+            return [self.submit(r) for r in ordered]
+        out: list[RequestOutcome] = []
+        for r in ordered:
+            out += self.offer(r)
+        out += self.flush()
+        out.sort(key=lambda o: (o.arrival, o.rid))
+        return out
 
     # -- accounting --------------------------------------------------------
 
@@ -645,6 +974,16 @@ class ServingRuntime:
             "shed": shed,
             "shed_rate": shed / c["submitted"] if c["submitted"] else 0.0,
             "levels": dict(zip(LEVEL_NAMES, self.level_counts)),
+            "coalesce": {
+                "enabled": self._batches is not None,
+                "pending": self._batches.pending() if self._batches else 0,
+                "batch_sizes": dict(sorted(self.batch_sizes.items())),
+                "flush_reasons": {
+                    why: c[f"flush_{why}"]
+                    for why in ("window", "deadline", "capacity",
+                                "migration", "drain")
+                },
+            },
             "breaker_trips": sum(b["trips"] for b in breakers.values()),
             "breaker_reopens": sum(b["reopens"] for b in breakers.values()),
             "breaker_closes": sum(b["closes"] for b in breakers.values()),

@@ -1,0 +1,82 @@
+"""Degenerate spmm widths: k=1 must be the exact spmv path, k=0 typed empty.
+
+Every engine short-circuits ``spmm`` at k<=1 so a width-1 batch is
+bit-for-bit the single-vector product (shape ``(m, 1)``, dtype
+preserved) and a width-0 batch is a well-typed empty ``(m, 0)`` — no
+engine may reach its fused kernel for these widths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bsr import BsrSpMV
+from repro.baselines.csr5 import Csr5SpMV
+from repro.baselines.csr_scalar import CsrScalarSpMV
+from repro.baselines.hyb_global import EllGlobalSpMV, HybGlobalSpMV
+from repro.baselines.merge import MergeSpMV
+from repro.core.tilespmv import TileSpMV
+from repro.dist.sharded import ShardedSpMV
+from repro.reliability.reliable import ReliableSpMV
+from repro.matrices.generators import power_law
+
+ENGINES = [
+    TileSpMV,
+    CsrScalarSpMV,
+    MergeSpMV,
+    Csr5SpMV,
+    BsrSpMV,
+    EllGlobalSpMV,
+    HybGlobalSpMV,
+]
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return power_law(300, avg_degree=5.0, seed=11).tocsr()
+
+
+@pytest.fixture(scope="module")
+def x(matrix):
+    return np.random.default_rng(7).standard_normal(matrix.shape[1])
+
+
+@pytest.mark.parametrize("cls", ENGINES, ids=lambda c: c.__name__)
+class TestEngines:
+    def test_k1_is_exact_spmv(self, cls, matrix, x):
+        eng = cls(matrix)
+        got = eng.spmm(x.reshape(-1, 1))
+        assert got.shape == (matrix.shape[0], 1)
+        assert got.dtype == np.float64
+        assert got[:, 0].tobytes() == eng.spmv(x).tobytes()
+
+    def test_k0_typed_empty(self, cls, matrix):
+        eng = cls(matrix)
+        got = eng.spmm(np.zeros((matrix.shape[1], 0)))
+        assert got.shape == (matrix.shape[0], 0)
+        assert got.dtype == np.float64
+
+
+class TestReliable:
+    def test_k1_and_k0(self, matrix, x):
+        eng = ReliableSpMV(matrix)
+        got = eng.spmm(x.reshape(-1, 1))
+        assert got.shape == (matrix.shape[0], 1)
+        assert got[:, 0].tobytes() == eng.spmv(x).tobytes()
+        empty = eng.spmm(np.zeros((matrix.shape[1], 0)))
+        assert empty.shape == (matrix.shape[0], 0)
+        assert empty.dtype == np.float64
+
+
+class TestSharded:
+    @pytest.mark.parametrize("grid", [None, (2, 2)], ids=["1d", "grid2x2"])
+    def test_k1_and_k0(self, matrix, x, grid):
+        eng = ShardedSpMV(matrix, shards=4, grid=grid, method="adpt")
+        try:
+            got = eng.spmm(x.reshape(-1, 1))
+            assert got.shape == (matrix.shape[0], 1)
+            assert got[:, 0].tobytes() == eng.spmv(x).tobytes()
+            empty = eng.spmm(np.zeros((matrix.shape[1], 0)))
+            assert empty.shape == (matrix.shape[0], 0)
+            assert empty.dtype == np.float64
+        finally:
+            eng.close()

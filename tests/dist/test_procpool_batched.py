@@ -1,0 +1,109 @@
+"""Batched shared-memory replay and persistent worker pools.
+
+The coalescing payoff on the process backend is round-trip economy: a
+k-column ``spmm`` must cross the pipe **once** per shard per batch —
+one command, one shared-memory block of k columns back — instead of k
+single-vector replays.  Persistent pools extend the win across engine
+lifetimes: ``close()`` parks live workers keyed by the shard wire
+digests and an identical successor adopts them instead of forking.
+"""
+
+import numpy as np
+
+from repro.core.tilespmv import TileSpMV
+from repro.dist import ProcessShardedSpMV
+from repro.dist.procpool import (
+    _POOL_REGISTRY,
+    pool_counters,
+    shutdown_persistent_pools,
+)
+from repro.matrices import fem_blocks, power_law
+
+
+def _matrix():
+    return fem_blocks(80, block=3, avg_degree=8, seed=5)
+
+
+class TestBatchedRoundTrips:
+    def test_one_round_trip_per_shard_per_batch(self):
+        a = _matrix()
+        k = 8
+        x = np.random.default_rng(3).standard_normal((a.shape[1], k))
+        with ProcessShardedSpMV(a, shards=2, method="adpt") as eng:
+            assert eng.backend == "process"
+            sup = eng._supervisor
+            base = sup.counters["round_trips"]
+            fused = eng.spmm(x)
+            batched_trips = sup.counters["round_trips"] - base
+            # one command per shard for the whole k-column block
+            assert batched_trips == 2
+            base = sup.counters["round_trips"]
+            ref = np.column_stack([eng.spmv(x[:, j]) for j in range(k)])
+            solo_trips = sup.counters["round_trips"] - base
+            assert solo_trips == 2 * k
+        assert fused.tobytes() == ref.tobytes()
+
+    def test_grid_batched_matches_single_device(self):
+        a = power_law(600, avg_degree=4, seed=6)
+        x = np.random.default_rng(4).standard_normal((a.shape[1], 5))
+        ref = TileSpMV(a, method="adpt").spmm(x)
+        with ProcessShardedSpMV(a, shards=4, grid=(2, 2),
+                                method="adpt") as eng:
+            assert eng.spmm(x).tobytes() == ref.tobytes()
+
+
+class TestPersistentPools:
+    def test_park_and_adopt(self):
+        a = _matrix()
+        x = np.random.default_rng(5).standard_normal(a.shape[1])
+        try:
+            parked0 = pool_counters["parked"]
+            adopted0 = pool_counters["adopted"]
+            with ProcessShardedSpMV(a, shards=2, method="adpt",
+                                    persistent=True) as eng:
+                assert eng.backend == "process"
+                assert eng.pool_adopted is False
+                ref = eng.spmv(x)
+                pids = sorted(w.proc.pid for w in eng._supervisor.workers)
+            assert pool_counters["parked"] == parked0 + 1
+            assert len(_POOL_REGISTRY) == 1
+            with ProcessShardedSpMV(a, shards=2, method="adpt",
+                                    persistent=True) as eng:
+                assert eng.pool_adopted is True
+                assert sorted(
+                    w.proc.pid for w in eng._supervisor.workers
+                ) == pids  # the same live workers, not a fresh fork
+                assert eng.spmv(x).tobytes() == ref.tobytes()
+            assert pool_counters["adopted"] == adopted0 + 1
+        finally:
+            shutdown_persistent_pools()
+        assert len(_POOL_REGISTRY) == 0
+
+    def test_different_structure_never_adopts(self):
+        a = _matrix()
+        b = power_law(300, avg_degree=5, seed=9)
+        try:
+            with ProcessShardedSpMV(a, shards=2, method="adpt",
+                                    persistent=True):
+                pass
+            with ProcessShardedSpMV(b, shards=2, method="adpt",
+                                    persistent=True) as eng:
+                assert eng.pool_adopted is False
+        finally:
+            shutdown_persistent_pools()
+
+    def test_shutdown_reports_count(self):
+        a = _matrix()
+        with ProcessShardedSpMV(a, shards=2, method="adpt",
+                                persistent=True):
+            pass
+        assert shutdown_persistent_pools() == 1
+        assert shutdown_persistent_pools() == 0
+
+    def test_non_persistent_never_parks(self):
+        a = _matrix()
+        parked0 = pool_counters["parked"]
+        with ProcessShardedSpMV(a, shards=2, method="adpt"):
+            pass
+        assert pool_counters["parked"] == parked0
+        assert len(_POOL_REGISTRY) == 0

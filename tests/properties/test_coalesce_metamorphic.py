@@ -1,0 +1,101 @@
+"""Metamorphic property: coalescing is invisible to the result.
+
+A fused batch is k independent requests sharing one matrix; column j of
+the batched ``spmm`` must be *bit-for-bit* the ``spmv`` the request
+would have run alone.  That is the whole coalescing contract — traffic
+is amortised, results are untouched — so the oracle is byte equality
+(`tobytes`), not allclose, across the structural zoo, shard counts
+P in {1, 2, 4}, explicit column-cut grids, and both execution
+backends (threads and the process pool).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tilespmv import TileSpMV
+from repro.dist import ProcessShardedSpMV, ShardedSpMV
+from repro.matrices import generators as g
+
+pytestmark = pytest.mark.properties
+
+K = 6
+COUNTS = (1, 2, 4)
+
+
+def _matrices():
+    return [
+        ("random", g.random_uniform(220, 220, nnz_per_row=5, seed=1)),
+        ("rect", g.random_uniform(150, 310, nnz_per_row=4, seed=2)),
+        ("banded", g.banded(260, half_bandwidth=6, seed=3)),
+        ("stencil", g.stencil_2d(17, points=5, seed=4)),
+        ("fem", g.fem_blocks(120, block=3, avg_degree=8, seed=5)),
+        ("powerlaw", g.power_law(600, avg_degree=4, seed=6)),
+        ("hyper", g.hypersparse(700, nnz=90, seed=7)),
+        ("arrow", g.gupta_arrow(220, border=20, seed=8)),
+        ("lp", g.lp_like(90, 330, seed=9)),
+    ]
+
+
+MATRICES = _matrices()
+IDS = [name for name, _ in MATRICES]
+
+
+def _block(matrix, seed=41):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((matrix.shape[1], K))
+
+
+def _assert_columns_match(eng, x):
+    fused = eng.spmm(x)
+    assert fused.shape == (eng.shape[0], K)
+    for j in range(K):
+        assert fused[:, j].tobytes() == eng.spmv(x[:, j]).tobytes(), (
+            f"column {j} diverged from the standalone spmv"
+        )
+
+
+@pytest.mark.parametrize("matrix", [m for _, m in MATRICES], ids=IDS)
+def test_single_device_columns_bit_for_bit(matrix):
+    _assert_columns_match(TileSpMV(matrix, method="adpt"), _block(matrix))
+
+
+@pytest.mark.parametrize("matrix", [m for _, m in MATRICES], ids=IDS)
+def test_thread_backend_columns_bit_for_bit(matrix):
+    x = _block(matrix)
+    for p in COUNTS:
+        with ShardedSpMV(matrix, shards=p, method="adpt") as eng:
+            _assert_columns_match(eng, x)
+
+
+@pytest.mark.parametrize("matrix", [m for _, m in MATRICES], ids=IDS)
+@pytest.mark.parametrize("grid", [(1, 4), (2, 2)], ids=["cols1x4", "grid2x2"])
+def test_grid_columns_bit_for_bit(matrix, grid):
+    x = _block(matrix)
+    with ShardedSpMV(matrix, shards=grid[0] * grid[1], grid=grid,
+                     method="adpt") as eng:
+        _assert_columns_match(eng, x)
+
+
+@pytest.mark.parametrize(
+    "matrix",
+    [m for n, m in MATRICES if n in ("rect", "powerlaw", "hyper")],
+    ids=["rect", "powerlaw", "hyper"],
+)
+def test_process_backend_columns_bit_for_bit(matrix):
+    # The process pool is the expensive backend: a structural subset of
+    # the zoo (rectangular, scale-free, hypersparse) at P in {2, 4},
+    # including a column-cut grid, keeps the suite fast while still
+    # crossing the shared-memory batched wire.
+    x = _block(matrix)
+    ref = TileSpMV(matrix, method="adpt").spmm(x)
+    for p in (2, 4):
+        with ProcessShardedSpMV(matrix, shards=p, method="adpt") as eng:
+            fused = eng.spmm(x)
+            assert fused.tobytes() == ref.tobytes()
+            for j in range(K):
+                assert (
+                    fused[:, j].tobytes() == eng.spmv(x[:, j]).tobytes()
+                )
+    with ProcessShardedSpMV(matrix, shards=4, grid=(2, 2),
+                            method="adpt") as eng:
+        _assert_columns_match(eng, x)

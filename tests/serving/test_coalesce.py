@@ -1,0 +1,255 @@
+"""Request coalescing: batching window, deadlines, generations, accounting.
+
+The invariants under test:
+
+* requests sharing a plan fuse into one batched ``spmm`` whose columns
+  are bit-for-bit the standalone ``spmv`` results;
+* flushes are deadline-ordered and never scheduled late enough to blow
+  a deadline the batch could have met;
+* a member that cannot ride (budget too tight) never blocks the batch —
+  it is routed through the ordinary single-request ladder;
+* no batch forms across a retune generation swap;
+* per-request latency accounting is conserved: the riders' service
+  shares sum to the batched service cost.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.matrices.generators import power_law
+from repro.matrices.reorder import apply_symmetric_permutation
+from repro.serving import (
+    BatchQueue,
+    CoalesceConfig,
+    Request,
+    RuntimeConfig,
+    ServingRuntime,
+)
+
+
+def _matrix(n=800, seed=3):
+    return power_law(n, avg_degree=5.0, seed=seed).tocsr()
+
+
+def _runtime(window_s=1e-3, max_batch=8, **cfg):
+    rt = ServingRuntime(
+        RuntimeConfig(
+            coalesce=CoalesceConfig(window_s=window_s, max_batch=max_batch),
+            **cfg,
+        )
+    )
+    rt.register("m", _matrix())
+    return rt
+
+
+def _reqs(n, gap=1e-7, deadline=1.0, start_rid=0, t0=0.0, matrix_id="m"):
+    return [
+        Request(rid=start_rid + i, arrival=t0 + i * gap, matrix_id=matrix_id,
+                deadline=deadline, x_seed=1000 + start_rid + i)
+        for i in range(n)
+    ]
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoalesceConfig(window_s=-1.0)
+        with pytest.raises(ValueError):
+            CoalesceConfig(max_batch=1)
+
+    def test_disabled_by_default(self):
+        rt = ServingRuntime()
+        assert rt.stats()["coalesce"]["enabled"] is False
+        rt.register("m", _matrix())
+        out = rt.submit(Request(rid=0, arrival=0.0, matrix_id="m",
+                                deadline=1.0, x_seed=5))
+        assert out.status == "served"
+        assert out.batch_size == 1
+        assert out.service_share == out.completion - out.start
+
+
+class TestFusion:
+    def test_batch_forms_and_columns_are_bit_for_bit(self):
+        rt = _runtime()
+        reqs = _reqs(5)
+        outs = rt.run_trace(reqs)
+        assert [o.rid for o in outs] == [r.rid for r in reqs]
+        assert all(o.status == "served" for o in outs)
+        assert {o.batch_size for o in outs} == {5}
+        solo = ServingRuntime()
+        solo.register("m", _matrix())
+        for o, r in zip(outs, reqs):
+            ref = solo.submit(r)
+            assert o.y.tobytes() == ref.y.tobytes()
+        assert rt.counters["coalesced"] == 5
+        assert rt.counters["batches_flushed"] == 1
+
+    def test_capacity_flush(self):
+        rt = _runtime(window_s=10.0, max_batch=3)
+        done = []
+        for r in _reqs(3):
+            done += rt.offer(r)
+        assert len(done) == 3  # third member hit max_batch
+        assert rt.counters["flush_capacity"] == 1
+        assert all(o.batch_size == 3 for o in done)
+
+    def test_window_flush(self):
+        rt = _runtime(window_s=1e-5)
+        done = rt.offer(Request(rid=0, arrival=0.0, matrix_id="m",
+                                deadline=1.0, x_seed=1))
+        assert done == []
+        # An arrival after the window closes the stale batch first.
+        done = rt.offer(Request(rid=1, arrival=1.0, matrix_id="m",
+                                deadline=1.0, x_seed=2))
+        assert [o.rid for o in done] == [0]
+        assert rt.counters["flush_window"] == 1
+        # The flush ran at its scheduled time, not at the new arrival.
+        assert done[0].start <= 1e-5
+
+    def test_deadline_ordered_flush_across_matrices(self):
+        rt = _runtime(window_s=1.0)
+        rt.register("m2", _matrix(seed=9))
+        # Tight deadlines force deadline-bound schedules; m2's batch is
+        # tighter and must flush first.
+        rt.offer(Request(rid=0, arrival=0.0, matrix_id="m",
+                         deadline=2e-1, x_seed=1))
+        rt.offer(Request(rid=1, arrival=1e-7, matrix_id="m2",
+                         deadline=1e-1, x_seed=2))
+        done = rt.offer(Request(rid=2, arrival=0.5, matrix_id="m",
+                                deadline=1.0, x_seed=3))
+        flushed = [o for o in done if o.rid in (0, 1)]
+        assert [o.rid for o in flushed] == [1, 0]  # tightest first
+        assert all(o.deadline_met for o in flushed)
+
+
+class TestDeadlines:
+    def test_zero_deadline_violating_flushes(self):
+        """A flush is never scheduled past a member's feasible start."""
+        rt = _runtime(window_s=5e-2)
+        trace = _reqs(40, gap=3e-6, deadline=4e-4)
+        outs = rt.run_trace(trace)
+        served = [o for o in outs if o.status == "served"]
+        assert served
+        assert all(o.deadline_met for o in served)
+        assert rt.counters["deadline_misses"] == 0
+
+    def test_shed_member_never_blocks_the_batch(self):
+        rt = _runtime(window_s=10.0, max_batch=8)
+        done = []
+        for r in _reqs(3, deadline=1.0):
+            done += rt.offer(r)
+        # A hopeless straggler joins last: its deadline cannot fit any
+        # rung, so its arrival forces the flush and the fixed point
+        # drops it from the rider set.
+        done += rt.offer(Request(rid=99, arrival=2e-7, matrix_id="m",
+                                 deadline=1e-12, x_seed=7))
+        done += rt.flush()
+        by_rid = {o.rid: o for o in done}
+        assert by_rid[99].status == "shed"
+        assert by_rid[99].shed_reason == "deadline"
+        riders = [o for o in done if o.rid != 99]
+        assert all(o.status == "served" for o in riders)
+        assert all(o.batch_size == 3 for o in riders)
+
+    def test_queue_full_counts_pending_members(self):
+        rt = _runtime(window_s=10.0, max_batch=8, queue_limit=2)
+        done = []
+        for r in _reqs(4):
+            done += rt.offer(r)
+        shed = [o for o in done if o.status == "shed"]
+        assert len(shed) == 2
+        assert all(o.shed_reason == "queue_full" for o in shed)
+
+
+class TestAccounting:
+    def test_latency_shares_sum_to_batched_cost(self):
+        rt = _runtime()
+        outs = rt.run_trace(_reqs(6))
+        k = outs[0].batch_size
+        assert k == 6
+        service = outs[0].completion - outs[0].start
+        assert math.isclose(
+            sum(o.service_share for o in outs), service, rel_tol=1e-9
+        )
+        for o in outs:
+            assert math.isclose(o.service_share, service / k, rel_tol=1e-12)
+            assert o.batch_wait == o.start - o.arrival
+            assert math.isclose(
+                o.latency, o.batch_wait + service, rel_tol=1e-9
+            )
+
+    def test_batched_service_amortizes(self):
+        """The fused batch completes well before k solo requests would."""
+        rt = _runtime()
+        outs = rt.run_trace(_reqs(8))
+        assert outs[0].batch_size == 8
+        batched = outs[0].completion - outs[0].start
+        solo = ServingRuntime()
+        solo.register("m", _matrix())
+        solo_outs = [solo.submit(r) for r in _reqs(8)]
+        solo_total = sum(o.completion - o.start for o in solo_outs)
+        assert batched < solo_total
+
+    def test_batch_size_histogram(self):
+        rt = _runtime(window_s=10.0, max_batch=4)
+        for r in _reqs(9, gap=1e-8):
+            rt.offer(r)
+        rt.flush()
+        assert rt.batch_sizes == {4: 2, 1: 1}
+        stats = rt.stats()["coalesce"]
+        assert stats["batch_sizes"] == {1: 1, 4: 2}
+        assert stats["flush_reasons"]["capacity"] == 2
+        assert stats["flush_reasons"]["drain"] == 1
+
+
+class TestMigrationBoundary:
+    def _storm_runtime(self):
+        rng = np.random.default_rng(42)
+        a = power_law(3000, avg_degree=6.0, seed=3).tocsr()
+        a = apply_symmetric_permutation(a, rng.permutation(a.shape[0]))
+        rt = ServingRuntime(
+            RuntimeConfig(coalesce=CoalesceConfig(window_s=10.0, max_batch=16))
+        )
+        rt.register("pl", a)
+        return rt
+
+    def test_no_batch_across_generations(self):
+        rt = self._storm_runtime()
+        pending = []
+        for r in _reqs(4, deadline=5.0, matrix_id="pl"):
+            pending += rt.offer(r)
+        assert pending == []  # batch still open
+        mig = rt.retune("pl", reorder="sell:0")
+        assert mig.status == "migrated"
+        assert rt._batches.get("pl") is None  # flushed before the swap
+        assert rt.counters["flush_migration"] == 1
+        post = []
+        for r in _reqs(4, deadline=5.0, start_rid=10, t0=1.0,
+                       matrix_id="pl"):
+            post += rt.offer(r)
+        post += rt.flush()
+        gens = {o.rid: o.plan_generation for o in post}
+        # Old members flushed on generation 1, new members on 2; the
+        # two batches never mix.
+        assert all(gens[rid] == 1 for rid in range(4))
+        assert all(gens[rid] == 2 for rid in range(10, 14))
+        sizes = {o.rid: o.batch_size for o in post}
+        assert all(sizes[rid] == 4 for rid in gens)
+        rt.close()
+
+
+class TestBatchQueue:
+    def test_schedule_clamps_to_window_and_deadline(self):
+        q = BatchQueue(CoalesceConfig(window_s=1e-3, max_batch=8))
+        r = Request(rid=0, arrival=0.0, matrix_id="m", deadline=1.0)
+        b = q.enqueue(r, depth=0, plan_key="k", generation=1, now=0.0)
+        assert b.flush_at == 1e-3 and b.bound == "window"
+        q.reschedule(b, latest_safe_start=5e-4)
+        assert b.flush_at == 5e-4 and b.bound == "deadline"
+        q.reschedule(b, latest_safe_start=-1.0)
+        assert b.flush_at == b.opened  # never before the batch exists
+        assert q.pending() == 1
+        assert q.pop("m") is b
+        assert q.pop("m") is None
